@@ -1,0 +1,83 @@
+"""Extension experiments: c-tables and constraints (paper Section 12).
+
+The paper's future-work directions made measurable:
+
+* conditional tables are a strong representation system — validate
+  ``rep(Q(T)) = {Q(E) : E ∈ rep(T)}`` for the difference operator (the
+  one naive tables cannot express) and time the construction;
+* integrity constraints shrink ``[[D]]`` and grow certain answers —
+  measure the constrained oracle against the plain one.
+"""
+
+from repro.constraints import FunctionalDependency, Key, certain_answers_under
+from repro.core.certain import certain_answers
+from repro.ctables import CFact, CInstance, ceq, cneq, difference
+from repro.data.instance import Instance
+from repro.data.values import Null
+from repro.logic.parser import parse
+from repro.logic.queries import Query
+from repro.semantics import get_semantics
+
+X, Y = Null("x"), Null("y")
+
+
+def test_ctable_difference_strong_representation(benchmark):
+    ct = CInstance((CFact("A", (1,)), CFact("A", (2,)), CFact("B", (X,))))
+    pool = [1, 2]
+
+    def run():
+        out = difference(ct, "A", "B", "Q")
+        represented = {w.restrict(["Q"]) for w in out.worlds(pool)}
+        direct = set()
+        for world in ct.worlds(pool):
+            kept = world.tuples("A") - world.tuples("B")
+            direct.add(Instance({"Q": kept}) if kept else Instance.empty())
+        return represented == direct
+
+    equal = benchmark(run)
+    benchmark.extra_info["strong_representation"] = equal
+    assert equal
+
+
+def test_ctable_constrained_not_in(benchmark):
+    """A global condition x ≠ 1 gives the difference a certain answer."""
+    ct = CInstance(
+        (CFact("A", (1,)), CFact("A", (2,)), CFact("B", (X,))),
+        global_condition=cneq(X, 1),
+    )
+    q = Query(parse("Q(v)"), ("v",))
+
+    def run():
+        return difference(ct, "A", "B", "Q").certain_answers(q)
+
+    answers = benchmark(run)
+    benchmark.extra_info["certain"] = sorted(map(str, answers))
+    assert answers == frozenset({(1,)})
+
+
+def test_key_constraint_grows_certain_answers(benchmark):
+    d = Instance({"R": [(1, X), (1, 2)]})
+    q = Query.boolean(parse("forall a, b . R(a, b) -> b = 2"))
+    key = Key("R", (0,), 2)
+
+    def run():
+        plain = bool(certain_answers(q, d, get_semantics("cwa")))
+        constrained = bool(
+            certain_answers_under(q, d, get_semantics("cwa"), [key])
+        )
+        return plain, constrained
+
+    plain, constrained = benchmark(run)
+    benchmark.extra_info["plain/constrained"] = f"{plain}/{constrained}"
+    assert not plain and constrained
+
+
+def test_constrained_oracle_overhead(benchmark):
+    """Cost of filtering worlds through an FD during enumeration."""
+    d = Instance({"R": [(1, X), (2, Y), (1, 2)]})
+    q = Query(parse("R(a, b)"), ("a", "b"))
+    fd = FunctionalDependency("R", (0,), (1,))
+    answers = benchmark(
+        certain_answers_under, q, d, get_semantics("cwa"), [fd]
+    )
+    assert (1, 2) in answers

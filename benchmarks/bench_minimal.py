@@ -1,0 +1,113 @@
+"""Experiments P10.1, C10.11 and P10.13 — minimal semantics and cores.
+
+Reproduces Section 10's counterexamples and guarantees:
+
+* Prop 10.1: minimal images are cores and factor through the core; the
+  4-ary and the C4+C6 graph counterexamples where minimality and cores
+  come apart; [[D]]^min_CWA ≠ [[core(D)]]_CWA on graphs;
+* Cor 10.11 remark: naive evaluation fails off-core;
+* Prop 10.13: naive truth still implies certain truth (approximation).
+"""
+
+from repro.core import certain_holds, naive_holds
+from repro.data.generate import cores_graph_example, cycle, disjoint_union, minimal_4ary_example
+from repro.data.instance import Instance
+from repro.data.values import Null
+from repro.homs.core import core, is_core
+from repro.homs.minimal import is_d_minimal, iter_minimal_valuations
+from repro.logic.parser import parse
+from repro.logic.queries import Query
+from repro.semantics import get_semantics
+
+X, Y = Null("x"), Null("y")
+SOLUTION = Instance({"T": [(X, X), (X, Y)]})
+
+
+def test_p10_1_minimal_images_are_cores(benchmark):
+    def run():
+        checked = 0
+        for valuation in iter_minimal_valuations(SOLUTION, [1, 2, 3]):
+            image = SOLUTION.apply(valuation)
+            assert is_core(image)
+            assert image == core(SOLUTION).apply(valuation)
+            checked += 1
+        return checked
+
+    checked = benchmark(run)
+    benchmark.extra_info["minimal_valuations_checked"] = checked
+    assert checked >= 3
+
+
+def test_p10_1_4ary_counterexample(benchmark):
+    d, h = minimal_4ary_example()
+
+    def run():
+        return is_core(d), is_core(d.apply(h)), is_d_minimal(d, h, mode="database")
+
+    d_core, image_core, h_minimal = benchmark(run)
+    benchmark.extra_info["D core / h(D) core / h minimal"] = f"{d_core}/{image_core}/{h_minimal}"
+    assert d_core and image_core and not h_minimal
+
+
+def test_p10_1_graph_counterexample(benchmark):
+    g, h_graph, hom = cores_graph_example()
+
+    def run():
+        return (
+            is_core(g, fix_constants=False),
+            is_core(h_graph, fix_constants=False),
+            is_d_minimal(g, hom, mode="mapping"),
+        )
+
+    g_core, h_core, minimal = benchmark(run)
+    benchmark.extra_info["G core / H core / h minimal"] = f"{g_core}/{h_core}/{minimal}"
+    assert g_core and h_core and not minimal
+
+
+def test_p10_1_min_semantics_differ_from_core_cwa(benchmark):
+    g, _, _ = cores_graph_example()
+    target = disjoint_union(cycle(3, ["a", "b", "c"]), cycle(2, ["d", "e"]))
+
+    def run():
+        return (
+            get_semantics("cwa").contains(g, target),
+            get_semantics("mincwa").contains(g, target),
+        )
+
+    in_cwa, in_min = benchmark(run)
+    benchmark.extra_info["∈ CWA / ∈ minCWA"] = f"{in_cwa}/{in_min}"
+    assert in_cwa and not in_min
+
+
+def test_c10_11_naive_fails_off_core(benchmark):
+    q = Query.boolean(parse("forall v . T(v, v)"))
+
+    def run():
+        naive = naive_holds(q, SOLUTION)
+        certain = certain_holds(q, SOLUTION, get_semantics("mincwa"))
+        on_core = naive_holds(q, core(SOLUTION))
+        return naive, certain, on_core
+
+    naive, certain, on_core = benchmark(run)
+    benchmark.extra_info["naive/certain/naive-on-core"] = f"{naive}/{certain}/{on_core}"
+    assert not naive and certain and on_core
+
+
+def test_p10_13_approximation(benchmark):
+    q = Query.boolean(parse("forall v, w . T(v, w) -> exists u . T(v, u)"))
+
+    def run():
+        naive = naive_holds(q, SOLUTION)
+        certain = certain_holds(q, SOLUTION, get_semantics("mincwa"))
+        return naive, certain
+
+    naive, certain = benchmark(run)
+    benchmark.extra_info["naive ⇒ certain"] = f"{naive} ⇒ {certain}"
+    assert naive and certain
+
+
+def test_core_computation_cost(benchmark):
+    """Core computation on the C4+C6 graph (the hardest fixture here)."""
+    g, _, _ = cores_graph_example()
+    result = benchmark(core, g, False)
+    assert result == g  # it is its own core

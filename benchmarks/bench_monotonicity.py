@@ -1,0 +1,73 @@
+"""Experiment T3 — Theorem 3.1 / Proposition 3.3 on enumerable domains.
+
+Exhaustively checks, over a fair saturated micro-domain and over random
+relational corpora, that naive evaluation ⇔ weak monotonicity (⇔
+monotonicity when the domain is fair), timing the exhaustive sweep.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.monotone import weak_monotonicity_counterexample
+from repro.logic.generate import random_sentence
+from repro.logic.queries import Query
+from repro.semantics import get_semantics
+from repro.semantics.domain import DatabaseDomain
+
+from conftest import SCHEMA, corpus
+
+
+def build_micro_domain() -> DatabaseDomain:
+    sem = {"a": frozenset({"a"}), "b": frozenset({"b"}), "x": frozenset({"a", "b"})}
+    iso = lambda o: "ax" if o in ("a", "x") else o
+    return DatabaseDomain(frozenset(sem), frozenset({"a", "b"}), sem, iso)
+
+
+def sweep_theorem_3_1() -> int:
+    """All generic Boolean queries on the micro-domain: check Thm 3.1 & Prop 3.3."""
+    dom = build_micro_domain()
+    assert dom.is_fair() and dom.is_saturated()
+    checked = 0
+    for bits in itertools.product([False, True], repeat=3):
+        table = dict(zip(("a", "b", "x"), bits))
+        query = table.__getitem__
+        if not dom.is_generic(query):
+            continue
+        naive = dom.naive_works(query)
+        assert naive == dom.weakly_monotone(query) == dom.monotone(query)
+        checked += 1
+    return checked
+
+
+def test_theorem_3_1_micro_domain(benchmark):
+    checked = benchmark(sweep_theorem_3_1)
+    benchmark.extra_info["generic_queries_checked"] = checked
+    assert checked >= 4
+
+
+@pytest.mark.parametrize("key", ["cwa", "pcwa", "mincwa"])
+def test_weak_monotonicity_on_relational_corpus(benchmark, key):
+    """Sound-fragment queries have no weak-monotonicity counterexample."""
+    sem = get_semantics(key)
+    rng = random.Random(0x31 + hash(key) % 97)
+    instances = corpus(seed=31, n=4)
+    fragment = sem.sound_fragment
+
+    def run():
+        misses = 0
+        for _ in range(4):
+            query = Query.boolean(random_sentence(SCHEMA, rng, fragment, max_depth=2))
+            if key.startswith("min"):
+                # minimal semantics: weak monotonicity holds for the
+                # fragment by Prop 10.13 (preservation), test it
+                pass
+            ce = weak_monotonicity_counterexample(query, instances, sem, extra_facts=1)
+            misses += ce is not None
+        return misses
+
+    misses = benchmark(run)
+    benchmark.extra_info["fragment"] = fragment
+    benchmark.extra_info["counterexamples"] = misses
+    assert misses == 0

@@ -1,0 +1,91 @@
+"""Experiments T6.2, T7.1 and L6-codd — orderings, updates, Codd correspondences.
+
+* Theorem 6.2: reflexive-transitive closure of CWA updates = ≼_CWA, and
+  of CWA+OWA updates = ≼_OWA;
+* Theorem 7.1: closure of CWA+copying updates = ⋐_CWA; on Codd databases
+  ⋐_CWA = ⊑^P;
+* Section 6 recap (Libkin 2011): on Codd databases ≼_OWA = ⊑^H and
+  ≼_CWA = ⊑^P + perfect matching.
+
+Each bench sweeps an instance grid and counts (dis)agreements —
+expected: perfect agreement.
+"""
+
+from repro.data.instance import Instance
+from repro.data.values import Null
+from repro.orders.codd import has_refinement_matching, hoare_leq, plotkin_leq
+from repro.orders.semantic import leq_cwa, leq_owa, leq_pcwa
+from repro.orders.updates import reachable
+
+X, Y = Null("x"), Null("y")
+
+NAIVE_GRID = [
+    Instance({"R": [(X, Y)]}),
+    Instance({"R": [(X, X)]}),
+    Instance({"R": [(1, X)]}),
+    Instance({"R": [(1, 2)]}),
+    Instance({"R": [(1, 1), (2, 2)]}),
+    Instance({"R": [(1, 2), (2, 1)]}),
+]
+
+CODD_GRID = [
+    Instance({"R": [(1, Null("a"))]}),
+    Instance({"R": [(1, Null("b")), (2, Null("c"))]}),
+    Instance({"R": [(1, 2)]}),
+    Instance({"R": [(1, 2), (1, 3)]}),
+    Instance({"R": [(Null("p"), Null("q"))]}),
+]
+
+
+def sweep(grid, left_fn, right_fn):
+    agree = total = 0
+    for left in grid:
+        for right in grid:
+            total += 1
+            agree += left_fn(left, right) == right_fn(left, right)
+    return agree, total
+
+
+def test_theorem_6_2_cwa_updates(benchmark):
+    agree, total = benchmark(
+        sweep, NAIVE_GRID, lambda a, b: reachable(a, b, ("cwa",)), leq_cwa
+    )
+    benchmark.extra_info["agreement"] = f"{agree}/{total}"
+    assert agree == total
+
+
+def test_theorem_6_2_owa_updates(benchmark):
+    agree, total = benchmark(
+        sweep, NAIVE_GRID, lambda a, b: reachable(a, b, ("cwa", "owa")), leq_owa
+    )
+    benchmark.extra_info["agreement"] = f"{agree}/{total}"
+    assert agree == total
+
+
+def test_theorem_7_1_copying_updates(benchmark):
+    agree, total = benchmark(
+        sweep, NAIVE_GRID, lambda a, b: reachable(a, b, ("cwa", "copying")), leq_pcwa
+    )
+    benchmark.extra_info["agreement"] = f"{agree}/{total}"
+    assert agree == total
+
+
+def test_libkin_2011_owa_is_hoare_on_codd(benchmark):
+    agree, total = benchmark(sweep, CODD_GRID, leq_owa, hoare_leq)
+    benchmark.extra_info["agreement"] = f"{agree}/{total}"
+    assert agree == total
+
+
+def test_libkin_2011_cwa_is_plotkin_plus_matching(benchmark):
+    def characterisation(a, b):
+        return plotkin_leq(a, b) and has_refinement_matching(a, b)
+
+    agree, total = benchmark(sweep, CODD_GRID, leq_cwa, characterisation)
+    benchmark.extra_info["agreement"] = f"{agree}/{total}"
+    assert agree == total
+
+
+def test_theorem_7_1_pcwa_is_plotkin_on_codd(benchmark):
+    agree, total = benchmark(sweep, CODD_GRID, leq_pcwa, plotkin_leq)
+    benchmark.extra_info["agreement"] = f"{agree}/{total}"
+    assert agree == total

@@ -1,0 +1,88 @@
+"""Experiments C4.9 and P5.1 — preservation under homomorphism classes.
+
+Corollary 4.9 ties each semantics to a homomorphism class; Theorem 5.2 /
+Proposition 5.1 tie fragments to preservation.  The benches sweep random
+fragment queries against complete-instance pairs connected by homs of
+each class, count violations (expected 0 inside the fragment), and
+reproduce the repeated-guard-variable counterexample.
+"""
+
+import random
+
+import pytest
+
+from repro.core.monotone import preservation_counterexample
+from repro.data.generate import random_complete_instance
+from repro.data.instance import Instance
+from repro.data.values import Null
+from repro.logic.generate import random_sentence
+from repro.logic.parser import parse
+from repro.logic.queries import Query
+
+from conftest import SCHEMA
+
+#: fragment → its preservation class (Cor. 4.9 / Thm 5.2)
+FRAGMENT_TO_CLASS = {
+    "EPos": "hom",
+    "Pos": "onto",
+    "PosForallG": "strong_onto",
+}
+
+
+def make_pairs(seed: int, n: int):
+    """Pairs of complete instances (hom existence filtered in the checker)."""
+    rng = random.Random(seed)
+    pairs = []
+    for _ in range(n):
+        source = random_complete_instance(SCHEMA, rng, n_facts=rng.randint(1, 3), constants=(1, 2))
+        target = random_complete_instance(SCHEMA, rng, n_facts=rng.randint(1, 4), constants=(1, 2, 3))
+        pairs.append((source, target))
+    return pairs
+
+
+@pytest.mark.parametrize("fragment,hom_class", sorted(FRAGMENT_TO_CLASS.items()))
+def test_fragment_preserved_under_its_class(benchmark, fragment, hom_class):
+    rng = random.Random(0x59 + hash(fragment) % 100)
+    pairs = make_pairs(seed=59, n=6)
+
+    def run():
+        violations = 0
+        for _ in range(6):
+            query = Query.boolean(random_sentence(SCHEMA, rng, fragment, max_depth=2))
+            ce = preservation_counterexample(query, pairs, hom_class)
+            violations += ce is not None
+        return violations
+
+    violations = benchmark(run)
+    benchmark.extra_info["fragment"] = fragment
+    benchmark.extra_info["hom_class"] = hom_class
+    benchmark.extra_info["violations"] = violations
+    assert violations == 0
+
+
+def test_prop_5_1_repeated_guard_counterexample(benchmark):
+    """∀x (R(x,x) → S(x)) with repeated guard variable is NOT preserved
+    under strong onto homomorphisms (remark after Prop. 5.1)."""
+    q = Query.boolean(parse("forall v . R(v, v) -> S(v)"))
+    a, b, c = Null("a"), Null("b"), Null("c")
+    source = Instance({"R": [(a, b)]})
+    target = Instance({"R": [(c, c)]})
+
+    def run():
+        return preservation_counterexample(q, [(source, target)], "strong_onto")
+
+    ce = benchmark(run)
+    benchmark.extra_info["counterexample_found"] = ce is not None
+    assert ce is not None
+
+
+def test_proper_guard_is_preserved(benchmark):
+    """The same rule with distinct guard variables IS preserved."""
+    q = Query.boolean(parse("forall v, w . R(v, w) -> exists u . R(w, u)"))
+    pairs = make_pairs(seed=61, n=8)
+
+    def run():
+        return preservation_counterexample(q, pairs, "strong_onto")
+
+    ce = benchmark(run)
+    assert ce is None

@@ -1,0 +1,82 @@
+"""Experiment SQL3 — quantifying SQL's gap against certain answers.
+
+The introduction's criticism of SQL made measurable: over random
+incomplete instances and queries, count how often SQL's three-valued
+answers are unsound (return non-certain rows) or incomplete (miss
+certain rows), per query class.  UCQs agree (SQL's 3VL is certain-sound
+for positive queries on Codd databases); negation splits them.
+"""
+
+import random
+
+from repro.data.codd import from_sql_rows
+from repro.data.generate import random_codd_instance
+from repro.data.schema import Schema
+from repro.logic.ast import Var
+from repro.logic.generate import random_sentence
+from repro.logic.parser import parse
+from repro.logic.queries import Query
+from repro.semantics import get_semantics
+from repro.sql3 import answers3, compare_sql_to_certain
+
+SCHEMA = Schema({"R": 2, "S": 1})
+
+
+def test_not_in_paradox(benchmark):
+    db = from_sql_rows({"X": [(1,), (2,), (3,)], "Y": [(1,), (None,)]})
+    q = parse("X(v) & !Y(v)")
+
+    def run():
+        return answers3(q, db, (Var("v"),))
+
+    sql = benchmark(run)
+    benchmark.extra_info["paradox"] = f"|X|=3 > |Y|=2 yet X−Y = {set(sql)}"
+    assert sql == frozenset()
+
+
+def test_sql_sound_and_complete_on_ucq_corpus(benchmark):
+    """SQL's TRUE rows agree with certain answers for random UCQs."""
+    rng = random.Random(0x53)
+    instances = [
+        random_codd_instance(SCHEMA, rng, n_facts=3, constants=(1, 2))
+        for _ in range(4)
+    ]
+
+    def run():
+        disagreements = 0
+        for instance in instances:
+            for _ in range(4):
+                query = Query.boolean(random_sentence(SCHEMA, rng, "EPos", max_depth=2))
+                cmp = compare_sql_to_certain(query, instance, get_semantics("cwa"))
+                disagreements += not cmp.agrees
+        return disagreements
+
+    disagreements = benchmark(run)
+    benchmark.extra_info["disagreements"] = disagreements
+    assert disagreements == 0
+
+
+def test_sql_incomplete_on_tautologies(benchmark):
+    """Excluded middle: certainly-true sentences SQL cannot certify."""
+    db = from_sql_rows({"R": [(None,)]})
+    q = Query.boolean(parse("forall v . R(v) -> (v = 1 | !(v = 1))"))
+
+    def run():
+        return compare_sql_to_certain(q, db, get_semantics("cwa"))
+
+    cmp = benchmark(run)
+    benchmark.extra_info["incomplete"] = str(set(cmp.incomplete))
+    assert cmp.incomplete and not cmp.unsound
+
+
+def test_sql_unsound_under_owa(benchmark):
+    """SQL certifies universal claims OWA extensions can break."""
+    db = from_sql_rows({"R": [(1, 1)]})
+    q = Query.boolean(parse("forall v . R(v, v)"))
+
+    def run():
+        return compare_sql_to_certain(q, db, get_semantics("owa"), extra_facts=1)
+
+    cmp = benchmark(run)
+    benchmark.extra_info["unsound"] = str(set(cmp.unsound))
+    assert cmp.unsound == frozenset({()})

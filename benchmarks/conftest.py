@@ -1,0 +1,32 @@
+"""Shared corpus builders for the benchmark harness."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.generate import random_instance
+from repro.data.schema import Schema
+
+SCHEMA = Schema({"R": 2, "S": 1})
+
+
+def corpus(seed: int, n: int, n_facts=(1, 3), constants=(1, 2), n_nulls=2):
+    """A reproducible list of small random incomplete instances."""
+    rng = random.Random(seed)
+    return [
+        random_instance(
+            SCHEMA,
+            rng,
+            n_facts=rng.randint(*n_facts),
+            constants=constants,
+            n_nulls=n_nulls,
+        )
+        for _ in range(n)
+    ]
+
+
+@pytest.fixture
+def small_corpus():
+    return corpus(20130622, 8)

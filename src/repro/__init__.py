@@ -1,0 +1,80 @@
+"""repro — naive evaluation and certain answers over incomplete databases.
+
+A faithful, executable reproduction of Gheerbrant, Libkin & Sirangelo,
+*"When is Naïve Evaluation Possible?"* (PODS 2013): naive databases with
+marked nulls, six semantics of incompleteness, homomorphism machinery
+(search, cores, minimal valuations), semantic orderings, FO fragments,
+and an evaluation engine that uses naive evaluation exactly when the
+paper proves it computes certain answers.
+
+Quickstart::
+
+    from repro import Instance, Null, Query, parse, evaluate
+
+    x = Null("1")
+    db = Instance({"R": [(1, x)], "S": [(x, 4)]})
+    q = Query(parse("exists z (R(x, z) & S(z, y))"), ("x", "y"))
+    print(evaluate(q, db, semantics="owa").answers)   # {(1, 4)}
+"""
+
+from repro.core import (
+    EvalResult,
+    Verdict,
+    analyze,
+    certain_answers,
+    certain_holds,
+    evaluate,
+    naive_eval,
+    naive_holds,
+    possible_answers,
+    possible_holds,
+)
+from repro.data import Instance, Null, NullFactory, Schema
+from repro.homs import core, find_homomorphism, has_homomorphism, is_core
+from repro.logic import Query, Rel, Var, parse
+from repro.semantics import (
+    ALL_SEMANTICS,
+    CWA,
+    OWA,
+    WCWA,
+    MinCWA,
+    MinPowersetCWA,
+    PowersetCWA,
+    get_semantics,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EvalResult",
+    "Verdict",
+    "analyze",
+    "certain_answers",
+    "certain_holds",
+    "evaluate",
+    "naive_eval",
+    "naive_holds",
+    "possible_answers",
+    "possible_holds",
+    "Instance",
+    "Null",
+    "NullFactory",
+    "Schema",
+    "core",
+    "find_homomorphism",
+    "has_homomorphism",
+    "is_core",
+    "Query",
+    "Rel",
+    "Var",
+    "parse",
+    "ALL_SEMANTICS",
+    "CWA",
+    "OWA",
+    "WCWA",
+    "MinCWA",
+    "MinPowersetCWA",
+    "PowersetCWA",
+    "get_semantics",
+    "__version__",
+]

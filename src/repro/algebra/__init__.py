@@ -1,0 +1,6 @@
+"""Relational algebra and conjunctive-query machinery."""
+
+from repro.algebra.cq import CQ, UCQ
+from repro.algebra.ops import Relation, from_instance, to_instance
+
+__all__ = ["CQ", "UCQ", "Relation", "from_instance", "to_instance"]

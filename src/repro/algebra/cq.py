@@ -1,0 +1,244 @@
+"""Conjunctive queries and unions of conjunctive queries as first-class data.
+
+UCQs (= the ``∃Pos`` fragment, Fact 1) are the class for which naive
+evaluation works under *every* semantics in the paper, so they deserve a
+direct representation with:
+
+* join-style evaluation by binding search (no formula interpreter),
+* translation to/from the logic layer,
+* the canonical ("frozen") database, Chandra–Merlin containment via
+  homomorphisms, and minimisation via cores — tying the CQ machinery to
+  the same homomorphism engine that powers the semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from repro.data.instance import Instance
+from repro.data.values import Null
+from repro.homs.core import core as core_of
+from repro.homs.search import find_homomorphism
+from repro.logic.ast import And, EqAtom, Exists, Formula, Or, RelAtom, Var
+
+__all__ = ["CQ", "UCQ"]
+
+Term = Hashable  # Var for variables, anything else a constant
+
+
+@dataclass(frozen=True)
+class CQ:
+    """A conjunctive query ``head(x̄) :- body``.
+
+    ``head`` lists answer terms (usually variables); ``body`` is a tuple
+    of ``(relation, terms)`` atoms.  Boolean CQs have an empty head.
+    """
+
+    head: tuple[Term, ...]
+    body: tuple[tuple[str, tuple[Term, ...]], ...]
+
+    def __post_init__(self):
+        body_vars = {t for _, terms in self.body for t in terms if isinstance(t, Var)}
+        head_vars = {t for t in self.head if isinstance(t, Var)}
+        if not head_vars <= body_vars:
+            loose = ", ".join(sorted(v.name for v in head_vars - body_vars))
+            raise ValueError(f"head variables must occur in the body (unsafe: {loose})")
+        if not self.body:
+            raise ValueError("a CQ needs at least one body atom")
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def iter_answers(self, instance: Instance) -> Iterator[tuple[Hashable, ...]]:
+        """All head images under bindings satisfying the body (naive equality)."""
+        atoms = sorted(self.body, key=lambda a: len(instance.tuples(a[0])))
+
+        def extend(index: int, binding: dict[Var, Hashable]) -> Iterator[dict]:
+            if index == len(atoms):
+                yield binding
+                return
+            name, terms = atoms[index]
+            for row in instance.tuples(name):
+                extension: dict[Var, Hashable] = {}
+                ok = True
+                for term, value in zip(terms, row):
+                    if isinstance(term, Var):
+                        bound = binding.get(term, extension.get(term))
+                        if bound is None:
+                            extension[term] = value
+                        elif bound != value:
+                            ok = False
+                            break
+                    elif term != value:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                binding.update(extension)
+                yield from extend(index + 1, binding)
+                for key in extension:
+                    del binding[key]
+
+        seen: set[tuple] = set()
+        for binding in extend(0, {}):
+            row = tuple(binding[t] if isinstance(t, Var) else t for t in self.head)
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    def answers(self, instance: Instance) -> frozenset[tuple[Hashable, ...]]:
+        """The evaluated answer set (stage one of naive evaluation)."""
+        return frozenset(self.iter_answers(instance))
+
+    def holds(self, instance: Instance) -> bool:
+        """Boolean reading: does some binding satisfy the body?"""
+        for _ in self.iter_answers(instance):
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # logic translation
+    # ------------------------------------------------------------------
+
+    def to_formula(self) -> Formula:
+        """The ``∃Pos`` formula: existentially close the non-head variables."""
+        conjuncts: tuple[Formula, ...] = tuple(
+            RelAtom(name, terms) for name, terms in self.body
+        )
+        matrix = conjuncts[0] if len(conjuncts) == 1 else And(conjuncts)
+        bound = sorted(
+            {t for _, terms in self.body for t in terms if isinstance(t, Var)}
+            - {t for t in self.head if isinstance(t, Var)},
+            key=lambda v: v.name,
+        )
+        return Exists(tuple(bound), matrix) if bound else matrix
+
+    @classmethod
+    def from_formula(cls, formula: Formula, head: tuple[Term, ...]) -> "CQ":
+        """Parse a purely conjunctive ``∃Pos`` formula into a CQ.
+
+        Accepts nested ``Exists``/``And`` over relational atoms (no
+        disjunction — use :class:`UCQ` for those, no equality atoms).
+        """
+        atoms: list[tuple[str, tuple[Term, ...]]] = []
+
+        def walk(phi: Formula) -> None:
+            if isinstance(phi, Exists):
+                walk(phi.sub)
+            elif isinstance(phi, And):
+                for sub in phi.subs:
+                    walk(sub)
+            elif isinstance(phi, RelAtom):
+                atoms.append((phi.name, phi.terms))
+            elif isinstance(phi, EqAtom):
+                raise ValueError("equality atoms are not supported in CQ.from_formula")
+            else:
+                raise ValueError(f"not a conjunctive formula: {phi!r}")
+
+        walk(formula)
+        return cls(tuple(head), tuple(atoms))
+
+    # ------------------------------------------------------------------
+    # canonical database, containment, minimisation
+    # ------------------------------------------------------------------
+
+    def canonical_instance(self) -> tuple[Instance, dict[Var, Null]]:
+        """The frozen body: variables become nulls, constants stay.
+
+        Returns the instance and the variable → null mapping, the basis
+        of Chandra–Merlin containment and of CQ minimisation.
+        """
+        freeze = {
+            t: Null(f"v_{t.name}")
+            for _, terms in self.body
+            for t in terms
+            if isinstance(t, Var)
+        }
+        rels: dict[str, set[tuple]] = {}
+        for name, terms in self.body:
+            row = tuple(freeze[t] if isinstance(t, Var) else t for t in terms)
+            rels.setdefault(name, set()).add(row)
+        return Instance(rels), freeze
+
+    def contained_in(self, other: "CQ") -> bool:
+        """Chandra–Merlin: ``self ⊆ other`` iff a homomorphism maps
+        ``other``'s frozen body to ``self``'s, preserving the head."""
+        if len(self.head) != len(other.head):
+            raise ValueError("containment needs queries of equal arity")
+        mine, my_freeze = self.canonical_instance()
+        theirs, their_freeze = other.canonical_instance()
+        pinned = {}
+        for mine_term, their_term in zip(self.head, other.head):
+            their_value = their_freeze.get(their_term, their_term)
+            my_value = my_freeze.get(mine_term, mine_term)
+            if their_value in pinned and pinned[their_value] != my_value:
+                return False
+            pinned[their_value] = my_value
+        hom = find_homomorphism(theirs, mine, fix_constants=True, pinned=pinned)
+        return hom is not None
+
+    def equivalent_to(self, other: "CQ") -> bool:
+        """Mutual containment."""
+        return self.contained_in(other) and other.contained_in(self)
+
+    def minimize(self) -> "CQ":
+        """The classical CQ minimisation: the core of the frozen body.
+
+        Head variables are frozen as *distinct fresh constants* (so
+        database homomorphisms, which fix constants, cannot collapse or
+        move them), non-head variables as nulls; the core of that
+        instance read back is the minimal equivalent CQ.
+        """
+        head_vars = {t for t in self.head if isinstance(t, Var)}
+        freeze: dict[Var, Hashable] = {}
+        for _, terms in self.body:
+            for t in terms:
+                if isinstance(t, Var) and t not in freeze:
+                    freeze[t] = f"__hv_{t.name}" if t in head_vars else Null(f"v_{t.name}")
+        rels: dict[str, set[tuple]] = {}
+        for name, terms in self.body:
+            row = tuple(freeze[t] if isinstance(t, Var) else t for t in terms)
+            rels.setdefault(name, set()).add(row)
+        reduced = core_of(Instance(rels), fix_constants=True)
+        unfreeze = {value: var for var, value in freeze.items()}
+        body = tuple(
+            (name, tuple(unfreeze.get(v, v) for v in row))
+            for name, row in reduced.facts()
+        )
+        return CQ(self.head, body)
+
+
+@dataclass(frozen=True)
+class UCQ:
+    """A union of conjunctive queries (the ``∃Pos`` class, as data)."""
+
+    disjuncts: tuple[CQ, ...]
+
+    def __post_init__(self):
+        if not self.disjuncts:
+            raise ValueError("a UCQ needs at least one disjunct")
+        arities = {len(cq.head) for cq in self.disjuncts}
+        if len(arities) > 1:
+            raise ValueError(f"disjuncts have mixed arities {sorted(arities)}")
+
+    def answers(self, instance: Instance) -> frozenset[tuple[Hashable, ...]]:
+        out: frozenset[tuple[Hashable, ...]] = frozenset()
+        for cq in self.disjuncts:
+            out |= cq.answers(instance)
+        return out
+
+    def holds(self, instance: Instance) -> bool:
+        return any(cq.holds(instance) for cq in self.disjuncts)
+
+    def to_formula(self) -> Formula:
+        parts = tuple(cq.to_formula() for cq in self.disjuncts)
+        return parts[0] if len(parts) == 1 else Or(parts)
+
+    def contained_in(self, other: "UCQ") -> bool:
+        """UCQ containment: every disjunct contained in some disjunct."""
+        return all(
+            any(mine.contained_in(theirs) for theirs in other.disjuncts)
+            for mine in self.disjuncts
+        )

@@ -1,0 +1,143 @@
+"""Named-column relational algebra over instances.
+
+The introduction's motivating query is algebraic — ``π_AC(R ⋈ S)`` — so
+the library ships a small algebra layer.  Its equality is *syntactic*
+(nulls equal iff the same null), which is exactly the naive-evaluation
+convention: running an algebra plan over an incomplete instance performs
+stage one of naive evaluation for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable
+
+from repro.data.instance import Instance
+from repro.data.values import Null
+
+__all__ = ["Relation", "from_instance", "to_instance"]
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A named-column relation: schema ``columns``, body ``rows``.
+
+    Immutable; all operators return new relations.
+    """
+
+    columns: tuple[str, ...]
+    rows: frozenset[tuple[Hashable, ...]]
+
+    def __post_init__(self):
+        if len(set(self.columns)) != len(self.columns):
+            raise ValueError(f"duplicate column names in {self.columns}")
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ValueError(f"row {row!r} does not match columns {self.columns}")
+
+    # ------------------------------------------------------------------
+    # core operators
+    # ------------------------------------------------------------------
+
+    def select(self, predicate: Callable[[dict[str, Hashable]], bool]) -> "Relation":
+        """σ: keep rows whose column dict satisfies the predicate."""
+        kept = frozenset(
+            row for row in self.rows if predicate(dict(zip(self.columns, row)))
+        )
+        return Relation(self.columns, kept)
+
+    def select_eq(self, column: str, value: Hashable) -> "Relation":
+        """σ_{column = value} with naive (syntactic) equality."""
+        index = self._index(column)
+        return Relation(
+            self.columns, frozenset(row for row in self.rows if row[index] == value)
+        )
+
+    def project(self, columns: Iterable[str]) -> "Relation":
+        """π: restrict (and reorder) to the given columns."""
+        columns = tuple(columns)
+        indexes = [self._index(c) for c in columns]
+        return Relation(
+            columns, frozenset(tuple(row[i] for i in indexes) for row in self.rows)
+        )
+
+    def rename(self, mapping: dict[str, str]) -> "Relation":
+        """ρ: rename columns."""
+        renamed = tuple(mapping.get(c, c) for c in self.columns)
+        return Relation(renamed, self.rows)
+
+    def join(self, other: "Relation") -> "Relation":
+        """⋈: natural join on the shared column names (naive equality)."""
+        shared = [c for c in self.columns if c in other.columns]
+        extra = [c for c in other.columns if c not in self.columns]
+        out_columns = self.columns + tuple(extra)
+        other_shared_idx = [other._index(c) for c in shared]
+        other_extra_idx = [other._index(c) for c in extra]
+        self_shared_idx = [self._index(c) for c in shared]
+
+        by_key: dict[tuple, list[tuple]] = {}
+        for row in other.rows:
+            key = tuple(row[i] for i in other_shared_idx)
+            by_key.setdefault(key, []).append(row)
+
+        rows = set()
+        for row in self.rows:
+            key = tuple(row[i] for i in self_shared_idx)
+            for match in by_key.get(key, ()):
+                rows.add(row + tuple(match[i] for i in other_extra_idx))
+        return Relation(out_columns, frozenset(rows))
+
+    def union(self, other: "Relation") -> "Relation":
+        """∪: same columns required."""
+        if other.columns != self.columns:
+            raise ValueError(f"union needs identical schemas: {self.columns} vs {other.columns}")
+        return Relation(self.columns, self.rows | other.rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """−: same columns required; naive (syntactic) equality."""
+        if other.columns != self.columns:
+            raise ValueError(f"difference needs identical schemas: {self.columns} vs {other.columns}")
+        return Relation(self.columns, self.rows - other.rows)
+
+    def product(self, other: "Relation") -> "Relation":
+        """×: columns must be disjoint."""
+        overlap = set(self.columns) & set(other.columns)
+        if overlap:
+            raise ValueError(f"product needs disjoint columns; shared: {sorted(overlap)}")
+        rows = frozenset(a + b for a in self.rows for b in other.rows)
+        return Relation(self.columns + other.columns, rows)
+
+    def drop_null_rows(self) -> "Relation":
+        """Stage two of naive evaluation: discard rows containing nulls."""
+        return Relation(
+            self.columns,
+            frozenset(row for row in self.rows if not any(isinstance(v, Null) for v in row)),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _index(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise KeyError(f"no column {column!r} in {self.columns}") from None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(sorted(self.rows, key=repr))
+
+
+def from_instance(instance: Instance, name: str, columns: Iterable[str]) -> Relation:
+    """View one relation of an instance as a named-column relation."""
+    columns = tuple(columns)
+    tuples = instance.tuples(name)
+    if tuples and len(columns) != instance.arity(name):
+        raise ValueError(f"{name!r} has arity {instance.arity(name)}, got {len(columns)} columns")
+    return Relation(columns, frozenset(tuples))
+
+
+def to_instance(relation: Relation, name: str) -> Instance:
+    """Materialise a named-column relation as a one-relation instance."""
+    return Instance({name: relation.rows}) if relation.rows else Instance.empty()

@@ -1,0 +1,144 @@
+"""Command-line interface: analyze and evaluate queries over JSON instances.
+
+Instance files are JSON objects mapping relation names to lists of rows;
+a string cell starting with ``"?"`` denotes a marked null (``"?x"`` is
+the null ⊥x, repeatable across facts)::
+
+    {"R": [[1, "?x"], ["?y", "?z"]], "S": [["?x", 4]]}
+
+Usage::
+
+    python -m repro analyze  "exists z (R(x,z) & S(z,y))" --semantics owa
+    python -m repro evaluate "exists z (R(x,z) & S(z,y))" db.json --semantics cwa
+    python -m repro fragments "forall x . exists y . D(x,y)"
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Hashable
+
+from repro.core import analyze, evaluate
+from repro.core.analyzer import FIGURE_1
+from repro.data.instance import Instance
+from repro.data.values import Null
+from repro.logic.classes import classify
+from repro.logic.parser import parse
+from repro.logic.queries import Query
+from repro.logic.transform import free_vars
+
+__all__ = ["main", "instance_from_json", "instance_to_json"]
+
+
+def _decode_cell(cell) -> Hashable:
+    if isinstance(cell, str) and cell.startswith("?"):
+        return Null(cell[1:])
+    if isinstance(cell, list):
+        raise ValueError("nested lists are not valid cells")
+    return cell
+
+
+def instance_from_json(text: str) -> Instance:
+    """Parse the JSON instance format (see module docstring)."""
+    data = json.loads(text)
+    if not isinstance(data, dict):
+        raise ValueError("instance JSON must be an object of relation → rows")
+    rels = {
+        name: [tuple(_decode_cell(c) for c in row) for row in rows]
+        for name, rows in data.items()
+    }
+    return Instance(rels)
+
+
+def instance_to_json(instance: Instance) -> str:
+    """Render an instance back into the JSON format."""
+    data = {
+        name: [
+            ["?" + v.label if isinstance(v, Null) else v for v in row]
+            for row in sorted(instance.tuples(name), key=repr)
+        ]
+        for name in instance.relations
+    }
+    return json.dumps(data, default=str)
+
+
+def _build_query(text: str) -> Query:
+    formula = parse(text)
+    head = tuple(sorted(free_vars(formula), key=lambda v: v.name))
+    return Query(formula, head, name="cli")
+
+
+def _cmd_analyze(args) -> int:
+    query = _build_query(args.query)
+    keys = [args.semantics] if args.semantics else sorted(FIGURE_1)
+    for key in keys:
+        verdict = analyze(query, key)
+        flag = "SOUND" if verdict.sound else "not sound"
+        extra = " (over cores)" if verdict.over_cores_only else ""
+        print(f"{key:>8}: naive evaluation {flag}{extra}")
+        print(f"          {verdict.reason}")
+    return 0
+
+
+def _cmd_fragments(args) -> int:
+    query = _build_query(args.query)
+    got = classify(query.formula)
+    print(f"query: {query.formula!r}")
+    print("fragments:", ", ".join(got))
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    query = _build_query(args.query)
+    with open(args.instance, encoding="utf-8") as handle:
+        instance = instance_from_json(handle.read())
+    result = evaluate(query, instance, semantics=args.semantics, mode=args.mode)
+    if query.is_boolean:
+        print(f"certain answer: {result.holds}")
+    else:
+        head = ", ".join(v.name for v in query.answer_vars)
+        print(f"certain answers ({head}):")
+        for row in sorted(result.answers, key=repr):
+            print("  " + ", ".join(map(repr, row)))
+        if not result.answers:
+            print("  (none)")
+    status = "exact" if result.exact else f"approximate ({result.direction})"
+    print(f"method: {result.method}  [{status}]")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Naive evaluation and certain answers over incomplete databases",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="is naive evaluation sound for this query?")
+    p_analyze.add_argument("query", help="FO query text")
+    p_analyze.add_argument("--semantics", choices=sorted(FIGURE_1), default=None)
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_frag = sub.add_parser("fragments", help="which syntactic fragments contain the query")
+    p_frag.add_argument("query")
+    p_frag.set_defaults(func=_cmd_fragments)
+
+    p_eval = sub.add_parser("evaluate", help="compute certain answers over a JSON instance")
+    p_eval.add_argument("query")
+    p_eval.add_argument("instance", help="path to the JSON instance file")
+    p_eval.add_argument("--semantics", choices=sorted(FIGURE_1), default="cwa")
+    p_eval.add_argument("--mode", choices=["auto", "naive", "enumeration"], default="auto")
+    p_eval.set_defaults(func=_cmd_evaluate)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

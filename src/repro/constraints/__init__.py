@@ -1,0 +1,13 @@
+"""Integrity constraints and their effect on certain answers (Section 12)."""
+
+from repro.constraints.deps import FunctionalDependency, Key, satisfies, violations
+from repro.constraints.semantics import ConstrainedSemantics, certain_answers_under
+
+__all__ = [
+    "FunctionalDependency",
+    "Key",
+    "satisfies",
+    "violations",
+    "ConstrainedSemantics",
+    "certain_answers_under",
+]

@@ -1,0 +1,79 @@
+"""Functional dependencies and keys over instances.
+
+The paper's "impact of constraints" discussion (Section 12) notes that
+keys and foreign keys change which answers are certain — constraints
+shrink ``[[D]]`` to the worlds satisfying them, which can only *grow*
+the certain answers.  This module provides the constraint vocabulary;
+:mod:`repro.constraints.semantics` wires it into any base semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.data.instance import Instance
+
+__all__ = ["FunctionalDependency", "Key", "satisfies", "violations"]
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """``relation: lhs → rhs`` over attribute *positions* (0-based)."""
+
+    relation: str
+    lhs: tuple[int, ...]
+    rhs: tuple[int, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "lhs", tuple(self.lhs))
+        object.__setattr__(self, "rhs", tuple(self.rhs))
+        if not self.rhs:
+            raise ValueError("an FD needs at least one right-hand position")
+        if set(self.lhs) & set(self.rhs):
+            raise ValueError("lhs and rhs positions must be disjoint")
+
+    def holds_in(self, instance: Instance) -> bool:
+        return next(self.violations_in(instance), None) is None
+
+    def violations_in(self, instance: Instance) -> Iterator[tuple[tuple, tuple]]:
+        """Pairs of tuples agreeing on lhs but not rhs (syntactic equality)."""
+        by_key: dict[tuple, list[tuple]] = {}
+        for row in instance.tuples(self.relation):
+            key = tuple(row[i] for i in self.lhs)
+            by_key.setdefault(key, []).append(row)
+        for rows in by_key.values():
+            for i, a in enumerate(rows):
+                for b in rows[i + 1 :]:
+                    if any(a[j] != b[j] for j in self.rhs):
+                        yield a, b
+
+    def __repr__(self) -> str:
+        lhs = ",".join(map(str, self.lhs)) or "∅"
+        rhs = ",".join(map(str, self.rhs))
+        return f"FD[{self.relation}: {lhs} → {rhs}]"
+
+
+def Key(relation: str, positions: Iterable[int], arity: int) -> FunctionalDependency:
+    """A key: the positions determine all the others."""
+    positions = tuple(positions)
+    rest = tuple(i for i in range(arity) if i not in positions)
+    if not rest:
+        raise ValueError("a key over all positions constrains nothing")
+    return FunctionalDependency(relation, positions, rest)
+
+
+def satisfies(instance: Instance, constraints: Iterable[FunctionalDependency]) -> bool:
+    """Does the instance satisfy every constraint (syntactic equality)?"""
+    return all(fd.holds_in(instance) for fd in constraints)
+
+
+def violations(
+    instance: Instance, constraints: Iterable[FunctionalDependency]
+) -> list[tuple[FunctionalDependency, tuple, tuple]]:
+    """All constraint violations, for diagnostics."""
+    out = []
+    for fd in constraints:
+        for a, b in fd.violations_in(instance):
+            out.append((fd, a, b))
+    return out

@@ -1,0 +1,113 @@
+"""The query analyzer: Figure 1 as an executable policy.
+
+Given a query and a semantics, decide *syntactically* whether naive
+evaluation is guaranteed to compute certain answers, quoting the paper's
+result that justifies the verdict.  This is the practical payoff of the
+paper: a planner can route a query to the ordinary evaluation engine
+whenever the analyzer says yes, and only fall back to expensive
+certain-answer computation otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.logic.classes import in_fragment, why_not_in
+from repro.logic.queries import Query
+from repro.semantics.base import Semantics
+
+__all__ = ["Verdict", "analyze", "FIGURE_1"]
+
+#: Figure 1 of the paper: semantics key → (sound fragment, restriction, citation).
+FIGURE_1 = {
+    "owa": ("EPos", None, "Imielinski & Lipski 1984; optimal by Libkin 2011 / Rossman 2008"),
+    "wcwa": ("Pos", None, "Theorem 5.2 via Lyndon-style preservation under onto homomorphisms"),
+    "cwa": ("PosForallG", None, "Theorem 5.2 via preservation under strong onto homomorphisms (Prop. 5.1)"),
+    "pcwa": ("EPosForallGBool", None, "Corollary 7.9 via unions of strong onto homomorphisms (Lemma 7.8)"),
+    "mincwa": ("PosForallG", "cores", "Corollary 10.12; in general needs Q(D) = Q(core(D)) (Cor. 10.6)"),
+    "minpcwa": ("EPosForallGBool", "cores", "Corollary 10.12; in general needs Q(D) = Q(core(D)) (Cor. 10.6)"),
+}
+
+_FRAGMENT_PRETTY = {
+    "EPos": "∃Pos (unions of conjunctive queries)",
+    "Pos": "Pos (positive formulae)",
+    "PosForallG": "Pos+∀G (positive with universal guards)",
+    "EPosForallGBool": "∃Pos+∀G_bool (existential positive with Boolean guards)",
+}
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The analyzer's decision for one (query, semantics) pair."""
+
+    #: naive evaluation is provably sound and complete for certain answers
+    sound: bool
+    #: ... but only when the input instance is a core (minimal semantics)
+    over_cores_only: bool
+    #: naive 'true'/answers are still certain even when not complete
+    #: (weak monotonicity holds; Prop. 10.13 for minimal semantics)
+    approximation: bool
+    #: the fragment that was tested
+    fragment: str
+    #: semantics key
+    semantics: str
+    #: human-readable justification
+    reason: str
+
+    def __bool__(self) -> bool:
+        return self.sound
+
+
+def analyze(query: Query, semantics: Semantics | str) -> Verdict:
+    """Decide whether naive evaluation computes certain answers for ``query``.
+
+    The decision is *syntactic* (fragment membership), hence sound but
+    not complete: a query logically equivalent to one in the fragment
+    but written outside it gets a negative verdict.  Under OWA and for
+    Boolean queries the fragment is also semantically optimal
+    ([Libkin 2011]): naive evaluation works iff the query is equivalent
+    to a union of conjunctive queries.
+    """
+    key = semantics if isinstance(semantics, str) else semantics.key
+    if key not in FIGURE_1:
+        raise ValueError(f"unknown semantics {key!r}; expected one of {sorted(FIGURE_1)}")
+    fragment, restriction, citation = FIGURE_1[key]
+    pretty = _FRAGMENT_PRETTY[fragment]
+
+    if in_fragment(query.formula, fragment):
+        if restriction == "cores":
+            return Verdict(
+                sound=True,
+                over_cores_only=True,
+                approximation=True,
+                fragment=fragment,
+                semantics=key,
+                reason=(
+                    f"query is in {pretty}; naive evaluation computes certain answers "
+                    f"over cores, and is a sound approximation elsewhere ({citation})"
+                ),
+            )
+        return Verdict(
+            sound=True,
+            over_cores_only=False,
+            approximation=True,
+            fragment=fragment,
+            semantics=key,
+            reason=f"query is in {pretty}; naive evaluation computes certain answers ({citation})",
+        )
+
+    reason = why_not_in(query.formula, fragment) or "outside the fragment"
+    extra = ""
+    if key == "owa" and query.is_boolean:
+        extra = (
+            " — for Boolean FO under OWA this is tight: naive evaluation works "
+            "iff the query is equivalent to a union of conjunctive queries"
+        )
+    return Verdict(
+        sound=False,
+        over_cores_only=False,
+        approximation=False,
+        fragment=fragment,
+        semantics=key,
+        reason=f"not syntactically in {pretty}: {reason}{extra}",
+    )

@@ -1,0 +1,107 @@
+"""The evaluation engine: naive when provably sound, enumeration otherwise.
+
+This is the library's front door.  :func:`evaluate` consults the
+analyzer (Figure 1), runs naive evaluation when the paper guarantees it
+computes certain answers, and otherwise falls back to the bounded
+certain-answer oracle — reporting which route was taken and how reliable
+the result is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.data.instance import Instance
+from repro.homs.core import is_core
+from repro.logic.queries import Query
+from repro.core.analyzer import Verdict, analyze
+from repro.core.certain import certain_answers
+from repro.core.naive import naive_eval
+from repro.semantics import get_semantics
+from repro.semantics.base import Semantics
+
+__all__ = ["EvalResult", "evaluate"]
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Outcome of an engine evaluation."""
+
+    #: the computed answers (null-free tuples; ``{()}`` = Boolean true)
+    answers: frozenset[tuple[Hashable, ...]]
+    #: how they were computed: "naive" or "enumeration"
+    method: str
+    #: True when the result provably equals the certain answers
+    exact: bool
+    #: for inexact results, the guaranteed containment direction:
+    #: "subset" (answers ⊆ certain), "superset", or "" when exact
+    direction: str
+    #: the analyzer's verdict that routed the evaluation
+    verdict: Verdict
+
+    @property
+    def holds(self) -> bool:
+        """Boolean reading: is the certain answer 'true'?"""
+        return bool(self.answers)
+
+    def __repr__(self) -> str:
+        status = "exact" if self.exact else f"approx({self.direction})"
+        return f"EvalResult({set(self.answers)!r}, method={self.method}, {status})"
+
+
+def evaluate(
+    query: Query,
+    instance: Instance,
+    semantics: Semantics | str = "cwa",
+    mode: str = "auto",
+    pool: Sequence[Hashable] | None = None,
+    extra_facts: int | None = None,
+    limit: int = 500_000,
+) -> EvalResult:
+    """Compute certain answers to ``query`` on ``instance`` under ``semantics``.
+
+    ``mode``:
+
+    * ``"auto"`` — naive evaluation when the analyzer proves it sound
+      (checking the core condition for the minimal semantics),
+      otherwise bounded enumeration;
+    * ``"naive"`` — force naive evaluation (the result is then certain
+      only when the verdict says so);
+    * ``"enumeration"`` — force the bounded certain-answer oracle.
+
+    Exactness accounting: naive evaluation under a positive verdict is
+    exact; enumeration is exact for all CWA-flavoured semantics and an
+    over-approximation (``certain ⊆ answers`` direction ``superset``)
+    under OWA, whose extensions are truncated at ``extra_facts``; naive
+    evaluation under a *negative-but-approximation* verdict (minimal
+    semantics off-core, Prop. 10.13) is a subset of the certain answers.
+    """
+    sem = get_semantics(semantics) if isinstance(semantics, str) else semantics
+    verdict = analyze(query, sem)
+
+    if mode not in ("auto", "naive", "enumeration"):
+        raise ValueError(f"unknown mode {mode!r}")
+
+    use_naive: bool
+    if mode == "naive":
+        use_naive = True
+    elif mode == "enumeration":
+        use_naive = False
+    else:
+        use_naive = verdict.sound and (
+            not verdict.over_cores_only or is_core(instance)
+        )
+
+    if use_naive:
+        answers = naive_eval(query, instance)
+        exact = verdict.sound and (not verdict.over_cores_only or is_core(instance))
+        direction = "" if exact else ("subset" if verdict.approximation else "unknown")
+        return EvalResult(answers, "naive", exact, direction, verdict)
+
+    answers = certain_answers(
+        query, instance, sem, pool=pool, extra_facts=extra_facts, limit=limit
+    )
+    exact = sem.enumeration_exact(extra_facts)
+    direction = "" if exact else "superset"
+    return EvalResult(answers, "enumeration", exact, direction, verdict)

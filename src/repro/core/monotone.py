@@ -1,0 +1,124 @@
+"""Empirical checkers for (weak) monotonicity and homomorphism preservation.
+
+The paper's main equivalences (Theorems 3.1, 4.8; Lemmas 8.1, 11.1) link
+naive evaluation, weak monotonicity and preservation under the
+semantics' homomorphism class.  These checkers validate instances of
+those equivalences on concrete corpora — they *search for
+counterexamples* and report the first one found, so a ``None`` result
+means "no counterexample in the corpus", not a proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from repro.data.instance import Instance
+from repro.homs.minimal import is_d_minimal
+from repro.homs.search import iter_homomorphisms
+from repro.logic.queries import Query
+from repro.core.certain import default_pool, query_schema
+from repro.core.naive import naive_eval
+from repro.semantics.base import Semantics
+
+__all__ = [
+    "Counterexample",
+    "weak_monotonicity_counterexample",
+    "preservation_counterexample",
+    "HOM_CLASSES",
+]
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A witness that a property fails: the instances and the lost answer."""
+
+    source: Instance
+    target: Instance
+    lost: tuple[Hashable, ...]
+    detail: str = ""
+
+    def __repr__(self) -> str:
+        return (
+            f"Counterexample(lost {self.lost!r} going from {self.source!r} "
+            f"to {self.target!r}{'; ' + self.detail if self.detail else ''})"
+        )
+
+
+def weak_monotonicity_counterexample(
+    query: Query,
+    instances: Iterable[Instance],
+    semantics: Semantics,
+    extra_facts: int | None = 1,
+    limit: int = 200_000,
+) -> Counterexample | None:
+    """Search ``y ∈ [[x]]`` pairs violating ``Q^C(x) ⊆ Q^C(y)``.
+
+    This is the k-ary weak monotonicity of Section 8 (for Boolean
+    queries it degenerates to ``Q(x) ≤ Q(y)``).
+    """
+    for instance in instances:
+        held = naive_eval(query, instance)
+        if not held:
+            continue
+        pool = default_pool(instance, query)
+        schema = instance.schema().union(query_schema(query))
+        for complete in semantics.expand(
+            instance, pool, schema=schema, extra_facts=extra_facts, limit=limit
+        ):
+            there = query.eval_raw(complete)
+            missing = held - there
+            if missing:
+                return Counterexample(
+                    instance, complete, next(iter(missing)),
+                    detail=f"under {semantics.notation}",
+                )
+    return None
+
+
+def _iter_class_homs(source: Instance, target: Instance, hom_class: str):
+    """Enumerate the homomorphisms of the named class between complete instances."""
+    if hom_class == "hom":
+        yield from iter_homomorphisms(source, target, fix_constants=True)
+    elif hom_class == "onto":
+        yield from iter_homomorphisms(source, target, fix_constants=True, onto=True)
+    elif hom_class == "strong_onto":
+        yield from iter_homomorphisms(source, target, fix_constants=True, strong_onto=True)
+    elif hom_class == "minimal":
+        for hom in iter_homomorphisms(source, target, fix_constants=True, strong_onto=True):
+            if is_d_minimal(source, hom, mode="mapping"):
+                yield hom
+    else:
+        raise ValueError(f"unknown homomorphism class {hom_class!r}")
+
+
+#: classes accepted by :func:`preservation_counterexample`, as in Cor. 4.9 / Prop. 10.7
+HOM_CLASSES = ("hom", "onto", "strong_onto", "minimal")
+
+
+def preservation_counterexample(
+    query: Query,
+    pairs: Iterable[tuple[Instance, Instance]],
+    hom_class: str,
+) -> Counterexample | None:
+    """Search instance pairs and homs of the class violating preservation.
+
+    Uses the *weak preservation* notion of Sections 8/11 for k-ary
+    queries: the homomorphism must be the identity on the answer tuple.
+    """
+    if hom_class not in HOM_CLASSES:
+        raise ValueError(f"unknown homomorphism class {hom_class!r}; expected one of {HOM_CLASSES}")
+    for source, target in pairs:
+        held = naive_eval(query, source)
+        if not held:
+            continue
+        for hom in _iter_class_homs(source, target, hom_class):
+            there = query.eval_raw(target)
+            for row in held:
+                if any(hom.get(v, v) != v for v in row):
+                    continue  # weak preservation only constrains fixed tuples
+                if row not in there:
+                    return Counterexample(
+                        source, target, row, detail=f"under {hom_class} homomorphism {hom}"
+                    )
+    return None

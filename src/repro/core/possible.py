@@ -1,0 +1,71 @@
+"""Possible answers: the dual of certain answers.
+
+[Imielinski & Lipski 1984] pair certain answers (true in *every*
+possible world) with possible answers (true in *some* world):
+
+``possible(Q, D) = ⋃ { Q(E) | E ∈ [[D]] }``.
+
+Always ``certain ⊆ possible``.  The same pool-bounded enumeration
+applies, with the approximation direction flipped for OWA: truncating
+extensions makes the union an *under*-approximation, so every reported
+possible answer is genuinely possible.
+
+For k-ary queries the union may mention pool-fresh constants; by
+genericity those stand for "any fresh value", and the
+``drop_fresh`` switch (default on) removes them so results only mention
+values from the instance and query.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.core.certain import default_pool, query_schema
+from repro.data.instance import Instance
+from repro.logic.queries import Query
+from repro.semantics.base import Semantics
+
+__all__ = ["possible_answers", "possible_holds"]
+
+
+def possible_answers(
+    query: Query,
+    instance: Instance,
+    semantics: Semantics,
+    pool: Sequence[Hashable] | None = None,
+    extra_facts: int | None = None,
+    limit: int = 500_000,
+    drop_fresh: bool = True,
+) -> frozenset[tuple[Hashable, ...]]:
+    """``⋃ { Q(E) : E ∈ [[instance]] }`` over the (defaulted) pool."""
+    own_pool = pool is None
+    if pool is None:
+        pool = default_pool(instance, query)
+    schema = instance.schema().union(query_schema(query))
+    result: set[tuple[Hashable, ...]] = set()
+    for complete in semantics.expand(
+        instance, list(pool), schema=schema, extra_facts=extra_facts, limit=limit
+    ):
+        result |= query.eval_raw(complete)
+        if query.is_boolean and result:
+            break
+    if drop_fresh and own_pool and not query.is_boolean:
+        anchored = set(instance.adom()) | set(query.constants())
+        result = {row for row in result if all(v in anchored for v in row)}
+    return frozenset(result)
+
+
+def possible_holds(
+    query: Query,
+    instance: Instance,
+    semantics: Semantics,
+    pool: Sequence[Hashable] | None = None,
+    extra_facts: int | None = None,
+    limit: int = 500_000,
+) -> bool:
+    """Possible truth of a Boolean query: true in some world."""
+    if not query.is_boolean:
+        raise ValueError(f"query {query.name!r} is {query.arity}-ary; use possible_answers()")
+    return bool(
+        possible_answers(query, instance, semantics, pool, extra_facts, limit)
+    )

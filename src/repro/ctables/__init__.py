@@ -1,0 +1,43 @@
+"""Conditional tables (Imielinski & Lipski 1984): the general representation system."""
+
+from repro.ctables.algebra import difference, join, project, rename, select_eq, union
+from repro.ctables.conditions import (
+    CAnd,
+    CEq,
+    CFalse,
+    CNot,
+    COr,
+    CTrue,
+    Condition,
+    FALSE_C,
+    TRUE_C,
+    cand,
+    ceq,
+    cneq,
+    cor,
+)
+from repro.ctables.table import CFact, CInstance
+
+__all__ = [
+    "difference",
+    "join",
+    "project",
+    "rename",
+    "select_eq",
+    "union",
+    "CAnd",
+    "CEq",
+    "CFalse",
+    "CNot",
+    "COr",
+    "CTrue",
+    "Condition",
+    "FALSE_C",
+    "TRUE_C",
+    "cand",
+    "ceq",
+    "cneq",
+    "cor",
+    "CFact",
+    "CInstance",
+]

@@ -1,0 +1,118 @@
+"""Relational algebra on conditional tables: the strong representation system.
+
+The theorem of [Imielinski & Lipski 1984] that frames the whole paper:
+c-tables can represent the result of *any* relational-algebra query,
+i.e. ``rep(Q(T)) = {Q(E) | E ∈ rep(T)}``.  This module implements the
+construction for selection, projection, natural-like join, union,
+renaming and difference; the tests validate the strong-representation
+equation against brute-force world enumeration.
+
+Operations act on the facts of a single relation inside a
+:class:`~repro.ctables.table.CInstance` and return a new conditional
+relation under a chosen name.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.ctables.conditions import cand, ceq, cneq, cor
+from repro.ctables.table import CFact, CInstance
+
+__all__ = [
+    "select_eq",
+    "project",
+    "join",
+    "union",
+    "rename",
+    "difference",
+]
+
+
+def _facts_of(table: CInstance, relation: str) -> list[CFact]:
+    return [f for f in table.facts if f.relation == relation]
+
+
+def _with_relation(table: CInstance, facts: list[CFact]) -> CInstance:
+    return CInstance(tuple(facts), table.global_condition)
+
+
+def select_eq(table: CInstance, relation: str, position: int, value: Hashable, out: str) -> CInstance:
+    """``σ_{#position = value}``: the condition absorbs the comparison.
+
+    A row whose cell is a null is *kept conditionally*: its condition
+    gains the equality ``cell = value``.
+    """
+    facts = []
+    for fact in _facts_of(table, relation):
+        condition = cand(fact.condition, ceq(fact.row[position], value))
+        facts.append(CFact(out, fact.row, condition))
+    return _with_relation(table, facts)
+
+
+def project(table: CInstance, relation: str, positions: Sequence[int], out: str) -> CInstance:
+    """``π``: keep the chosen positions; conditions ride along, merged by ∨."""
+    by_row: dict[tuple, list] = {}
+    for fact in _facts_of(table, relation):
+        row = tuple(fact.row[i] for i in positions)
+        by_row.setdefault(row, []).append(fact.condition)
+    facts = [CFact(out, row, cor(*conds)) for row, conds in sorted(by_row.items(), key=lambda kv: repr(kv[0]))]
+    return _with_relation(table, facts)
+
+
+def join(
+    table: CInstance,
+    left: str,
+    right: str,
+    on: Sequence[tuple[int, int]],
+    out: str,
+) -> CInstance:
+    """Equi-join: output rows pair left/right rows; the join predicate
+    becomes equalities in the condition (so null joins stay symbolic)."""
+    facts = []
+    for lf in _facts_of(table, left):
+        for rf in _facts_of(table, right):
+            condition = cand(
+                lf.condition,
+                rf.condition,
+                *(ceq(lf.row[i], rf.row[j]) for i, j in on),
+            )
+            facts.append(CFact(out, lf.row + rf.row, condition))
+    return _with_relation(table, facts)
+
+
+def union(table: CInstance, left: str, right: str, out: str) -> CInstance:
+    """``∪``: all facts of both relations under the output name."""
+    facts = [CFact(out, f.row, f.condition) for f in _facts_of(table, left)]
+    facts += [CFact(out, f.row, f.condition) for f in _facts_of(table, right)]
+    return _with_relation(table, facts)
+
+
+def rename(table: CInstance, relation: str, out: str) -> CInstance:
+    """``ρ``: change the relation name."""
+    facts = [CFact(out, f.row, f.condition) for f in _facts_of(table, relation)]
+    return _with_relation(table, facts)
+
+
+def difference(table: CInstance, left: str, right: str, out: str) -> CInstance:
+    """``−``: the classic c-table construction.
+
+    A left row survives iff its own condition holds and, for every right
+    row, either that row's condition fails or the tuples differ in some
+    position — expressed symbolically with negated equalities.
+    """
+    left_facts = _facts_of(table, left)
+    right_facts = _facts_of(table, right)
+    facts = []
+    for lf in left_facts:
+        blockers = []
+        for rf in right_facts:
+            if len(rf.row) != len(lf.row):
+                raise ValueError("difference requires equal arities")
+            tuples_differ = cor(
+                *(cneq(a, b) for a, b in zip(lf.row, rf.row))
+            )
+            blockers.append(cor(~rf.condition, tuples_differ))
+        condition = cand(lf.condition, *blockers)
+        facts.append(CFact(out, lf.row, condition))
+    return _with_relation(table, facts)

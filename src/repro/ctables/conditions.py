@@ -1,0 +1,237 @@
+"""Conditions for conditional tables: propositional formulas over equalities.
+
+Conditional tables [Imielinski & Lipski 1984] — the paper's Section 12
+points to them as the representation system where constraints and
+higher-complexity query answering live — attach to each tuple a
+condition built from (in)equalities over nulls and constants.  A
+valuation satisfies a condition in the obvious way; a tuple is present
+in the represented world iff its condition holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from repro.data.values import Null
+
+__all__ = [
+    "Condition",
+    "CTrue",
+    "CFalse",
+    "CEq",
+    "CAnd",
+    "COr",
+    "CNot",
+    "TRUE_C",
+    "FALSE_C",
+    "ceq",
+    "cneq",
+    "cand",
+    "cor",
+]
+
+
+class Condition:
+    """Base class; subclasses are frozen dataclasses with ``satisfied``."""
+
+    __slots__ = ()
+
+    def satisfied(self, valuation: Mapping[Null, Hashable]) -> bool:
+        """Truth under a valuation (nulls not in the mapping stay themselves)."""
+        raise NotImplementedError
+
+    def nulls(self) -> frozenset[Null]:
+        """The nulls mentioned by the condition."""
+        raise NotImplementedError
+
+    def constants(self) -> frozenset[Hashable]:
+        """The constants mentioned by the condition."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return cand(self, other)
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return cor(self, other)
+
+    def __invert__(self) -> "Condition":
+        return CNot(self)
+
+
+def _resolve(term: Hashable, valuation: Mapping[Null, Hashable]) -> Hashable:
+    if isinstance(term, Null):
+        return valuation.get(term, term)
+    return term
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class CTrue(Condition):
+    def satisfied(self, valuation) -> bool:
+        return True
+
+    def nulls(self) -> frozenset[Null]:
+        return frozenset()
+
+    def constants(self) -> frozenset[Hashable]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "⊤"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class CFalse(Condition):
+    def satisfied(self, valuation) -> bool:
+        return False
+
+    def nulls(self) -> frozenset[Null]:
+        return frozenset()
+
+    def constants(self) -> frozenset[Hashable]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "⊥cond"
+
+
+TRUE_C = CTrue()
+FALSE_C = CFalse()
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class CEq(Condition):
+    """Equality between two terms (nulls or constants)."""
+
+    left: Hashable
+    right: Hashable
+
+    def satisfied(self, valuation) -> bool:
+        return _resolve(self.left, valuation) == _resolve(self.right, valuation)
+
+    def nulls(self) -> frozenset[Null]:
+        return frozenset(t for t in (self.left, self.right) if isinstance(t, Null))
+
+    def constants(self) -> frozenset[Hashable]:
+        return frozenset(t for t in (self.left, self.right) if not isinstance(t, Null))
+
+    def __repr__(self) -> str:
+        return f"{self.left!r}={self.right!r}"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class CAnd(Condition):
+    subs: tuple[Condition, ...]
+
+    def satisfied(self, valuation) -> bool:
+        return all(s.satisfied(valuation) for s in self.subs)
+
+    def nulls(self) -> frozenset[Null]:
+        out: frozenset[Null] = frozenset()
+        for s in self.subs:
+            out |= s.nulls()
+        return out
+
+    def constants(self) -> frozenset[Hashable]:
+        out: frozenset[Hashable] = frozenset()
+        for s in self.subs:
+            out |= s.constants()
+        return out
+
+    def __repr__(self) -> str:
+        return "(" + " ∧ ".join(map(repr, self.subs)) + ")"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class COr(Condition):
+    subs: tuple[Condition, ...]
+
+    def satisfied(self, valuation) -> bool:
+        return any(s.satisfied(valuation) for s in self.subs)
+
+    def nulls(self) -> frozenset[Null]:
+        out: frozenset[Null] = frozenset()
+        for s in self.subs:
+            out |= s.nulls()
+        return out
+
+    def constants(self) -> frozenset[Hashable]:
+        out: frozenset[Hashable] = frozenset()
+        for s in self.subs:
+            out |= s.constants()
+        return out
+
+    def __repr__(self) -> str:
+        return "(" + " ∨ ".join(map(repr, self.subs)) + ")"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class CNot(Condition):
+    sub: Condition
+
+    def satisfied(self, valuation) -> bool:
+        return not self.sub.satisfied(valuation)
+
+    def nulls(self) -> frozenset[Null]:
+        return self.sub.nulls()
+
+    def constants(self) -> frozenset[Hashable]:
+        return self.sub.constants()
+
+    def __repr__(self) -> str:
+        return f"¬{self.sub!r}"
+
+
+def ceq(left: Hashable, right: Hashable) -> Condition:
+    """Equality condition, constant-folded when both sides are constants."""
+    if not isinstance(left, Null) and not isinstance(right, Null):
+        return TRUE_C if left == right else FALSE_C
+    return CEq(left, right)
+
+
+def cneq(left: Hashable, right: Hashable) -> Condition:
+    """Inequality condition (``¬(left = right)``), constant-folded."""
+    eq = ceq(left, right)
+    if eq is TRUE_C:
+        return FALSE_C
+    if eq is FALSE_C:
+        return TRUE_C
+    return CNot(eq)
+
+
+def cand(*subs: Condition) -> Condition:
+    """Conjunction with unit/absorbing simplification."""
+    flat: list[Condition] = []
+    for sub in subs:
+        if isinstance(sub, CFalse):
+            return FALSE_C
+        if isinstance(sub, CTrue):
+            continue
+        if isinstance(sub, CAnd):
+            flat.extend(sub.subs)
+        else:
+            flat.append(sub)
+    if not flat:
+        return TRUE_C
+    if len(flat) == 1:
+        return flat[0]
+    return CAnd(tuple(flat))
+
+
+def cor(*subs: Condition) -> Condition:
+    """Disjunction with unit/absorbing simplification."""
+    flat: list[Condition] = []
+    for sub in subs:
+        if isinstance(sub, CTrue):
+            return TRUE_C
+        if isinstance(sub, CFalse):
+            continue
+        if isinstance(sub, COr):
+            flat.extend(sub.subs)
+        else:
+            flat.append(sub)
+    if not flat:
+        return FALSE_C
+    if len(flat) == 1:
+        return flat[0]
+    return COr(tuple(flat))

@@ -1,0 +1,177 @@
+"""Conditional instances and their possible-world semantics.
+
+A conditional instance (c-instance) attaches a condition to every fact
+and optionally a *global* condition; a valuation ``v`` produces the
+world consisting of ``v``-images of the facts whose conditions ``v``
+satisfies — the CWA semantics of c-tables [Imielinski & Lipski 1984].
+Naive databases are the special case where every condition is ``⊤``.
+
+C-tables are strictly more expressive: ``repro.ctables.algebra``
+implements the positive relational algebra plus difference on them,
+which is exactly what makes them a *strong representation system*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator, Mapping, Sequence
+
+from repro.data.instance import Instance
+from repro.data.values import Null, sort_key
+from repro.ctables.conditions import TRUE_C, Condition
+from repro.homs.search import iter_mappings
+
+__all__ = ["CFact", "CInstance"]
+
+
+@dataclass(frozen=True)
+class CFact:
+    """One conditional fact: relation, row, and presence condition."""
+
+    relation: str
+    row: tuple[Hashable, ...]
+    condition: Condition = TRUE_C
+
+    def __repr__(self) -> str:
+        body = ", ".join(map(repr, self.row))
+        if isinstance(self.condition, type(TRUE_C)):
+            return f"{self.relation}({body})"
+        return f"{self.relation}({body}) ← {self.condition!r}"
+
+
+@dataclass(frozen=True)
+class CInstance:
+    """An immutable conditional instance.
+
+    ``facts`` is a tuple of :class:`CFact`; ``global_condition``
+    restricts the admissible valuations.
+    """
+
+    facts: tuple[CFact, ...]
+    global_condition: Condition = TRUE_C
+
+    def __post_init__(self):
+        object.__setattr__(self, "facts", tuple(self.facts))
+        arities: dict[str, int] = {}
+        for fact in self.facts:
+            known = arities.setdefault(fact.relation, len(fact.row))
+            if known != len(fact.row):
+                raise ValueError(
+                    f"relation {fact.relation!r} used with arities {known} and {len(fact.row)}"
+                )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_instance(cls, instance: Instance) -> "CInstance":
+        """Lift a naive database: every condition is ``⊤``."""
+        return cls(tuple(CFact(name, row) for name, row in instance.facts()))
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    def nulls(self) -> frozenset[Null]:
+        """Nulls in rows, fact conditions, and the global condition."""
+        out: set[Null] = set(self.global_condition.nulls())
+        for fact in self.facts:
+            out.update(v for v in fact.row if isinstance(v, Null))
+            out.update(fact.condition.nulls())
+        return frozenset(out)
+
+    def constants(self) -> frozenset[Hashable]:
+        out: set[Hashable] = set(self.global_condition.constants())
+        for fact in self.facts:
+            out.update(v for v in fact.row if not isinstance(v, Null))
+            out.update(fact.condition.constants())
+        return frozenset(out)
+
+    def relations(self) -> frozenset[str]:
+        return frozenset(f.relation for f in self.facts)
+
+    # ------------------------------------------------------------------
+    # semantics
+    # ------------------------------------------------------------------
+
+    def world(self, valuation: Mapping[Null, Hashable]) -> Instance | None:
+        """The complete world produced by ``valuation``.
+
+        ``None`` when the valuation violates the global condition.
+        Facts whose conditions fail are simply absent.
+        """
+        if not self.global_condition.satisfied(valuation):
+            return None
+        rows: dict[str, set[tuple]] = {}
+        for fact in self.facts:
+            if fact.condition.satisfied(valuation):
+                image = tuple(
+                    valuation.get(v, v) if isinstance(v, Null) else v for v in fact.row
+                )
+                rows.setdefault(fact.relation, set()).add(image)
+        return Instance(rows)
+
+    def worlds(self, pool: Sequence[Hashable]) -> Iterator[Instance]:
+        """All distinct worlds over valuations into the constant pool."""
+        seen: set[Instance] = set()
+        nulls = sorted(self.nulls(), key=sort_key)
+        for valuation in iter_mappings(nulls, list(pool)):
+            world = self.world(valuation)
+            if world is not None and world not in seen:
+                seen.add(world)
+                yield world
+
+    def certain_answers(
+        self,
+        query,
+        pool: Sequence[Hashable] | None = None,
+    ) -> frozenset[tuple[Hashable, ...]]:
+        """Certain answers of a :class:`~repro.logic.queries.Query` (CWA).
+
+        The pool defaults to the c-instance's constants, the query's
+        constants and ``|nulls|+1`` fresh constants (same genericity
+        argument as :mod:`repro.core.certain`).
+        """
+        from repro.logic.eval import evaluate
+
+        if pool is None:
+            base = set(self.constants()) | set(query.constants())
+            fresh: list[str] = []
+            index = 1
+            while len(fresh) < len(self.nulls()) + 1:
+                candidate = f"_f{index}"
+                if candidate not in base:
+                    fresh.append(candidate)
+                index += 1
+            pool = sorted(base, key=repr) + fresh
+        result: frozenset[tuple[Hashable, ...]] | None = None
+        for world in self.worlds(pool):
+            if result is None:
+                result = query.eval_raw(world)
+            elif query.is_boolean:
+                if result and not evaluate(query.formula, world):
+                    result = frozenset()
+            else:
+                adom = world.adom()
+                result = frozenset(
+                    row
+                    for row in result
+                    if all(v in adom for v in row)
+                    and evaluate(query.formula, world, dict(zip(query.answer_vars, row)))
+                )
+            if not result:
+                break
+        if result is None:
+            # the global condition admitted no valuation over the pool:
+            # the represented set is empty, so everything is (vacuously)
+            # certain — surfaced as an error because it is almost always
+            # a modelling bug.
+            raise ValueError("the global condition is unsatisfiable over the pool")
+        return result
+
+    def __repr__(self) -> str:
+        body = "; ".join(repr(f) for f in self.facts)
+        if isinstance(self.global_condition, type(TRUE_C)):
+            return f"CInstance[{body}]"
+        return f"CInstance[{body} | global: {self.global_condition!r}]"

@@ -1,0 +1,22 @@
+"""Data substrate: values, schemas, instances, Codd databases, generators."""
+
+from repro.data.codd import as_codd, codd_instance, from_sql_rows, to_sql_rows, tuple_leq
+from repro.data.instance import Instance
+from repro.data.schema import Schema, SchemaError
+from repro.data.values import Null, NullFactory, fresh_nulls, is_const, is_null
+
+__all__ = [
+    "Instance",
+    "Schema",
+    "SchemaError",
+    "Null",
+    "NullFactory",
+    "fresh_nulls",
+    "is_const",
+    "is_null",
+    "tuple_leq",
+    "from_sql_rows",
+    "to_sql_rows",
+    "as_codd",
+    "codd_instance",
+]

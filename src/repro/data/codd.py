@@ -1,0 +1,102 @@
+"""Codd databases: the model of SQL's single ``NULL``.
+
+SQL uses one unmarked null; comparisons involving it never evaluate to
+true.  This is properly modelled (paper, Section 6) by *Codd databases*:
+naive databases in which no null repeats.  This module provides
+
+* the tuple information ordering ``t ⊑ t'`` ("t' is at least as
+  informative as t"),
+* conversion from SQL-style rows (``None`` marks a null) to Codd
+  instances and back,
+* a validity check / constructor for Codd instances.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.data.instance import Instance
+from repro.data.values import Null, NullFactory
+
+__all__ = [
+    "tuple_leq",
+    "from_sql_rows",
+    "to_sql_rows",
+    "as_codd",
+    "codd_instance",
+]
+
+
+def tuple_leq(t: Sequence[Hashable], s: Sequence[Hashable]) -> bool:
+    """The information ordering ``t ⊑ s`` on tuples without repeated nulls.
+
+    ``t ⊑ s`` holds iff the tuples have the same length and whenever a
+    position of ``t`` holds a constant, ``s`` holds the *same* constant
+    there (paper, Section 6).  Null positions of ``t`` may be refined to
+    anything.
+    """
+    if len(t) != len(s):
+        return False
+    return all(isinstance(a, Null) or a == b for a, b in zip(t, s))
+
+
+def from_sql_rows(
+    relations: Mapping[str, Iterable[Sequence[Hashable]]],
+    factory: NullFactory | None = None,
+) -> Instance:
+    """Interpret ``None`` entries as SQL nulls and build a Codd instance.
+
+    Each ``None`` becomes a distinct fresh null, so the result is a Codd
+    database by construction.
+
+    >>> inst = from_sql_rows({"R": [(1, None), (None, 2)]})
+    >>> inst.is_codd()
+    True
+    """
+    factory = factory or NullFactory("c")
+    rels: dict[str, list[tuple]] = {}
+    for name, rows in relations.items():
+        fixed_rows = []
+        for row in rows:
+            fixed_rows.append(tuple(factory.fresh() if v is None else v for v in row))
+        rels[name] = fixed_rows
+    return Instance(rels)
+
+
+def to_sql_rows(instance: Instance) -> dict[str, list[tuple]]:
+    """Render a Codd instance with ``None`` standing for each null.
+
+    Raises ``ValueError`` when the instance is not Codd, because the
+    identity of repeating nulls cannot be expressed with SQL's single
+    unmarked null.
+    """
+    if not instance.is_codd():
+        raise ValueError("instance repeats nulls; it has no faithful SQL rendering")
+    return {
+        name: [tuple(None if isinstance(v, Null) else v for v in row) for row in sorted(instance.tuples(name), key=repr)]
+        for name in instance.relations
+    }
+
+
+def as_codd(instance: Instance, factory: NullFactory | None = None) -> Instance:
+    """Forget null identities: replace every null *occurrence* by a fresh null.
+
+    This is the lossy projection of a naive database onto the Codd
+    model.  The result always satisfies :meth:`Instance.is_codd`.
+    """
+    factory = factory or NullFactory("c")
+    rels: dict[str, list[tuple]] = {}
+    for name in instance.relations:
+        rows = []
+        for row in instance.tuples(name):
+            rows.append(tuple(factory.fresh() if isinstance(v, Null) else v for v in row))
+        rels[name] = rows
+    return Instance(rels)
+
+
+def codd_instance(relations: Mapping[str, Iterable[Sequence[Hashable]]]) -> Instance:
+    """Build an instance and verify it is a Codd database."""
+    inst = Instance({name: [tuple(r) for r in rows] for name, rows in relations.items()})
+    if not inst.is_codd():
+        raise ValueError("nulls repeat; not a Codd database")
+    return inst

@@ -1,0 +1,218 @@
+"""Instance generators: random workloads and the paper's worked examples.
+
+The benchmark harness validates the paper's theorems over corpora of
+random incomplete instances; this module produces them.  It also builds
+the concrete instances used in the paper's examples and counterexamples
+so that tests and benches can refer to them by name.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Sequence
+
+from repro.data.instance import Instance
+from repro.data.schema import Schema
+from repro.data.values import Null, NullFactory
+
+__all__ = [
+    "random_instance",
+    "random_codd_instance",
+    "random_complete_instance",
+    "cycle",
+    "path",
+    "clique",
+    "disjoint_union",
+    "intro_example",
+    "d0_example",
+    "sql_paradox_example",
+    "minimal_4ary_example",
+    "cores_graph_example",
+]
+
+
+# ----------------------------------------------------------------------
+# random generation
+# ----------------------------------------------------------------------
+
+def random_instance(
+    schema: Schema,
+    rng: random.Random,
+    n_facts: int = 6,
+    constants: Sequence[Hashable] = (1, 2, 3),
+    n_nulls: int = 3,
+    null_probability: float = 0.4,
+) -> Instance:
+    """A random naive database over ``schema``.
+
+    Each position of each fact is independently a null (drawn from a
+    pool of ``n_nulls`` shared nulls, so nulls may repeat) with
+    probability ``null_probability``, and otherwise a constant from
+    ``constants``.
+    """
+    pool = [Null(f"g{i}") for i in range(1, n_nulls + 1)]
+    rels: dict[str, set[tuple]] = {}
+    names = list(schema.relations)
+    for _ in range(n_facts):
+        name = rng.choice(names)
+        row = tuple(
+            rng.choice(pool) if (pool and rng.random() < null_probability) else rng.choice(list(constants))
+            for _ in range(schema.arity(name))
+        )
+        rels.setdefault(name, set()).add(row)
+    return Instance(rels)
+
+
+def random_codd_instance(
+    schema: Schema,
+    rng: random.Random,
+    n_facts: int = 6,
+    constants: Sequence[Hashable] = (1, 2, 3),
+    null_probability: float = 0.4,
+) -> Instance:
+    """A random Codd database: every null occurrence is fresh."""
+    factory = NullFactory("c")
+    rels: dict[str, set[tuple]] = {}
+    names = list(schema.relations)
+    for _ in range(n_facts):
+        name = rng.choice(names)
+        row = tuple(
+            factory.fresh() if rng.random() < null_probability else rng.choice(list(constants))
+            for _ in range(schema.arity(name))
+        )
+        rels.setdefault(name, set()).add(row)
+    return Instance(rels)
+
+
+def random_complete_instance(
+    schema: Schema,
+    rng: random.Random,
+    n_facts: int = 6,
+    constants: Sequence[Hashable] = (1, 2, 3, 4),
+) -> Instance:
+    """A random complete instance (no nulls)."""
+    return random_instance(
+        schema, rng, n_facts=n_facts, constants=constants, n_nulls=0, null_probability=0.0
+    )
+
+
+# ----------------------------------------------------------------------
+# graphs (used heavily by Section 10's core examples)
+# ----------------------------------------------------------------------
+
+def cycle(n: int, values: Sequence[Hashable] | None = None, relation: str = "E") -> Instance:
+    """The directed cycle ``C_n``.
+
+    ``values`` supplies the node names (defaults to distinct nulls, the
+    paper's convention for "pure graph" examples).
+    """
+    if n < 1:
+        raise ValueError("a cycle needs at least one node")
+    nodes = list(values) if values is not None else [Null(f"v{i}") for i in range(n)]
+    if len(nodes) != n:
+        raise ValueError(f"expected {n} node values, got {len(nodes)}")
+    edges = [(nodes[i], nodes[(i + 1) % n]) for i in range(n)]
+    return Instance({relation: edges})
+
+
+def path(n: int, values: Sequence[Hashable] | None = None, relation: str = "E") -> Instance:
+    """The directed path with ``n`` edges (``n + 1`` nodes)."""
+    nodes = list(values) if values is not None else [Null(f"p{i}") for i in range(n + 1)]
+    if len(nodes) != n + 1:
+        raise ValueError(f"expected {n + 1} node values, got {len(nodes)}")
+    edges = [(nodes[i], nodes[i + 1]) for i in range(n)]
+    return Instance({relation: edges})
+
+
+def clique(n: int, values: Sequence[Hashable] | None = None, relation: str = "E") -> Instance:
+    """The complete loopless digraph ``K_n`` (both directions)."""
+    nodes = list(values) if values is not None else [Null(f"k{i}") for i in range(n)]
+    if len(nodes) != n:
+        raise ValueError(f"expected {n} node values, got {len(nodes)}")
+    edges = [(a, b) for a in nodes for b in nodes if a != b]
+    return Instance({relation: edges})
+
+
+def disjoint_union(*instances: Instance) -> Instance:
+    """Union of instances whose active domains are already disjoint.
+
+    Raises ``ValueError`` on overlap — the graph-theoretic ``+`` of the
+    paper requires genuinely disjoint node sets.
+    """
+    seen: set = set()
+    for inst in instances:
+        overlap = seen & set(inst.adom())
+        if overlap:
+            raise ValueError(f"active domains overlap on {sorted(map(repr, overlap))}")
+        seen |= set(inst.adom())
+    result = Instance.empty()
+    for inst in instances:
+        result = result.union(inst)
+    return result
+
+
+# ----------------------------------------------------------------------
+# the paper's worked examples
+# ----------------------------------------------------------------------
+
+def intro_example() -> Instance:
+    """The introduction's integration scenario.
+
+    ``R(A,B) = {(1,⊥1), (⊥2,⊥3)}``, ``S(B,C) = {(⊥1,4), (⊥3,5)}``.
+    Naive evaluation of ``π_AC(R ⋈ S)`` yields ``{(1,4), (⊥2,5)}``;
+    after dropping null tuples the certain answer is ``{(1,4)}``.
+    """
+    k1, k2, k3 = Null("1"), Null("2"), Null("3")
+    return Instance({"R": [(1, k1), (k2, k3)], "S": [(k1, 4), (k3, 5)]})
+
+
+def d0_example() -> Instance:
+    """``D0 = {D(⊥,⊥'), D(⊥',⊥)}`` from Section 2.3/2.4.
+
+    Under CWA its complete instances are exactly ``{(c,c'),(c',c)}``;
+    under OWA any complete superset of one of those.
+    """
+    k, k1 = Null(""), Null("'")
+    return Instance({"D": [(k, k1), (k1, k)]})
+
+
+def sql_paradox_example() -> tuple[Instance, Instance]:
+    """Instances witnessing SQL's ``NOT IN`` paradox (introduction).
+
+    Returns ``(X, Y)`` with ``|X| > |Y|`` yet SQL's three-valued logic
+    makes ``X NOT IN Y`` empty because ``Y`` contains a null.
+    """
+    x = Instance({"X": [(1,), (2,), (3,)]})
+    y = Instance({"Y": [(1,), (Null("y"),)]})
+    return x, y
+
+
+def minimal_4ary_example() -> tuple[Instance, dict]:
+    """Proposition 10.1's 4-ary counterexample.
+
+    Returns ``(D, h)`` where ``D`` and ``h(D)`` are both cores but ``h``
+    is *not* D-minimal (a different map has a strictly smaller image).
+    """
+    k = {i: Null(str(i)) for i in range(1, 8)}
+    d = Instance({"T": [(k[1], k[1], k[2], k[3]), (k[4], k[5], k[2], k[2])]})
+    h = {k[1]: k[6], k[2]: k[7], k[3]: k[7], k[4]: k[6], k[5]: k[7]}
+    return d, h
+
+
+def cores_graph_example() -> tuple[Instance, Instance, dict]:
+    """Proposition 10.1's graph counterexample: ``G = C4 + C6``, ``H = C3 + C2``.
+
+    Returns ``(G, H, h)`` where ``h`` is a strong onto homomorphism
+    sending ``C4 → C2`` and ``C6 → C3``; both are cores, yet ``h`` is
+    not G-minimal because ``G`` (being 2-colourable) also maps onto
+    ``C2`` alone.
+    """
+    g4 = [Null(f"a{i}") for i in range(4)]
+    g6 = [Null(f"b{i}") for i in range(6)]
+    h3 = [Null(f"c{i}") for i in range(3)]
+    h2 = [Null(f"d{i}") for i in range(2)]
+    g = disjoint_union(cycle(4, g4), cycle(6, g6))
+    h_graph = disjoint_union(cycle(3, h3), cycle(2, h2))
+    hom = {g4[i]: h2[i % 2] for i in range(4)}
+    hom.update({g6[i]: h3[i % 3] for i in range(6)})
+    return g, h_graph, hom

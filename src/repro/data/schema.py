@@ -1,0 +1,91 @@
+"""Relational schemas (vocabularies).
+
+A relational schema is a set of relation names with associated arities
+(paper, Section 2.1).  Schemas are optional for most of the library —
+instances infer their own signature — but they are useful for
+validation, random generation, and for the logic layer to check that
+atoms are well-formed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+__all__ = ["Schema", "SchemaError"]
+
+
+class SchemaError(ValueError):
+    """Raised when a schema is malformed or an instance violates it."""
+
+
+class Schema:
+    """An immutable map from relation names to arities.
+
+    >>> s = Schema({"R": 2, "S": 1})
+    >>> s.arity("R")
+    2
+    >>> "S" in s
+    True
+    """
+
+    __slots__ = ("_arities",)
+
+    def __init__(self, arities: Mapping[str, int]):
+        checked: dict[str, int] = {}
+        for name, arity in arities.items():
+            if not isinstance(name, str) or not name:
+                raise SchemaError(f"relation name must be a non-empty string, got {name!r}")
+            if not isinstance(arity, int) or arity < 1:
+                raise SchemaError(f"arity of {name!r} must be a positive integer, got {arity!r}")
+            checked[name] = arity
+        self._arities = dict(sorted(checked.items()))
+
+    @property
+    def relations(self) -> tuple[str, ...]:
+        """Relation names in sorted order."""
+        return tuple(self._arities)
+
+    def arity(self, name: str) -> int:
+        """Arity of relation ``name``; raises :class:`SchemaError` if absent."""
+        try:
+            return self._arities[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._arities
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._arities)
+
+    def __len__(self) -> int:
+        return len(self._arities)
+
+    def items(self) -> Iterator[tuple[str, int]]:
+        return iter(self._arities.items())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and other._arities == self._arities
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._arities.items()))
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{name}/{arity}" for name, arity in self._arities.items())
+        return f"Schema({body})"
+
+    def union(self, other: "Schema") -> "Schema":
+        """Merge two schemas; conflicting arities raise :class:`SchemaError`."""
+        merged = dict(self._arities)
+        for name, arity in other.items():
+            if merged.get(name, arity) != arity:
+                raise SchemaError(
+                    f"conflicting arities for {name!r}: {merged[name]} vs {arity}"
+                )
+            merged[name] = arity
+        return Schema(merged)
+
+    @classmethod
+    def graph(cls, name: str = "E") -> "Schema":
+        """The schema of directed graphs: one binary relation."""
+        return cls({name: 2})

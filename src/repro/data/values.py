@@ -1,0 +1,131 @@
+"""Values of incomplete databases: constants and marked nulls.
+
+The paper (Section 2.1) works with two countably infinite, disjoint sets
+of values: ``Const`` and ``Null``.  In this library a *null* is an
+instance of :class:`Null` and a *constant* is any other hashable Python
+value (strings and integers in practice).  Nulls are compared by their
+label: two ``Null`` objects with the same label are the same null,
+mirroring the "syntactic equality" used by naive evaluation
+(``K1 = K1`` but ``K1 != K2`` and ``K1 != c`` for every constant ``c``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Hashable, Iterable, Iterator
+
+__all__ = [
+    "Null",
+    "NullFactory",
+    "is_null",
+    "is_const",
+    "fresh_nulls",
+    "constants_in",
+    "nulls_in",
+]
+
+
+class Null:
+    """A marked (labelled) null.
+
+    Nulls compare equal iff their labels are equal, so a null can appear
+    multiple times in a naive database and all its occurrences are
+    linked.  The conventional rendering is ``⊥label``.
+    """
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str = ""):
+        if not isinstance(label, str):
+            label = str(label)
+        self.label = label
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Null) and other.label == self.label
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(("repro.Null", self.label))
+
+    def __repr__(self) -> str:
+        return f"⊥{self.label}"
+
+    def __lt__(self, other: object) -> bool:
+        # A deterministic order among values makes instances printable
+        # and test output stable.  Nulls sort after all constants.
+        if isinstance(other, Null):
+            return self.label < other.label
+        return False
+
+    def __gt__(self, other: object) -> bool:
+        if isinstance(other, Null):
+            return self.label > other.label
+        return True
+
+
+class NullFactory:
+    """Generates fresh nulls with unique labels.
+
+    A factory is the library's stand-in for the countably infinite set
+    ``Null``: calling :meth:`fresh` never returns the same null twice.
+
+    >>> f = NullFactory("x")
+    >>> f.fresh()
+    ⊥x1
+    >>> f.fresh()
+    ⊥x2
+    """
+
+    def __init__(self, prefix: str = "n"):
+        self._prefix = prefix
+        self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def fresh(self) -> Null:
+        """Return a null that this factory has never returned before."""
+        with self._lock:
+            index = next(self._counter)
+        return Null(f"{self._prefix}{index}")
+
+    def fresh_many(self, count: int) -> list[Null]:
+        """Return ``count`` pairwise distinct fresh nulls."""
+        return [self.fresh() for _ in range(count)]
+
+
+def is_null(value: Hashable) -> bool:
+    """True iff ``value`` is a marked null."""
+    return isinstance(value, Null)
+
+
+def is_const(value: Hashable) -> bool:
+    """True iff ``value`` is a constant (i.e. not a null)."""
+    return not isinstance(value, Null)
+
+
+def fresh_nulls(count: int, prefix: str = "n") -> list[Null]:
+    """Convenience: ``count`` distinct nulls labelled ``prefix1..``."""
+    return NullFactory(prefix).fresh_many(count)
+
+
+def constants_in(values: Iterable[Hashable]) -> Iterator[Hashable]:
+    """Yield the constants among ``values`` (order preserved)."""
+    return (v for v in values if not isinstance(v, Null))
+
+
+def nulls_in(values: Iterable[Hashable]) -> Iterator[Null]:
+    """Yield the nulls among ``values`` (order preserved)."""
+    return (v for v in values if isinstance(v, Null))
+
+
+def sort_key(value: Hashable) -> tuple:
+    """A total-order key over mixed constants and nulls.
+
+    Constants sort before nulls; within each group, ordering is by
+    ``(type name, repr)`` so heterogeneous constants compare safely.
+    """
+    if isinstance(value, Null):
+        return (1, "Null", value.label)
+    return (0, type(value).__name__, repr(value))

@@ -1,0 +1,18 @@
+"""Negation-free datalog over naive databases (paper Section 12)."""
+
+from repro.datalog.engine import (
+    datalog_certain_answers,
+    datalog_naive_answers,
+    evaluate_program,
+)
+from repro.datalog.program import Atom, DatalogError, Program, Rule
+
+__all__ = [
+    "Atom",
+    "Rule",
+    "Program",
+    "DatalogError",
+    "evaluate_program",
+    "datalog_naive_answers",
+    "datalog_certain_answers",
+]

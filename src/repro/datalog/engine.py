@@ -1,0 +1,149 @@
+"""Bottom-up datalog evaluation over naive databases.
+
+Semi-naive fixpoint computation with nulls treated as ordinary values —
+i.e., *naive evaluation* in the paper's sense, for datalog.  Because
+datalog programs are monotone and generic, naive evaluation computes
+certain answers under both OWA and CWA (the observation of Section 12,
+validated in the tests against the brute-force oracle).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from repro.data.instance import Instance
+from repro.data.values import Null
+from repro.datalog.program import Atom, Program, Rule
+from repro.logic.ast import Var
+
+__all__ = ["evaluate_program", "datalog_naive_answers", "datalog_certain_answers"]
+
+
+def _match_atom(
+    atom: Atom, facts: frozenset[tuple], binding: dict[Var, Hashable]
+) -> Iterator[dict[Var, Hashable]]:
+    """Extensions of ``binding`` matching ``atom`` against ``facts``."""
+    for row in facts:
+        extension: dict[Var, Hashable] = {}
+        ok = True
+        for term, value in zip(atom.terms, row):
+            if isinstance(term, Var):
+                bound = binding.get(term, extension.get(term))
+                if bound is None:
+                    extension[term] = value
+                elif bound != value:
+                    ok = False
+                    break
+            elif term != value:
+                ok = False
+                break
+        if ok:
+            yield {**binding, **extension}
+
+
+def _apply_rule(
+    rule: Rule,
+    total: Instance,
+    delta: Instance | None,
+) -> set[tuple[str, tuple]]:
+    """Join the rule body against ``total``.
+
+    Semi-naive mode: when ``delta`` is given, at least one body atom
+    must match a delta fact (classic differential evaluation); joins
+    still read the full ``total`` for the remaining atoms.
+    """
+    derived: set[tuple[str, tuple]] = set()
+    positions = range(len(rule.body)) if delta is not None else [None]
+    for delta_position in positions:
+        bindings: list[dict[Var, Hashable]] = [{}]
+        dead = False
+        for index, atom in enumerate(rule.body):
+            source = (
+                delta.tuples(atom.name)
+                if delta is not None and index == delta_position
+                else total.tuples(atom.name)
+            )
+            next_bindings: list[dict[Var, Hashable]] = []
+            for binding in bindings:
+                next_bindings.extend(_match_atom(atom, source, binding))
+            bindings = next_bindings
+            if not bindings:
+                dead = True
+                break
+        if dead:
+            continue
+        for binding in bindings:
+            row = tuple(
+                binding[t] if isinstance(t, Var) else t for t in rule.head.terms
+            )
+            derived.add((rule.head.name, row))
+    return derived
+
+
+def evaluate_program(program: Program, edb: Instance, semi_naive: bool = True) -> Instance:
+    """The least fixpoint: EDB plus all derivable IDB facts.
+
+    Nulls participate exactly like constants (naive equality), so this
+    is stage one of naive evaluation for datalog queries.
+
+    ``semi_naive=False`` switches to full re-derivation per round (the
+    textbook naive fixpoint) — same result, used as an ablation baseline
+    in ``benchmarks/bench_ablation.py``.
+    """
+    total = edb
+    delta = edb
+    while True:
+        new_facts: set[tuple[str, tuple]] = set()
+        for rule in program.rules:
+            derived = _apply_rule(rule, total, delta if semi_naive else None)
+            for name, row in derived:
+                if row not in total.tuples(name):
+                    new_facts.add((name, row))
+        if not new_facts:
+            return total
+        delta = Instance.from_facts(new_facts)
+        total = total.union(delta)
+
+
+def datalog_naive_answers(
+    program: Program, edb: Instance, predicate: str
+) -> frozenset[tuple[Hashable, ...]]:
+    """Naive evaluation of a datalog query: fixpoint, project, drop nulls."""
+    fixpoint = evaluate_program(program, edb)
+    return frozenset(
+        row
+        for row in fixpoint.tuples(predicate)
+        if not any(isinstance(v, Null) for v in row)
+    )
+
+
+def datalog_certain_answers(
+    program: Program,
+    edb: Instance,
+    predicate: str,
+    semantics,
+    pool=None,
+    extra_facts: int | None = None,
+    limit: int = 500_000,
+) -> frozenset[tuple[Hashable, ...]]:
+    """Brute-force certain answers: intersect over ``[[edb]]``.
+
+    The oracle for validating that naive datalog evaluation computes
+    certain answers (it must, by monotonicity + genericity).
+    """
+    from repro.core.certain import default_pool
+
+    if pool is None:
+        pool = default_pool(edb)
+    result: frozenset[tuple[Hashable, ...]] | None = None
+    schema = edb.schema()
+    for complete in semantics.expand(
+        edb, list(pool), schema=schema, extra_facts=extra_facts, limit=limit
+    ):
+        rows = frozenset(evaluate_program(program, complete).tuples(predicate))
+        result = rows if result is None else result & rows
+        if not result:
+            break
+    if result is None:
+        raise RuntimeError("[[edb]] came out empty over the pool")
+    return result

@@ -1,0 +1,107 @@
+"""Datalog programs: rules, safety, EDB/IDB classification.
+
+The paper's "Other languages" discussion (Section 12) notes that naive
+evaluation works for datalog without negation — datalog queries are
+monotone and generic, hence preserved under homomorphisms, so the whole
+Figure-1 machinery applies.  This subpackage supplies the substrate: a
+safe, negation-free datalog dialect evaluated bottom-up over naive
+databases (nulls as ordinary values), with the naive/certain-answer
+connection tested against the brute-force oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Union
+
+from repro.logic.ast import Var
+
+__all__ = ["Atom", "Rule", "Program", "DatalogError"]
+
+Term = Union[Var, Hashable]
+
+
+class DatalogError(ValueError):
+    """Raised for malformed programs (unsafe rules, arity clashes...)."""
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A datalog atom ``name(t1, …, tk)``; terms are Vars or constants."""
+
+    name: str
+    terms: tuple[Term, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "terms", tuple(self.terms))
+        if not self.terms:
+            raise DatalogError("atoms need at least one term")
+
+    def variables(self) -> frozenset[Var]:
+        return frozenset(t for t in self.terms if isinstance(t, Var))
+
+    def __repr__(self) -> str:
+        body = ", ".join(t.name if isinstance(t, Var) else repr(t) for t in self.terms)
+        return f"{self.name}({body})"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A definite clause ``head :- body1, …, bodyn`` (no negation)."""
+
+    head: Atom
+    body: tuple[Atom, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "body", tuple(self.body))
+        if not self.body:
+            raise DatalogError(f"rule for {self.head.name!r} has an empty body; facts belong in the EDB")
+        body_vars = frozenset().union(*(a.variables() for a in self.body))
+        loose = self.head.variables() - body_vars
+        if loose:
+            names = ", ".join(sorted(v.name for v in loose))
+            raise DatalogError(f"unsafe rule: head variables {names} missing from the body")
+
+    def __repr__(self) -> str:
+        return f"{self.head!r} :- " + ", ".join(repr(a) for a in self.body)
+
+
+@dataclass(frozen=True)
+class Program:
+    """A set of rules with consistent arities.
+
+    IDB predicates are those appearing in some rule head; everything
+    else mentioned is EDB.
+    """
+
+    rules: tuple[Rule, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "rules", tuple(self.rules))
+        if not self.rules:
+            raise DatalogError("a program needs at least one rule")
+        arities: dict[str, int] = {}
+        for rule in self.rules:
+            for atom in (rule.head, *rule.body):
+                known = arities.setdefault(atom.name, len(atom.terms))
+                if known != len(atom.terms):
+                    raise DatalogError(
+                        f"predicate {atom.name!r} used with arities {known} and {len(atom.terms)}"
+                    )
+
+    @property
+    def idb(self) -> frozenset[str]:
+        """Predicates defined by rules."""
+        return frozenset(rule.head.name for rule in self.rules)
+
+    @property
+    def edb(self) -> frozenset[str]:
+        """Predicates only read, never defined."""
+        mentioned = {atom.name for rule in self.rules for atom in rule.body}
+        return frozenset(mentioned - self.idb)
+
+    def rules_for(self, name: str) -> tuple[Rule, ...]:
+        return tuple(rule for rule in self.rules if rule.head.name == name)
+
+    def __repr__(self) -> str:
+        return "Program[\n  " + "\n  ".join(repr(r) for r in self.rules) + "\n]"

@@ -1,0 +1,47 @@
+"""Homomorphism machinery: search, classification, minimality, cores."""
+
+from repro.homs.core import core, is_core, retract_step
+from repro.homs.minimal import (
+    is_d_minimal,
+    iter_minimal_valuations,
+    minimal_valuation_images,
+    some_minimal_valuation,
+)
+from repro.homs.properties import (
+    fix_set,
+    image,
+    is_database_homomorphism,
+    is_homomorphism,
+    is_onto,
+    is_strong_onto,
+    is_valuation,
+)
+from repro.homs.search import (
+    find_homomorphism,
+    find_isomorphism,
+    has_homomorphism,
+    iter_homomorphisms,
+    iter_mappings,
+)
+
+__all__ = [
+    "core",
+    "is_core",
+    "retract_step",
+    "is_d_minimal",
+    "iter_minimal_valuations",
+    "minimal_valuation_images",
+    "some_minimal_valuation",
+    "fix_set",
+    "image",
+    "is_database_homomorphism",
+    "is_homomorphism",
+    "is_onto",
+    "is_strong_onto",
+    "is_valuation",
+    "find_homomorphism",
+    "find_isomorphism",
+    "has_homomorphism",
+    "iter_homomorphisms",
+    "iter_mappings",
+]

@@ -1,0 +1,55 @@
+"""Cores of relational instances (Hell & Nešetřil; paper Section 10.1).
+
+The *core* of ``D`` is a subinstance ``D' ⊆ D`` that is a homomorphic
+image of ``D`` but none of whose proper subinstances is.  It is unique
+up to isomorphism.  The paper uses cores with the database notion of
+homomorphism (identity on constants), for which all the classical facts
+remain true [Fagin, Kolaitis & Popa 2005]; the ``fix_constants`` switch
+also enables the pure graph-homomorphism variant used in the ``C4+C6``
+example.
+
+Cores are the representative set of the minimal-valuation semantics
+(Theorem 10.2): naive evaluation results for those semantics hold *over
+cores*.
+"""
+
+from __future__ import annotations
+
+from repro.data.instance import Instance
+from repro.homs.search import find_homomorphism
+
+__all__ = ["retract_step", "core", "is_core"]
+
+
+def retract_step(instance: Instance, fix_constants: bool = True) -> Instance | None:
+    """One retraction: an endomorphic image ``h(D) ⊊ D``, or ``None``.
+
+    ``h(D) ⊊ D`` holds iff ``h(D)`` avoids at least one fact, so it
+    suffices to search for homomorphisms into the maximal proper
+    subinstances.
+    """
+    for name, row in instance.facts():
+        smaller = instance.remove_fact(name, row)
+        hom = find_homomorphism(instance, smaller, fix_constants=fix_constants)
+        if hom is not None:
+            return instance.apply(hom)
+    return None
+
+
+def core(instance: Instance, fix_constants: bool = True) -> Instance:
+    """The core of ``instance`` (a specific representative of the iso class).
+
+    Computed by repeated retraction; each step strictly decreases the
+    number of facts, so the loop terminates.
+    """
+    current = instance
+    while True:
+        smaller = retract_step(current, fix_constants=fix_constants)
+        if smaller is None:
+            return current
+        current = smaller
+
+
+def is_core(instance: Instance, fix_constants: bool = True) -> bool:
+    """True iff no proper subinstance of ``instance`` is an endomorphic image."""
+    return retract_step(instance, fix_constants=fix_constants) is None

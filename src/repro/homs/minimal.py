@@ -1,0 +1,95 @@
+"""D-minimal homomorphisms, valuations and mappings (Section 10).
+
+A homomorphism ``h`` defined on ``D`` is *D-minimal* if no proper
+subinstance of ``h(D)`` is a homomorphic image of ``D``; equivalently no
+other homomorphism ``h'`` has ``h'(D) ⊊ h(D)``.  The minimal-valuation
+semantics ``[[·]]^min_CWA`` and ``⦇·⦈^min_CWA`` are built from these.
+
+Section 10.2 extends minimality to arbitrary mappings via fix sets:
+``h`` is D-minimal if no mapping ``g`` with ``fix(h,D) ⊆ fix(g,D)``
+satisfies ``g(D) ⊊ h(D)``.  Both notions are provided.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Mapping, Sequence
+
+from repro.data.instance import Instance
+from repro.homs.properties import fix_set
+from repro.homs.search import has_homomorphism, iter_mappings
+
+__all__ = [
+    "is_d_minimal",
+    "iter_minimal_valuations",
+    "minimal_valuation_images",
+    "some_minimal_valuation",
+]
+
+Assignment = Mapping[Hashable, Hashable]
+
+
+def _beats(source: Instance, image: Instance, fix_constants: bool, pinned: dict) -> bool:
+    """True iff some admissible ``g`` maps ``source`` into a *proper* subinstance.
+
+    Any proper subinstance is contained in ``image`` minus one fact, so
+    it suffices to test the maximal proper subinstances.
+    """
+    for name, row in image.facts():
+        smaller = image.remove_fact(name, row)
+        if has_homomorphism(source, smaller, fix_constants=fix_constants, pinned=pinned):
+            return True
+    return False
+
+
+def is_d_minimal(
+    source: Instance,
+    mapping: Assignment,
+    mode: str = "database",
+) -> bool:
+    """Is ``mapping`` a D-minimal map on ``source``?
+
+    ``mode="database"``
+        competitors are database homomorphisms (identity on all
+        constants) — the notion used for D-minimal valuations.
+    ``mode="mapping"``
+        competitors are arbitrary mappings ``g`` with
+        ``fix(mapping, source) ⊆ fix(g, source)`` (Section 10.2).
+    """
+    image = source.apply(mapping)
+    if mode == "database":
+        return not _beats(source, image, fix_constants=True, pinned={})
+    if mode == "mapping":
+        pinned = {c: c for c in fix_set(mapping, source)}
+        return not _beats(source, image, fix_constants=False, pinned=pinned)
+    raise ValueError(f"unknown minimality mode {mode!r}")
+
+
+def iter_minimal_valuations(
+    source: Instance,
+    pool: Sequence[Hashable],
+) -> Iterator[dict]:
+    """All D-minimal valuations of ``source`` into the constant pool.
+
+    Valuations assign pool constants to the nulls of ``source`` (and
+    are the identity on its constants).  Yields only those whose image
+    cannot be shrunk by another database homomorphism.
+    """
+    for valuation in iter_mappings(sorted(source.nulls(), key=lambda n: n.label), pool):
+        if is_d_minimal(source, valuation, mode="database"):
+            yield valuation
+
+
+def minimal_valuation_images(source: Instance, pool: Sequence[Hashable]) -> set[Instance]:
+    """The set ``{v(D) | v a D-minimal valuation into pool}``."""
+    return {source.apply(v) for v in iter_minimal_valuations(source, pool)}
+
+
+def some_minimal_valuation(source: Instance, pool: Sequence[Hashable]) -> dict | None:
+    """One D-minimal valuation into ``pool``, or ``None`` if the pool is empty.
+
+    Any valuation can be improved to a minimal one, so this returns a
+    valuation whenever one exists at all.
+    """
+    for valuation in iter_minimal_valuations(source, pool):
+        return valuation
+    return None

@@ -1,0 +1,90 @@
+"""Predicates over candidate homomorphisms.
+
+These check, rather than search: given a concrete mapping (a dict on the
+active domain), classify it as a (database / onto / strong onto)
+homomorphism or a valuation in the sense of Sections 2.2–2.3.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.data.instance import Instance
+from repro.data.values import Null
+
+__all__ = [
+    "image",
+    "is_homomorphism",
+    "is_database_homomorphism",
+    "is_onto",
+    "is_strong_onto",
+    "is_valuation",
+    "fix_set",
+]
+
+Assignment = Mapping[Hashable, Hashable]
+
+
+def image(mapping: Assignment, instance: Instance) -> Instance:
+    """The image ``h(D)`` — shorthand for :meth:`Instance.apply`."""
+    return instance.apply(mapping)
+
+
+def is_homomorphism(mapping: Assignment, source: Instance, target: Instance) -> bool:
+    """True iff ``mapping`` sends every fact of ``source`` into ``target``.
+
+    Plain homomorphisms: constants are allowed to move.  Values of the
+    active domain missing from the mapping are treated as fixed.
+    """
+    return source.apply(mapping).issubinstance(target)
+
+
+def is_database_homomorphism(mapping: Assignment, source: Instance, target: Instance) -> bool:
+    """A homomorphism that is the identity on every constant of ``source``."""
+    if not fixes_constants(mapping, source):
+        return False
+    return is_homomorphism(mapping, source, target)
+
+
+def fixes_constants(mapping: Assignment, source: Instance) -> bool:
+    """True iff the mapping does not move any constant of ``source``."""
+    return all(
+        mapping.get(c, c) == c for c in source.constants()
+    )
+
+
+def is_onto(mapping: Assignment, source: Instance, target: Instance) -> bool:
+    """Onto homomorphism: ``h(adom(source)) = adom(target)`` (WCWA's class)."""
+    if not is_homomorphism(mapping, source, target):
+        return False
+    hit = {mapping.get(v, v) for v in source.adom()}
+    return hit == set(target.adom())
+
+
+def is_strong_onto(mapping: Assignment, source: Instance, target: Instance) -> bool:
+    """Strong onto homomorphism: ``h(source) = target`` exactly (CWA's class)."""
+    return source.apply(mapping) == target
+
+
+def is_valuation(mapping: Assignment, source: Instance) -> bool:
+    """A valuation: database homomorphism whose image lies in ``Const``.
+
+    Concretely, it must assign a constant to every null of ``source``
+    and not move any constant.
+    """
+    if not fixes_constants(mapping, source):
+        return False
+    for null in source.nulls():
+        value = mapping.get(null, null)
+        if isinstance(value, Null):
+            return False
+    return True
+
+
+def fix_set(mapping: Assignment, source: Instance) -> frozenset:
+    """``fix(h, D)``: the constants of ``D`` that the mapping leaves in place.
+
+    Used by the minimality machinery of Section 10.2, where mappings
+    need not preserve all constants.
+    """
+    return frozenset(c for c in source.constants() if mapping.get(c, c) == c)

@@ -1,0 +1,207 @@
+"""Backtracking homomorphism search between relational instances.
+
+Homomorphisms serve two roles in the paper (Section 2.2): they define
+the semantics of incompleteness (valuations are homomorphisms whose
+image lies in ``Const``) and the preservation conditions under which
+naive evaluation is sound.  This module provides one search engine with
+switches covering every variant the paper needs:
+
+* *database* homomorphisms — identity on constants (``fix_constants``),
+* plain homomorphisms — constants may move (used for the "pure graph"
+  examples of Section 10),
+* onto homomorphisms — ``h(adom(D)) = adom(D')`` (WCWA, Cor. 4.9),
+* strong onto homomorphisms — ``h(D) = D'`` (CWA, Cor. 4.9),
+* injective maps and full isomorphisms (the ``≈`` relation).
+
+The search assigns values fact by fact with forward checking; instances
+in this library are small (the semantics layer is a brute-force oracle)
+so a clean backtracking search is the right tool.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Mapping, Sequence
+
+from repro.data.instance import Instance
+from repro.data.values import Null, sort_key
+
+__all__ = [
+    "iter_homomorphisms",
+    "find_homomorphism",
+    "has_homomorphism",
+    "find_isomorphism",
+    "iter_mappings",
+]
+
+Assignment = dict[Hashable, Hashable]
+
+
+def _ordered_facts(source: Instance, target: Instance) -> list[tuple[str, tuple]]:
+    """Source facts ordered most-constrained-first (fewest target tuples)."""
+    facts = list(source.facts())
+    facts.sort(key=lambda fact: (len(target.tuples(fact[0])), fact[0], tuple(map(sort_key, fact[1]))))
+    return facts
+
+
+def _match_fact(
+    row: Sequence[Hashable],
+    candidate: Sequence[Hashable],
+    assignment: Assignment,
+    fix_constants: bool,
+) -> Assignment | None:
+    """Try to extend ``assignment`` so the fact maps onto ``candidate``."""
+    extension: Assignment = {}
+    for value, image in zip(row, candidate):
+        if fix_constants and not isinstance(value, Null) and value != image:
+            return None
+        bound = assignment.get(value, extension.get(value))
+        if bound is None:
+            extension[value] = image
+        elif bound != image:
+            return None
+    return extension
+
+
+def iter_homomorphisms(
+    source: Instance,
+    target: Instance,
+    fix_constants: bool = True,
+    onto: bool = False,
+    strong_onto: bool = False,
+    injective: bool = False,
+    require_complete_image: bool = False,
+    pinned: Mapping[Hashable, Hashable] | None = None,
+) -> Iterator[Assignment]:
+    """Yield every homomorphism ``h : source → target`` (as a dict on adom).
+
+    Parameters mirror the paper's vocabulary:
+
+    ``fix_constants``
+        database homomorphisms: ``h(c) = c`` for every constant.
+    ``onto``
+        ``h(adom(source)) = adom(target)`` (Rsem-homomorphisms of WCWA).
+    ``strong_onto``
+        ``h(source) = target`` exactly (Rsem-homomorphisms of CWA).
+    ``injective``
+        ``h`` is injective on ``adom(source)``.
+    ``require_complete_image``
+        ``h`` maps every value to a constant — combined with
+        ``fix_constants`` this makes ``h`` a *valuation*.
+    ``pinned``
+        pre-assigned images for selected values (e.g. "identity on the
+        fix set" in the minimality tests of Section 10.2).
+    """
+    facts = _ordered_facts(source, target)
+    source_adom = source.adom()
+    initial: Assignment = {k: v for k, v in (pinned or {}).items() if k in source_adom}
+
+    # Values that occur in no fact cannot exist (adom is fact-defined),
+    # so matching all facts assigns every value of the active domain.
+
+    def accept(assignment: Assignment) -> bool:
+        if injective and len(set(assignment.values())) != len(assignment):
+            return False
+        if require_complete_image and any(isinstance(v, Null) for v in assignment.values()):
+            return False
+        if onto and set(assignment.values()) != set(target.adom()):
+            return False
+        if strong_onto and source.apply(assignment) != target:
+            return False
+        return True
+
+    def extend(index: int, assignment: Assignment) -> Iterator[Assignment]:
+        if index == len(facts):
+            if accept(assignment):
+                yield dict(assignment)
+            return
+        name, row = facts[index]
+        for candidate in sorted(target.tuples(name), key=lambda t: tuple(map(sort_key, t))):
+            extension = _match_fact(row, candidate, assignment, fix_constants)
+            if extension is None:
+                continue
+            if injective:
+                taken = set(assignment.values())
+                images = list(extension.values())
+                if len(set(images)) != len(images) or taken & set(images):
+                    continue
+            assignment.update(extension)
+            yield from extend(index + 1, assignment)
+            for key in extension:
+                del assignment[key]
+
+    if not source_adom:
+        # The empty instance maps anywhere via the empty map, except
+        # when ontoness demands hitting a non-empty active domain.
+        empty: Assignment = {}
+        if accept(empty):
+            yield empty
+        return
+
+    yield from extend(0, dict(initial))
+
+
+def find_homomorphism(
+    source: Instance,
+    target: Instance,
+    **options,
+) -> Assignment | None:
+    """First homomorphism found, or ``None``.  Options as in :func:`iter_homomorphisms`."""
+    for hom in iter_homomorphisms(source, target, **options):
+        return hom
+    return None
+
+
+def has_homomorphism(source: Instance, target: Instance, **options) -> bool:
+    """True iff some homomorphism ``source → target`` exists."""
+    return find_homomorphism(source, target, **options) is not None
+
+
+def find_isomorphism(
+    source: Instance,
+    target: Instance,
+    fix_constants: bool = True,
+) -> Assignment | None:
+    """A bijection ``π`` on data values with ``π(source) = target``, or ``None``.
+
+    This is the paper's structural equivalence ``≈`` (Section 3.1);
+    with ``fix_constants`` it is the database version used for naive
+    databases, without it the purely structural one.
+    """
+    if source.fact_count() != target.fact_count():
+        return None
+    if len(source.adom()) != len(target.adom()):
+        return None
+    return find_homomorphism(
+        source,
+        target,
+        fix_constants=fix_constants,
+        injective=True,
+        strong_onto=True,
+    )
+
+
+def iter_mappings(
+    domain: Sequence[Hashable],
+    pool: Sequence[Hashable],
+    base: Mapping[Hashable, Hashable] | None = None,
+) -> Iterator[Assignment]:
+    """All functions from ``domain`` into ``pool``, extended over ``base``.
+
+    The brute-force engine behind valuation enumeration: for an
+    instance with nulls ``⊥1..⊥n`` and a finite constant pool, the
+    valuations are exactly ``iter_mappings(nulls, pool)``.
+    """
+    domain = sorted(domain, key=sort_key)
+    base = dict(base or {})
+
+    def extend(index: int, assignment: Assignment) -> Iterator[Assignment]:
+        if index == len(domain):
+            yield dict(assignment)
+            return
+        value = domain[index]
+        for image in pool:
+            assignment[value] = image
+            yield from extend(index + 1, assignment)
+        assignment.pop(value, None)  # pool may be empty: nothing assigned
+
+    yield from extend(0, base)

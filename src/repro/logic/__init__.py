@@ -1,0 +1,78 @@
+"""First-order logic layer: AST, builders, parser, evaluation, fragments."""
+
+from repro.logic.ast import (
+    FALSE,
+    TRUE,
+    And,
+    EqAtom,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    TrueF,
+    Var,
+)
+from repro.logic.builders import (
+    Rel,
+    and_,
+    atom,
+    const,
+    eq,
+    eq_guard,
+    exists,
+    forall,
+    guard,
+    implies,
+    not_,
+    or_,
+    var,
+)
+from repro.logic.classes import (
+    FRAGMENTS,
+    classify,
+    in_epos,
+    in_epos_forall_gbool,
+    in_fragment,
+    in_pos,
+    in_pos_forall_g,
+    why_not_in,
+)
+from repro.logic.eval import answers, evaluate, holds, iter_answers
+from repro.logic.parser import ParseError, parse
+from repro.logic.queries import Query
+from repro.logic.transform import (
+    all_vars,
+    constants_used,
+    free_vars,
+    is_sentence,
+    nnf,
+    quantifier_depth,
+    relations_used,
+    subformulas,
+    substitute,
+)
+
+__all__ = [
+    # ast
+    "FALSE", "TRUE", "And", "EqAtom", "Exists", "FalseF", "Forall", "Formula",
+    "Implies", "Not", "Or", "RelAtom", "TrueF", "Var",
+    # builders
+    "Rel", "and_", "atom", "const", "eq", "eq_guard", "exists", "forall",
+    "guard", "implies", "not_", "or_", "var",
+    # classes
+    "FRAGMENTS", "classify", "in_epos", "in_epos_forall_gbool", "in_fragment",
+    "in_pos", "in_pos_forall_g", "why_not_in",
+    # eval
+    "answers", "evaluate", "holds", "iter_answers",
+    # parser
+    "ParseError", "parse",
+    # queries
+    "Query",
+    # transform
+    "all_vars", "constants_used", "free_vars", "is_sentence", "nnf",
+    "quantifier_depth", "relations_used", "subformulas", "substitute",
+]

@@ -1,0 +1,216 @@
+"""Abstract syntax of first-order queries over relational vocabularies.
+
+The paper studies FO under the active-domain semantics (Section 2.4) and
+its syntactic fragments: existential positive formulae ``∃Pos`` (unions
+of conjunctive queries), positive formulae ``Pos``, and their extensions
+with universal guards ``Pos+∀G`` and ``∃Pos+∀G_bool`` (Sections 5, 7).
+
+Terms are either :class:`Var` objects or plain Python values acting as
+constants.  Formulae are immutable and hashable, so they can key caches
+and sit in sets.  Connectives ``∧``/``∨`` are n-ary for readability;
+``→`` is first-class because the guarded fragments are defined through
+it (semantically it is ``¬φ ∨ ψ``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Union
+
+__all__ = [
+    "Var",
+    "Term",
+    "Formula",
+    "TrueF",
+    "FalseF",
+    "RelAtom",
+    "EqAtom",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Exists",
+    "Forall",
+    "TRUE",
+    "FALSE",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A first-order variable, identified by name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+Term = Union[Var, Hashable]
+
+
+class Formula:
+    """Base class for all formulae; subclasses are frozen dataclasses."""
+
+    __slots__ = ()
+
+    # Connective sugar — lets tests read naturally:
+    #   R(x, y) & S(y)   |   ~phi   |   phi | psi
+    def __and__(self, other: "Formula") -> "And":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Or":
+        return Or((self, other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def __rshift__(self, other: "Formula") -> "Implies":
+        return Implies(self, other)
+
+
+def _term_repr(term: Term) -> str:
+    if isinstance(term, Var):
+        return term.name
+    return repr(term)
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class TrueF(Formula):
+    """The constant ``true``."""
+
+    def __repr__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class FalseF(Formula):
+    """The constant ``false``."""
+
+    def __repr__(self) -> str:
+        return "false"
+
+
+TRUE = TrueF()
+FALSE = FalseF()
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class RelAtom(Formula):
+    """A relational atom ``R(t1, …, tk)``."""
+
+    name: str
+    terms: tuple[Term, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "terms", tuple(self.terms))
+        if not self.terms:
+            raise ValueError("relational atoms need at least one term")
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(_term_repr(t) for t in self.terms)})"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class EqAtom(Formula):
+    """An equality atom ``t1 = t2``."""
+
+    left: Term
+    right: Term
+
+    def __repr__(self) -> str:
+        return f"{_term_repr(self.left)} = {_term_repr(self.right)}"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class Not(Formula):
+    """Negation ``¬φ``."""
+
+    sub: Formula
+
+    def __repr__(self) -> str:
+        return f"¬({self.sub!r})"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class And(Formula):
+    """N-ary conjunction ``φ1 ∧ … ∧ φn``."""
+
+    subs: tuple[Formula, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "subs", tuple(self.subs))
+        if len(self.subs) < 1:
+            raise ValueError("And needs at least one conjunct")
+
+    def __repr__(self) -> str:
+        return "(" + " ∧ ".join(repr(s) for s in self.subs) + ")"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class Or(Formula):
+    """N-ary disjunction ``φ1 ∨ … ∨ φn``."""
+
+    subs: tuple[Formula, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "subs", tuple(self.subs))
+        if len(self.subs) < 1:
+            raise ValueError("Or needs at least one disjunct")
+
+    def __repr__(self) -> str:
+        return "(" + " ∨ ".join(repr(s) for s in self.subs) + ")"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class Implies(Formula):
+    """Implication ``φ → ψ`` (semantically ``¬φ ∨ ψ``).
+
+    Kept primitive because the guarded fragments ``Pos+∀G`` and
+    ``∃Pos+∀G_bool`` are *syntactic* classes whose defining rule is
+    ``∀x̄ (guard → body)``.
+    """
+
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} → {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class Exists(Formula):
+    """Existential quantification ``∃x1…xn φ``."""
+
+    vars: tuple[Var, ...]
+    sub: Formula
+
+    def __post_init__(self):
+        object.__setattr__(self, "vars", tuple(self.vars))
+        if not self.vars:
+            raise ValueError("Exists needs at least one variable")
+        if any(not isinstance(v, Var) for v in self.vars):
+            raise TypeError("quantified positions must be Var objects")
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.vars)
+        return f"∃{names} ({self.sub!r})"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class Forall(Formula):
+    """Universal quantification ``∀x1…xn φ``."""
+
+    vars: tuple[Var, ...]
+    sub: Formula
+
+    def __post_init__(self):
+        object.__setattr__(self, "vars", tuple(self.vars))
+        if not self.vars:
+            raise ValueError("Forall needs at least one variable")
+        if any(not isinstance(v, Var) for v in self.vars):
+            raise TypeError("quantified positions must be Var objects")
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.vars)
+        return f"∀{names} ({self.sub!r})"

@@ -1,0 +1,155 @@
+"""Ergonomic construction of formulae.
+
+Convention: in builder positions, a bare ``str`` denotes a *variable*
+and any other Python value denotes a constant.  To use a string as a
+constant, wrap it in :func:`const`.
+
+>>> R, S = Rel("R"), Rel("S")
+>>> phi = exists("z", R("x", "z") & S("z", "y"))
+>>> phi
+∃z ((R(x, z) ∧ S(z, y)))
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.logic.ast import (
+    FALSE,
+    TRUE,
+    And,
+    EqAtom,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    Term,
+    Var,
+)
+
+__all__ = [
+    "Rel",
+    "atom",
+    "var",
+    "const",
+    "eq",
+    "and_",
+    "or_",
+    "not_",
+    "implies",
+    "exists",
+    "forall",
+    "guard",
+    "eq_guard",
+    "TRUE",
+    "FALSE",
+]
+
+
+class _Const:
+    """Wrapper marking a string as a constant in builder positions."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Hashable):
+        self.value = value
+
+
+def const(value: Hashable) -> _Const:
+    """Force ``value`` (typically a string) to be read as a constant."""
+    return _Const(value)
+
+
+def var(name: str) -> Var:
+    """Make a variable explicitly (equivalent to a bare string in builders)."""
+    return Var(name)
+
+
+def _term(value) -> Term:
+    if isinstance(value, Var):
+        return value
+    if isinstance(value, _Const):
+        return value.value
+    if isinstance(value, str):
+        return Var(value)
+    return value
+
+
+class Rel:
+    """A relation-symbol factory: ``Rel("R")("x", 1)`` builds ``R(x, 1)``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __call__(self, *terms) -> RelAtom:
+        return RelAtom(self.name, tuple(_term(t) for t in terms))
+
+    def __repr__(self) -> str:
+        return f"Rel({self.name!r})"
+
+
+def atom(name: str, *terms) -> RelAtom:
+    """Build a relational atom directly."""
+    return RelAtom(name, tuple(_term(t) for t in terms))
+
+
+def eq(left, right) -> EqAtom:
+    """Equality atom ``left = right``."""
+    return EqAtom(_term(left), _term(right))
+
+
+def and_(*subs: Formula) -> Formula:
+    """Conjunction; a single argument is returned unchanged."""
+    return subs[0] if len(subs) == 1 else And(tuple(subs))
+
+
+def or_(*subs: Formula) -> Formula:
+    """Disjunction; a single argument is returned unchanged."""
+    return subs[0] if len(subs) == 1 else Or(tuple(subs))
+
+
+def not_(sub: Formula) -> Not:
+    """Negation."""
+    return Not(sub)
+
+
+def implies(left: Formula, right: Formula) -> Implies:
+    """Implication ``left → right``."""
+    return Implies(left, right)
+
+
+def exists(*args) -> Exists:
+    """``exists("x", "y", phi)``: existentially quantify the leading names."""
+    *names, body = args
+    return Exists(tuple(Var(n) if isinstance(n, str) else n for n in names), body)
+
+
+def forall(*args) -> Forall:
+    """``forall("x", "y", phi)``: universally quantify the leading names."""
+    *names, body = args
+    return Forall(tuple(Var(n) if isinstance(n, str) else n for n in names), body)
+
+
+def guard(name: str, variables: tuple[str, ...] | list[str], body: Formula) -> Forall:
+    """A universal guard ``∀x̄ (name(x̄) → body)`` in the Pos+∀G shape.
+
+    The variables must be pairwise distinct (checked here, because the
+    fragment's preservation theorem fails without it).
+    """
+    vs = tuple(Var(v) if isinstance(v, str) else v for v in variables)
+    if len(set(vs)) != len(vs):
+        raise ValueError("guard variables must be pairwise distinct")
+    return Forall(vs, Implies(RelAtom(name, vs), body))
+
+
+def eq_guard(x: str, z: str, body: Formula) -> Forall:
+    """The equality guard ``∀x,z (x = z → body)``."""
+    vx, vz = Var(x), Var(z)
+    if vx == vz:
+        raise ValueError("equality guard needs two distinct variables")
+    return Forall((vx, vz), Implies(EqAtom(vx, vz), body))

@@ -1,0 +1,180 @@
+"""Recognizers for the paper's syntactic fragments (Sections 5 and 7).
+
+The fragments, in increasing generality of their guard machinery:
+
+* ``∃Pos`` — existential positive formulae = unions of conjunctive
+  queries.  Naive evaluation is sound (and for Boolean FO complete)
+  under OWA.
+* ``Pos`` — positive formulae (adds ``∀``).  Sound under WCWA.
+* ``Pos+∀G`` — positive formulae plus universal guards
+  ``∀x̄ (R(x̄) → φ)`` and ``∀x,z (x=z → φ)`` with pairwise-distinct
+  quantified variables.  Sound under CWA.
+* ``∃Pos+∀G_bool`` — existential positive formulae plus *Boolean*
+  universal guards (the guarded formula must be a sentence:
+  free variables of the body are contained in the guard's variables).
+  Sound under the powerset semantics ``⦇·⦈_CWA``.
+
+Each recognizer answers membership, and :func:`why_not_in` produces a
+human-readable reason for non-membership — the query analyzer surfaces
+these to users.
+"""
+
+from __future__ import annotations
+
+from repro.logic.ast import (
+    And,
+    EqAtom,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    TrueF,
+    Var,
+)
+from repro.logic.transform import free_vars
+
+__all__ = [
+    "FRAGMENTS",
+    "in_epos",
+    "in_pos",
+    "in_pos_forall_g",
+    "in_epos_forall_gbool",
+    "in_fragment",
+    "why_not_in",
+    "classify",
+]
+
+#: Fragment identifiers, from most to least restrictive guard-wise.
+FRAGMENTS = ("EPos", "Pos", "PosForallG", "EPosForallGBool", "FO")
+
+
+def _guard_shape(formula: Forall) -> tuple[Formula, str] | tuple[None, str]:
+    """If ``formula`` is a universal guard, return ``(body, "")``.
+
+    Otherwise ``(None, reason)``.  A universal guard is
+    ``∀x1…xn (R(x1,…,xn) → φ)`` where the guard atom's arguments are
+    exactly the quantified variables, pairwise distinct (Section 5's
+    definition — the distinctness is essential, see the remark after
+    Proposition 5.1), or ``∀x,z (x = z → φ)`` with ``x ≠ z``.
+    """
+    if not isinstance(formula.sub, Implies):
+        return None, "not of the guard shape ∀x̄ (atom → φ)"
+    guard = formula.sub.left
+    body = formula.sub.right
+    quantified = formula.vars
+    if isinstance(guard, RelAtom):
+        if len(guard.terms) != len(quantified):
+            return None, "guard atom does not use exactly the quantified variables"
+        if tuple(guard.terms) != tuple(quantified):
+            return None, "guard atom arguments must be the quantified variables, in order"
+        if len(set(quantified)) != len(quantified):
+            return None, "guard variables must be pairwise distinct"
+        return body, ""
+    if isinstance(guard, EqAtom):
+        if len(quantified) != 2:
+            return None, "equality guards quantify exactly two variables"
+        pair = {guard.left, guard.right}
+        if pair != set(quantified) or len(pair) != 2:
+            return None, "equality guard must relate the two (distinct) quantified variables"
+        return body, ""
+    return None, "guard antecedent must be a relational or equality atom"
+
+
+def _check(
+    formula: Formula,
+    allow_forall: bool,
+    allow_guards: bool,
+    boolean_guards: bool,
+) -> str | None:
+    """Return ``None`` if the formula is in the fragment, else a reason."""
+    match formula:
+        case TrueF() | FalseF() | RelAtom() | EqAtom():
+            return None
+        case Not():
+            return f"negation is not allowed: {formula!r}"
+        case And(subs=subs) | Or(subs=subs):
+            for sub in subs:
+                reason = _check(sub, allow_forall, allow_guards, boolean_guards)
+                if reason:
+                    return reason
+            return None
+        case Implies():
+            return f"implication outside a universal guard: {formula!r}"
+        case Exists(sub=sub):
+            return _check(sub, allow_forall, allow_guards, boolean_guards)
+        case Forall() as phi:
+            if allow_guards:
+                body, guard_reason = _guard_shape(phi)
+                if body is not None:
+                    if boolean_guards and not (free_vars(body) <= set(phi.vars)):
+                        extra = ", ".join(
+                            sorted(v.name for v in free_vars(body) - set(phi.vars))
+                        )
+                        return (
+                            "Boolean guards require the guarded formula to be a "
+                            f"sentence, but {extra} occur(s) free: {phi!r}"
+                        )
+                    return _check(body, allow_forall, allow_guards, boolean_guards)
+                if not allow_forall:
+                    return f"universal quantification only via guards ({guard_reason}): {phi!r}"
+                # fall through: try as a plain positive ∀
+            if allow_forall:
+                return _check(phi.sub, allow_forall, allow_guards, boolean_guards)
+            return f"universal quantification is not allowed: {phi!r}"
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+_FRAGMENT_FLAGS = {
+    # name: (allow_forall, allow_guards, boolean_guards)
+    "EPos": (False, False, False),
+    "Pos": (True, False, False),
+    "PosForallG": (True, True, False),
+    "EPosForallGBool": (False, True, True),
+}
+
+
+def in_epos(formula: Formula) -> bool:
+    """Membership in ``∃Pos`` (unions of conjunctive queries)."""
+    return _check(formula, *_FRAGMENT_FLAGS["EPos"]) is None
+
+
+def in_pos(formula: Formula) -> bool:
+    """Membership in ``Pos`` (positive formulae)."""
+    return _check(formula, *_FRAGMENT_FLAGS["Pos"]) is None
+
+
+def in_pos_forall_g(formula: Formula) -> bool:
+    """Membership in ``Pos+∀G`` (positive with universal guards)."""
+    return _check(formula, *_FRAGMENT_FLAGS["PosForallG"]) is None
+
+
+def in_epos_forall_gbool(formula: Formula) -> bool:
+    """Membership in ``∃Pos+∀G_bool`` (existential positive with Boolean guards)."""
+    return _check(formula, *_FRAGMENT_FLAGS["EPosForallGBool"]) is None
+
+
+def in_fragment(formula: Formula, fragment: str) -> bool:
+    """Membership in a fragment given by name (see :data:`FRAGMENTS`)."""
+    if fragment == "FO":
+        return True
+    if fragment not in _FRAGMENT_FLAGS:
+        raise ValueError(f"unknown fragment {fragment!r}; expected one of {FRAGMENTS}")
+    return _check(formula, *_FRAGMENT_FLAGS[fragment]) is None
+
+
+def why_not_in(formula: Formula, fragment: str) -> str | None:
+    """A reason the formula falls outside the fragment, or ``None`` if it is in."""
+    if fragment == "FO":
+        return None
+    if fragment not in _FRAGMENT_FLAGS:
+        raise ValueError(f"unknown fragment {fragment!r}; expected one of {FRAGMENTS}")
+    return _check(formula, *_FRAGMENT_FLAGS[fragment])
+
+
+def classify(formula: Formula) -> tuple[str, ...]:
+    """All fragments (from :data:`FRAGMENTS`) that contain the formula."""
+    return tuple(f for f in FRAGMENTS if in_fragment(formula, f))

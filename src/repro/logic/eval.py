@@ -1,0 +1,156 @@
+"""Active-domain evaluation of FO formulae over instances.
+
+This is the first stage of naive evaluation (Section 2.4): the formula
+is evaluated directly on the (possibly incomplete) instance, with nulls
+treated as ordinary values — equal iff syntactically the same null.
+On complete instances it is just standard FO model checking with the
+active-domain semantics the paper assumes throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Mapping
+
+from repro.data.instance import Instance
+from repro.data.values import sort_key
+from repro.logic.ast import (
+    And,
+    EqAtom,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    Term,
+    TrueF,
+    Var,
+)
+from repro.logic.transform import free_vars
+
+__all__ = ["evaluate", "holds", "answers", "iter_answers"]
+
+Binding = Mapping[Var, Hashable]
+
+
+def _resolve(term: Term, binding: Binding) -> Hashable:
+    if isinstance(term, Var):
+        try:
+            return binding[term]
+        except KeyError:
+            raise ValueError(f"unbound variable {term!r} during evaluation") from None
+    return term
+
+
+def evaluate(formula: Formula, instance: Instance, binding: Binding | None = None) -> bool:
+    """Does ``instance ⊨ formula`` under ``binding``?
+
+    Quantifiers range over the *active domain* of the instance.  Nulls
+    participate exactly like constants (naive equality), so on
+    incomplete instances this computes the naive truth value.
+    """
+    binding = dict(binding or {})
+    domain = sorted(instance.adom(), key=sort_key)
+
+    def rec(phi: Formula, env: dict[Var, Hashable]) -> bool:
+        match phi:
+            case TrueF():
+                return True
+            case FalseF():
+                return False
+            case RelAtom(name=name, terms=terms):
+                row = tuple(_resolve(t, env) for t in terms)
+                return row in instance.tuples(name)
+            case EqAtom(left=left, right=right):
+                return _resolve(left, env) == _resolve(right, env)
+            case Not(sub=sub):
+                return not rec(sub, env)
+            case And(subs=subs):
+                return all(rec(s, env) for s in subs)
+            case Or(subs=subs):
+                return any(rec(s, env) for s in subs)
+            case Implies(left=left, right=right):
+                return (not rec(left, env)) or rec(right, env)
+            case Exists(vars=vs, sub=sub):
+                return _quantify(vs, sub, env, any_mode=True)
+            case Forall(vars=vs, sub=sub):
+                return _quantify(vs, sub, env, any_mode=False)
+        raise TypeError(f"not a formula: {phi!r}")
+
+    def _quantify(vs: tuple[Var, ...], sub: Formula, env: dict[Var, Hashable], any_mode: bool) -> bool:
+        def assign(index: int) -> bool:
+            if index == len(vs):
+                return rec(sub, env)
+            var = vs[index]
+            saved = env.get(var, _MISSING)
+            for value in domain:
+                env[var] = value
+                result = assign(index + 1)
+                if result is any_mode:
+                    _restore(env, var, saved)
+                    return any_mode
+            _restore(env, var, saved)
+            return not any_mode
+
+        return assign(0)
+
+    return rec(formula, binding)
+
+
+_MISSING = object()
+
+
+def _restore(env: dict, var: Var, saved) -> None:
+    if saved is _MISSING:
+        env.pop(var, None)
+    else:
+        env[var] = saved
+
+
+def holds(formula: Formula, instance: Instance) -> bool:
+    """Evaluate a sentence (no free variables allowed)."""
+    unbound = free_vars(formula)
+    if unbound:
+        names = ", ".join(sorted(v.name for v in unbound))
+        raise ValueError(f"formula has free variables ({names}); use answers()")
+    return evaluate(formula, instance)
+
+
+def iter_answers(
+    formula: Formula,
+    instance: Instance,
+    answer_vars: tuple[Var, ...],
+) -> Iterator[tuple[Hashable, ...]]:
+    """Yield tuples ``ā`` over the active domain with ``instance ⊨ φ(ā)``.
+
+    ``answer_vars`` fixes the order of the answer columns and must cover
+    all free variables of the formula.
+    """
+    missing = free_vars(formula) - set(answer_vars)
+    if missing:
+        names = ", ".join(sorted(v.name for v in missing))
+        raise ValueError(f"answer variables do not cover free variables: {names}")
+    domain = sorted(instance.adom(), key=sort_key)
+
+    def assign(index: int, env: dict[Var, Hashable]) -> Iterator[tuple[Hashable, ...]]:
+        if index == len(answer_vars):
+            if evaluate(formula, instance, env):
+                yield tuple(env[v] for v in answer_vars)
+            return
+        for value in domain:
+            env[answer_vars[index]] = value
+            yield from assign(index + 1, env)
+        env.pop(answer_vars[index], None)
+
+    yield from assign(0, {})
+
+
+def answers(
+    formula: Formula,
+    instance: Instance,
+    answer_vars: tuple[Var, ...],
+) -> frozenset[tuple[Hashable, ...]]:
+    """All answers ``{ā ∈ adom^k : instance ⊨ φ(ā)}`` as a frozen set."""
+    return frozenset(iter_answers(formula, instance, answer_vars))

@@ -1,0 +1,131 @@
+"""Random formula generation, stratified by syntactic fragment.
+
+The Figure 1 validation harness samples queries from each fragment and
+checks that naive evaluation agrees with the certain-answer oracle on
+random instances.  Generators guarantee membership in the requested
+fragment (asserted via the recognizers) and produce *sentences* by
+existentially closing leftover free variables.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.schema import Schema
+from repro.logic.ast import And, Exists, Forall, Formula, Implies, Or, RelAtom, Var
+from repro.logic.classes import in_fragment
+from repro.logic.transform import free_vars
+
+__all__ = ["random_sentence", "random_kary_query"]
+
+
+def _random_atom(schema: Schema, rng: random.Random, pool: list[Var]) -> Formula:
+    name = rng.choice(list(schema.relations))
+    terms = tuple(rng.choice(pool) for _ in range(schema.arity(name)))
+    return RelAtom(name, terms)
+
+
+def _build(
+    schema: Schema,
+    rng: random.Random,
+    pool: list[Var],
+    depth: int,
+    fragment: str,
+    fresh_counter: list[int],
+) -> Formula:
+    if depth <= 0 or rng.random() < 0.3:
+        return _random_atom(schema, rng, pool)
+
+    options = ["and", "or", "exists"]
+    if fragment in ("Pos", "PosForallG"):
+        options.append("forall")
+    if fragment in ("PosForallG", "EPosForallGBool"):
+        options.append("guard")
+    op = rng.choice(options)
+
+    if op in ("and", "or"):
+        left = _build(schema, rng, pool, depth - 1, fragment, fresh_counter)
+        right = _build(schema, rng, pool, depth - 1, fragment, fresh_counter)
+        return And((left, right)) if op == "and" else Or((left, right))
+
+    if op in ("exists", "forall"):
+        fresh_counter[0] += 1
+        var = Var(f"q{fresh_counter[0]}")
+        body = _build(schema, rng, pool + [var], depth - 1, fragment, fresh_counter)
+        return Exists((var,), body) if op == "exists" else Forall((var,), body)
+
+    # guard: ∀ḡ (R(ḡ) → body)
+    name = rng.choice(list(schema.relations))
+    arity = schema.arity(name)
+    guard_vars = []
+    for _ in range(arity):
+        fresh_counter[0] += 1
+        guard_vars.append(Var(f"g{fresh_counter[0]}"))
+    guard_vars = tuple(guard_vars)
+    if fragment == "EPosForallGBool":
+        # Boolean guards: the body may only use the guard variables.
+        body_pool = list(guard_vars)
+    else:
+        body_pool = pool + list(guard_vars)
+    body = _build(schema, rng, body_pool, depth - 1, fragment, fresh_counter)
+    if fragment == "EPosForallGBool":
+        # close any variable the recursion existentially introduced but
+        # left free (cannot happen for guard vars; safety net for atoms)
+        loose = sorted(free_vars(body) - set(guard_vars), key=lambda v: v.name)
+        if loose:
+            body = Exists(tuple(loose), body)
+    return Forall(guard_vars, Implies(RelAtom(name, guard_vars), body))
+
+
+def random_sentence(
+    schema: Schema,
+    rng: random.Random,
+    fragment: str = "EPos",
+    max_depth: int = 3,
+) -> Formula:
+    """A random Boolean sentence guaranteed to lie in ``fragment``."""
+    counter = [0]
+    seed_pool = [Var("s1"), Var("s2")]
+    phi = _build(schema, rng, seed_pool, max_depth, fragment, counter)
+    loose = sorted(free_vars(phi), key=lambda v: v.name)
+    if loose:
+        phi = Exists(tuple(loose), phi)
+    assert in_fragment(phi, fragment), f"generator escaped {fragment}: {phi!r}"
+    return phi
+
+
+def random_kary_query(
+    schema: Schema,
+    rng: random.Random,
+    fragment: str = "EPos",
+    arity: int = 1,
+    max_depth: int = 2,
+):
+    """A random k-ary query in ``fragment`` (free variables = answers).
+
+    Built by generating a sentence-in-progress and withholding ``arity``
+    variables from closure; the head variables are guaranteed to occur.
+    """
+    from repro.logic.queries import Query
+
+    counter = [0]
+    head = tuple(Var(f"a{i}") for i in range(arity))
+    # anchor every head variable in an atom so the query is safe
+    anchors = []
+    for var in head:
+        name = rng.choice(list(schema.relations))
+        k = schema.arity(name)
+        position = rng.randrange(k)
+        terms = tuple(
+            var if j == position else Var(f"x{counter[0] * k + j}")
+            for j in range(k)
+        )
+        counter[0] += 1
+        anchors.append(RelAtom(name, terms))
+    body = _build(schema, rng, list(head), max_depth, fragment, counter)
+    phi: Formula = And(tuple(anchors) + (body,))
+    loose = sorted(free_vars(phi) - set(head), key=lambda v: v.name)
+    if loose:
+        phi = Exists(tuple(loose), phi)
+    assert in_fragment(phi, fragment), f"generator escaped {fragment}: {phi!r}"
+    return Query(phi, head, name=f"rand_{fragment}_{arity}ary")

@@ -1,0 +1,230 @@
+"""A small text syntax for FO formulae.
+
+Grammar (ASCII forms shown; the unicode connectives ∃ ∀ ∧ ∨ ¬ → are
+accepted as synonyms)::
+
+    formula     := implication
+    implication := disjunction [ "->" implication ]          (right assoc)
+    disjunction := conjunction { "|" conjunction }
+    conjunction := unary { "&" unary }
+    unary       := "!" unary | quantifier | primary
+    quantifier  := ("exists" | "forall") ident {"," ident} "." formula
+    primary     := "true" | "false" | "(" formula ")"
+                 | ident "(" term {"," term} ")"             relational atom
+                 | term "=" term                             equality atom
+    term        := ident            → variable
+                 | number           → integer constant
+                 | 'text' | "text"  → string constant
+
+A quantifier's body extends as far right as possible (dot notation).
+
+>>> parse("exists z (R(x,z) & S(z,y))")        # parentheses work too
+∃z ((R(x, z) ∧ S(z, y)))
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+from repro.logic.ast import (
+    FALSE,
+    TRUE,
+    And,
+    EqAtom,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    Term,
+    Var,
+)
+
+__all__ = ["parse", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised on malformed formula text, with position information."""
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    pos: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>->|→)
+  | (?P<and>&|∧|/\\)
+  | (?P<or>\||∨|\\/)
+  | (?P<not>!|~|¬)
+  | (?P<exists>∃)
+  | (?P<forall>∀)
+  | (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<comma>,)
+  | (?P<dot>\.)
+  | (?P<eqsign>=)
+  | (?P<number>-?\d+)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_']*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"exists", "forall", "true", "false"}
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at position {pos}")
+        kind = match.lastgroup or ""
+        value = match.group()
+        pos = match.end()
+        if kind == "ws":
+            continue
+        if kind == "ident" and value in _KEYWORDS:
+            kind = value
+        if kind == "exists":
+            kind, value = "exists", "exists"
+        if kind == "forall":
+            kind, value = "forall", "forall"
+        yield _Token(kind, value, match.start())
+    yield _Token("eof", "", len(text))
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._text = text
+        self._tokens = list(_tokenize(text))
+        self._index = 0
+
+    # token plumbing -----------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _next(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind} at position {token.pos}, found {token.text or 'end of input'!r}"
+            )
+        return self._next()
+
+    # grammar ------------------------------------------------------------
+
+    def parse(self) -> Formula:
+        formula = self._implication()
+        tail = self._peek()
+        if tail.kind != "eof":
+            raise ParseError(f"trailing input at position {tail.pos}: {tail.text!r}")
+        return formula
+
+    def _implication(self) -> Formula:
+        left = self._disjunction()
+        if self._peek().kind == "arrow":
+            self._next()
+            right = self._implication()
+            return Implies(left, right)
+        return left
+
+    def _disjunction(self) -> Formula:
+        parts = [self._conjunction()]
+        while self._peek().kind == "or":
+            self._next()
+            parts.append(self._conjunction())
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+    def _conjunction(self) -> Formula:
+        parts = [self._unary()]
+        while self._peek().kind == "and":
+            self._next()
+            parts.append(self._unary())
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def _unary(self) -> Formula:
+        token = self._peek()
+        if token.kind == "not":
+            self._next()
+            return Not(self._unary())
+        if token.kind in ("exists", "forall"):
+            return self._quantifier()
+        return self._primary()
+
+    def _quantifier(self) -> Formula:
+        token = self._next()
+        names = [self._expect("ident").text]
+        while self._peek().kind == "comma":
+            self._next()
+            names.append(self._expect("ident").text)
+        if self._peek().kind == "dot":
+            self._next()
+            body = self._implication()
+        else:
+            # parenthesised body: exists x (phi)
+            self._expect("lpar")
+            body = self._implication()
+            self._expect("rpar")
+        variables = tuple(Var(n) for n in names)
+        return Exists(variables, body) if token.kind == "exists" else Forall(variables, body)
+
+    def _primary(self) -> Formula:
+        token = self._peek()
+        if token.kind == "true":
+            self._next()
+            return TRUE
+        if token.kind == "false":
+            self._next()
+            return FALSE
+        if token.kind == "lpar":
+            self._next()
+            inner = self._implication()
+            self._expect("rpar")
+            return inner
+        if token.kind == "ident":
+            self._next()
+            if self._peek().kind == "lpar":
+                self._next()
+                terms = [self._term()]
+                while self._peek().kind == "comma":
+                    self._next()
+                    terms.append(self._term())
+                self._expect("rpar")
+                return RelAtom(token.text, tuple(terms))
+            # bare identifier must start an equality
+            self._expect("eqsign")
+            return EqAtom(Var(token.text), self._term())
+        if token.kind in ("number", "string"):
+            left = self._term()
+            self._expect("eqsign")
+            return EqAtom(left, self._term())
+        raise ParseError(f"expected a formula at position {token.pos}, found {token.text!r}")
+
+    def _term(self) -> Term:
+        token = self._next()
+        if token.kind == "ident":
+            return Var(token.text)
+        if token.kind == "number":
+            return int(token.text)
+        if token.kind == "string":
+            return token.text[1:-1]
+        raise ParseError(f"expected a term at position {token.pos}, found {token.text!r}")
+
+
+def parse(text: str) -> Formula:
+    """Parse formula text into an AST (see module docstring for syntax)."""
+    return _Parser(text).parse()

@@ -1,0 +1,208 @@
+"""Structural operations on formulae: free variables, substitution, shapes.
+
+These are the workhorses behind evaluation (assignments substitute
+values for variables), fragment recognition, and the query wrapper.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Mapping
+
+from repro.logic.ast import (
+    And,
+    EqAtom,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    Term,
+    TrueF,
+    Var,
+)
+
+__all__ = [
+    "free_vars",
+    "all_vars",
+    "substitute",
+    "is_sentence",
+    "relations_used",
+    "constants_used",
+    "subformulas",
+    "quantifier_depth",
+    "nnf",
+]
+
+
+def free_vars(formula: Formula) -> frozenset[Var]:
+    """The free variables of ``formula``."""
+    match formula:
+        case TrueF() | FalseF():
+            return frozenset()
+        case RelAtom(terms=terms):
+            return frozenset(t for t in terms if isinstance(t, Var))
+        case EqAtom(left=left, right=right):
+            return frozenset(t for t in (left, right) if isinstance(t, Var))
+        case Not(sub=sub):
+            return free_vars(sub)
+        case And(subs=subs) | Or(subs=subs):
+            out: frozenset[Var] = frozenset()
+            for sub in subs:
+                out |= free_vars(sub)
+            return out
+        case Implies(left=left, right=right):
+            return free_vars(left) | free_vars(right)
+        case Exists(vars=vs, sub=sub) | Forall(vars=vs, sub=sub):
+            return free_vars(sub) - frozenset(vs)
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def all_vars(formula: Formula) -> frozenset[Var]:
+    """Every variable occurring in ``formula``, free or bound."""
+    match formula:
+        case TrueF() | FalseF():
+            return frozenset()
+        case RelAtom(terms=terms):
+            return frozenset(t for t in terms if isinstance(t, Var))
+        case EqAtom(left=left, right=right):
+            return frozenset(t for t in (left, right) if isinstance(t, Var))
+        case Not(sub=sub):
+            return all_vars(sub)
+        case And(subs=subs) | Or(subs=subs):
+            out: frozenset[Var] = frozenset()
+            for sub in subs:
+                out |= all_vars(sub)
+            return out
+        case Implies(left=left, right=right):
+            return all_vars(left) | all_vars(right)
+        case Exists(vars=vs, sub=sub) | Forall(vars=vs, sub=sub):
+            return all_vars(sub) | frozenset(vs)
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def _subst_term(term: Term, binding: Mapping[Var, Hashable]) -> Term:
+    if isinstance(term, Var) and term in binding:
+        return binding[term]
+    return term
+
+
+def substitute(formula: Formula, binding: Mapping[Var, Hashable]) -> Formula:
+    """Replace free variables by *values* (constants or nulls).
+
+    Only ground substitutions are supported — substituting values can
+    never capture a bound variable, which keeps this total and simple.
+    """
+    if not binding:
+        return formula
+    match formula:
+        case TrueF() | FalseF():
+            return formula
+        case RelAtom(name=name, terms=terms):
+            return RelAtom(name, tuple(_subst_term(t, binding) for t in terms))
+        case EqAtom(left=left, right=right):
+            return EqAtom(_subst_term(left, binding), _subst_term(right, binding))
+        case Not(sub=sub):
+            return Not(substitute(sub, binding))
+        case And(subs=subs):
+            return And(tuple(substitute(s, binding) for s in subs))
+        case Or(subs=subs):
+            return Or(tuple(substitute(s, binding) for s in subs))
+        case Implies(left=left, right=right):
+            return Implies(substitute(left, binding), substitute(right, binding))
+        case Exists(vars=vs, sub=sub):
+            inner = {k: v for k, v in binding.items() if k not in vs}
+            return Exists(vs, substitute(sub, inner))
+        case Forall(vars=vs, sub=sub):
+            inner = {k: v for k, v in binding.items() if k not in vs}
+            return Forall(vs, substitute(sub, inner))
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def is_sentence(formula: Formula) -> bool:
+    """True iff the formula has no free variables (a Boolean query)."""
+    return not free_vars(formula)
+
+
+def relations_used(formula: Formula) -> frozenset[str]:
+    """Names of all relation symbols occurring in the formula."""
+    return frozenset(
+        sub.name for sub in subformulas(formula) if isinstance(sub, RelAtom)
+    )
+
+
+def constants_used(formula: Formula) -> frozenset[Hashable]:
+    """All constant values mentioned in atoms of the formula."""
+    consts: set[Hashable] = set()
+    for sub in subformulas(formula):
+        if isinstance(sub, RelAtom):
+            consts.update(t for t in sub.terms if not isinstance(t, Var))
+        elif isinstance(sub, EqAtom):
+            consts.update(t for t in (sub.left, sub.right) if not isinstance(t, Var))
+    return frozenset(consts)
+
+
+def subformulas(formula: Formula) -> Iterator[Formula]:
+    """Depth-first traversal of all subformulae, the formula included."""
+    yield formula
+    match formula:
+        case Not(sub=sub) | Exists(sub=sub) | Forall(sub=sub):
+            yield from subformulas(sub)
+        case And(subs=subs) | Or(subs=subs):
+            for sub in subs:
+                yield from subformulas(sub)
+        case Implies(left=left, right=right):
+            yield from subformulas(left)
+            yield from subformulas(right)
+
+
+def quantifier_depth(formula: Formula) -> int:
+    """Maximum nesting depth of quantifier blocks."""
+    match formula:
+        case TrueF() | FalseF() | RelAtom() | EqAtom():
+            return 0
+        case Not(sub=sub):
+            return quantifier_depth(sub)
+        case And(subs=subs) | Or(subs=subs):
+            return max(quantifier_depth(s) for s in subs)
+        case Implies(left=left, right=right):
+            return max(quantifier_depth(left), quantifier_depth(right))
+        case Exists(sub=sub) | Forall(sub=sub):
+            return 1 + quantifier_depth(sub)
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def nnf(formula: Formula, negate: bool = False) -> Formula:
+    """Negation normal form, with ``→`` compiled away.
+
+    With ``negate=True`` returns the NNF of ``¬formula``.  Useful for
+    comparing syntactically different but logically related formulae and
+    for the random-formula generators.
+    """
+    match formula:
+        case TrueF():
+            return FalseF() if negate else formula
+        case FalseF():
+            return TrueF() if negate else formula
+        case RelAtom() | EqAtom():
+            return Not(formula) if negate else formula
+        case Not(sub=sub):
+            return nnf(sub, not negate)
+        case And(subs=subs):
+            parts = tuple(nnf(s, negate) for s in subs)
+            return Or(parts) if negate else And(parts)
+        case Or(subs=subs):
+            parts = tuple(nnf(s, negate) for s in subs)
+            return And(parts) if negate else Or(parts)
+        case Implies(left=left, right=right):
+            # φ → ψ  ≡  ¬φ ∨ ψ
+            if negate:
+                return And((nnf(left), nnf(right, True)))
+            return Or((nnf(left, True), nnf(right)))
+        case Exists(vars=vs, sub=sub):
+            return Forall(vs, nnf(sub, True)) if negate else Exists(vs, nnf(sub))
+        case Forall(vars=vs, sub=sub):
+            return Exists(vs, nnf(sub, True)) if negate else Forall(vs, nnf(sub))
+    raise TypeError(f"not a formula: {formula!r}")

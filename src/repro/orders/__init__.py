@@ -1,0 +1,47 @@
+"""Information orderings: semantic, Codd (Hoare/Plotkin), and update closures."""
+
+from repro.orders.codd import (
+    cwa_codd_leq,
+    has_refinement_matching,
+    hoare_leq,
+    plotkin_leq,
+)
+from repro.orders.codd_updates import (
+    codd_add_copy,
+    codd_reachable,
+    codd_replace,
+    iter_codd_cwa_updates,
+)
+from repro.orders.semantic import ORDERINGS, leq_cwa, leq_owa, leq_pcwa, leq_wcwa
+from repro.orders.updates import (
+    copying_update,
+    cwa_update,
+    iter_copying_updates,
+    iter_cwa_updates,
+    iter_owa_updates,
+    owa_update,
+    reachable,
+)
+
+__all__ = [
+    "cwa_codd_leq",
+    "codd_add_copy",
+    "codd_reachable",
+    "codd_replace",
+    "iter_codd_cwa_updates",
+    "has_refinement_matching",
+    "hoare_leq",
+    "plotkin_leq",
+    "ORDERINGS",
+    "leq_cwa",
+    "leq_owa",
+    "leq_pcwa",
+    "leq_wcwa",
+    "copying_update",
+    "cwa_update",
+    "iter_copying_updates",
+    "iter_cwa_updates",
+    "iter_owa_updates",
+    "owa_update",
+    "reachable",
+]

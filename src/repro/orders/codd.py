@@ -1,0 +1,105 @@
+"""Orderings on Codd databases: Hoare, Plotkin, and the CWA refinement.
+
+Section 6 recalls the classical powerdomain orderings on Codd databases
+(nulls do not repeat, modelling SQL's single ``NULL``):
+
+* ``D ⊑^H D'`` (Hoare):   every tuple of ``D`` is refined by one of ``D'``;
+* ``D ⊑^P D'`` (Plotkin): Hoare, and every tuple of ``D'`` refines one
+  of ``D``.
+
+[Libkin 2011] (recalled in Section 6) characterises the semantic
+orderings restricted to Codd databases: ``≼_OWA`` coincides with
+``⊑^H``, while ``≼_CWA`` is ``⊑^P`` **plus** a perfect matching from
+``D'`` into ``D`` under tuple refinement.  Theorem 7.1 shows the
+powerset ordering ``⋐_CWA`` is exactly ``⊑^P`` on Codd databases — the
+motivating fact for the powerset semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.data.codd import tuple_leq
+from repro.data.instance import Instance
+
+__all__ = ["hoare_leq", "plotkin_leq", "has_refinement_matching", "cwa_codd_leq"]
+
+
+def _check_codd(*instances: Instance) -> None:
+    for inst in instances:
+        if not inst.is_codd():
+            raise ValueError(f"Codd orderings need Codd databases; nulls repeat in {inst!r}")
+
+
+def hoare_leq(left: Instance, right: Instance) -> bool:
+    """``left ⊑^H right``: each left tuple has a refinement on the right."""
+    _check_codd(left, right)
+    names = set(left.relations) | set(right.relations)
+    for name in names:
+        for t in left.tuples(name):
+            if not any(tuple_leq(t, s) for s in right.tuples(name)):
+                return False
+    return True
+
+
+def plotkin_leq(left: Instance, right: Instance) -> bool:
+    """``left ⊑^P right``: Hoare plus every right tuple refines a left one."""
+    if not hoare_leq(left, right):
+        return False
+    names = set(left.relations) | set(right.relations)
+    for name in names:
+        for s in right.tuples(name):
+            if not any(tuple_leq(t, s) for t in left.tuples(name)):
+                return False
+    return True
+
+
+def _max_matching(adjacency: Sequence[Sequence[int]], n_right: int) -> int:
+    """Maximum bipartite matching size via augmenting paths (Kuhn's algorithm)."""
+    match_right = [-1] * n_right
+
+    def try_augment(u: int, seen: list[bool]) -> bool:
+        for v in adjacency[u]:
+            if seen[v]:
+                continue
+            seen[v] = True
+            if match_right[v] == -1 or try_augment(match_right[v], seen):
+                match_right[v] = u
+                return True
+        return False
+
+    size = 0
+    for u in range(len(adjacency)):
+        if try_augment(u, [False] * n_right):
+            size += 1
+    return size
+
+
+def has_refinement_matching(left: Instance, right: Instance) -> bool:
+    """A perfect matching from ``right`` tuples into ``left`` tuples under ``⊒``.
+
+    Each tuple of ``right`` must be matched with a *distinct* tuple of
+    ``left`` that it refines, relation by relation (the matching
+    condition of [Libkin 2011] for ``≼_CWA`` over Codd databases).
+    """
+    _check_codd(left, right)
+    names = set(left.relations) | set(right.relations)
+    for name in names:
+        right_rows = sorted(right.tuples(name), key=repr)
+        left_rows = sorted(left.tuples(name), key=repr)
+        adjacency = [
+            [j for j, t in enumerate(left_rows) if tuple_leq(t, s)]
+            for s in right_rows
+        ]
+        if _max_matching(adjacency, len(left_rows)) != len(right_rows):
+            return False
+    return True
+
+
+def cwa_codd_leq(left: Instance, right: Instance) -> bool:
+    """The [Libkin 2011] characterisation of ``≼_CWA`` over Codd databases.
+
+    ``left ≼_CWA right`` iff ``left ⊑^P right`` and tuple refinement has
+    a perfect matching from ``right`` to ``left``.
+    """
+    return plotkin_leq(left, right) and has_refinement_matching(left, right)

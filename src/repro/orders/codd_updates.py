@@ -1,0 +1,146 @@
+"""Codd-database updates and their closures (Section 6, Libkin 1995 recap).
+
+SQL's single ``NULL`` has no identity, so updates on Codd databases act
+on *occurrences*:
+
+* ``D[v/R(t.i)]``  — replace the null occurrence at position ``i`` of
+  tuple ``t`` in-place;
+* ``D⁺[v/R(t.i)]`` — add a copy of ``t`` with that occurrence replaced,
+  retaining the original (other null positions of the copy take fresh
+  nulls, keeping the instance Codd — unmarked nulls carry no identity);
+* OWA update       — add an arbitrary tuple.
+
+The paper recalls (from [Libkin 1995]) that over Codd databases the
+reflexive-transitive closure of the Codd-CWA updates is exactly the
+Plotkin ordering ``⊑ᴾ``, and adding OWA updates yields the Hoare
+ordering ``⊑ᴴ``.  :func:`codd_reachable` makes both checkable.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Sequence
+
+from repro.data.instance import Instance
+from repro.data.values import Null, NullFactory, sort_key
+from repro.orders.updates import canonical_nulls, iter_owa_updates
+
+__all__ = [
+    "codd_replace",
+    "codd_add_copy",
+    "iter_codd_cwa_updates",
+    "codd_reachable",
+]
+
+
+def _replace_at(row: tuple, index: int, value: Hashable) -> tuple:
+    return row[:index] + (value,) + row[index + 1 :]
+
+
+def codd_replace(
+    instance: Instance, name: str, row: tuple, index: int, value: Hashable
+) -> Instance:
+    """``D[v/R(t.i)]``: in-place replacement of one null occurrence."""
+    if not isinstance(row[index], Null):
+        raise ValueError(f"position {index} of {row!r} holds no null")
+    return instance.remove_fact(name, row).add_fact(name, _replace_at(row, index, value))
+
+
+def codd_add_copy(
+    instance: Instance,
+    name: str,
+    row: tuple,
+    index: int,
+    value: Hashable,
+    factory: NullFactory | None = None,
+) -> Instance:
+    """``D⁺[v/R(t.i)]``: add a refined copy of ``t``, keep the original.
+
+    Null positions of the copy other than ``index`` receive fresh nulls
+    so the result stays a Codd database.
+    """
+    if not isinstance(row[index], Null):
+        raise ValueError(f"position {index} of {row!r} holds no null")
+    factory = factory or NullFactory("cc")
+    copy = tuple(
+        value
+        if j == index
+        else (factory.fresh() if isinstance(v, Null) else v)
+        for j, v in enumerate(row)
+    )
+    return instance.add_fact(name, copy)
+
+
+def iter_codd_cwa_updates(
+    instance: Instance, values: Sequence[Hashable]
+) -> Iterator[Instance]:
+    """All single Codd-CWA update results over the value pool."""
+    factory = NullFactory("cc")
+    for name, row in instance.facts():
+        for index, cell in enumerate(row):
+            if not isinstance(cell, Null):
+                continue
+            for value in values:
+                if value == cell:
+                    continue
+                yield codd_replace(instance, name, row, index, value)
+                yield codd_add_copy(instance, name, row, index, value, factory)
+
+
+def codd_reachable(
+    source: Instance,
+    target: Instance,
+    with_owa: bool = False,
+    max_steps: int | None = None,
+    max_frontier: int = 50_000,
+) -> bool:
+    """Is ``target`` reachable from ``source`` by Codd(-CWA[+OWA]) updates?
+
+    Both instances must be Codd databases.  Bounded BFS with canonical
+    null-relabelling deduplication, substitution values from the
+    target's constants (sufficient by the closure theorems).
+    """
+    if not source.is_codd() or not target.is_codd():
+        raise ValueError("Codd updates operate on Codd databases")
+    values = sorted(target.constants(), key=sort_key)
+    if max_steps is None:
+        max_steps = 2 * (source.fact_count() + target.fact_count()) + 2
+    max_facts = 2 * max(target.fact_count(), source.fact_count())
+    max_nulls = (
+        sum(1 for _n, row in source.facts() for v in row if isinstance(v, Null))
+        + sum(1 for _n, row in target.facts() for v in row if isinstance(v, Null))
+        + 2
+    )
+
+    goal = canonical_nulls(target)
+    start = canonical_nulls(source)
+    if start == goal:
+        return True
+
+    def admissible(state: Instance) -> bool:
+        if state.fact_count() > max_facts or len(state.nulls()) > max_nulls:
+            return False
+        return state.constants() <= (target.constants() | source.constants())
+
+    frontier = {start}
+    seen = {start}
+    for _ in range(max_steps):
+        next_frontier: set[Instance] = set()
+        for current in frontier:
+            streams = [iter_codd_cwa_updates(current, values)]
+            if with_owa:
+                streams.append(iter_owa_updates(current, values, schema=target.schema()))
+            for stream in streams:
+                for updated in stream:
+                    state = canonical_nulls(updated)
+                    if state == goal:
+                        return True
+                    if state in seen or not admissible(state):
+                        continue
+                    seen.add(state)
+                    next_frontier.add(state)
+                    if len(seen) > max_frontier:
+                        raise RuntimeError("Codd update search exceeded the frontier bound")
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return False

@@ -1,0 +1,63 @@
+"""Semantic orderings on naive databases (Section 6, Proposition 6.1).
+
+``x ≼ y ⇔ [[y]] ⊆ [[x]]`` — "y is at least as informative as x".  For
+the standard relational semantics these orderings are characterised by
+the existence of database homomorphisms:
+
+* ``D ≼_OWA D'``  — a homomorphism ``D → D'``;
+* ``D ≼_CWA D'``  — a strong onto homomorphism (``h(D) = D'``);
+* ``D ≼_WCWA D'`` — an onto homomorphism;
+* ``D ⋐_CWA D'``  — a *set* of homomorphisms with ``⋃ h_i(D) = D'``
+  (the powerset ordering, Theorem 7.1).
+
+All homomorphisms here are database homomorphisms (identity on
+constants); both arguments may be incomplete.
+"""
+
+from __future__ import annotations
+
+from repro.data.instance import Instance
+from repro.homs.search import has_homomorphism, iter_homomorphisms
+
+__all__ = ["leq_owa", "leq_cwa", "leq_wcwa", "leq_pcwa", "ORDERINGS"]
+
+
+def leq_owa(left: Instance, right: Instance) -> bool:
+    """``left ≼_OWA right``: a database homomorphism ``left → right`` exists."""
+    return has_homomorphism(left, right, fix_constants=True)
+
+
+def leq_cwa(left: Instance, right: Instance) -> bool:
+    """``left ≼_CWA right``: a strong onto database homomorphism exists."""
+    return has_homomorphism(left, right, fix_constants=True, strong_onto=True)
+
+
+def leq_wcwa(left: Instance, right: Instance) -> bool:
+    """``left ≼_WCWA right``: an onto database homomorphism exists."""
+    return has_homomorphism(left, right, fix_constants=True, onto=True)
+
+
+def leq_pcwa(left: Instance, right: Instance) -> bool:
+    """``left ⋐_CWA right``: homomorphisms ``h_1..h_n`` with ``⋃ h_i(left) = right``.
+
+    Every candidate image is a subinstance of ``right``, so it suffices
+    to union *all* homomorphisms ``left → right`` and test coverage
+    (Theorem 7.1, first item).
+    """
+    covered = Instance.empty()
+    found_any = False
+    for hom in iter_homomorphisms(left, right, fix_constants=True):
+        found_any = True
+        covered = covered.union(left.apply(hom))
+        if right.issubinstance(covered):
+            return True
+    return found_any and covered == right
+
+
+#: name → predicate, for parametrised tests and benches
+ORDERINGS = {
+    "owa": leq_owa,
+    "cwa": leq_cwa,
+    "wcwa": leq_wcwa,
+    "pcwa": leq_pcwa,
+}

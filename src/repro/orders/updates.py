@@ -1,0 +1,183 @@
+"""Informativeness-increasing updates and their closures (Sections 6–7).
+
+The paper justifies the semantic orderings by *updates* that make an
+instance more informative:
+
+* CWA update    ``D ֌ D[v/⊥]`` — replace a null everywhere;
+* OWA update    ``D ֌ D ∪ R(t)`` — add a tuple;
+* copying CWA update ``D ֌ D[v/⊥] ∪ D^fresh`` — substitute *and* keep a
+  copy of the original with all-fresh nulls (Section 7): tuples may be
+  added, but only ones that mimic the original database.
+
+Theorem 6.2: the reflexive-transitive closure of CWA updates is
+``≼_CWA``, and of CWA+OWA updates is ``≼_OWA``.  Theorem 7.1: the
+closure of CWA+copying updates is ``⋐_CWA``.
+
+Exact reachability search is explosive (copying updates even mint fresh
+nulls), so :func:`reachable` performs a bounded BFS: substitution values
+come from the *target's* values (by the theorems' proofs this suffices
+whenever the ordering holds), states are deduplicated up to a canonical
+null renaming, and null/fact counts are capped.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Sequence
+
+from repro.data.instance import Instance
+from repro.data.values import Null, NullFactory, sort_key
+
+__all__ = [
+    "cwa_update",
+    "copying_update",
+    "owa_update",
+    "iter_cwa_updates",
+    "iter_copying_updates",
+    "iter_owa_updates",
+    "canonical_nulls",
+    "reachable",
+]
+
+
+def cwa_update(instance: Instance, null: Null, value: Hashable) -> Instance:
+    """``D[v/⊥]``: replace every occurrence of ``null`` by ``value``."""
+    return instance.apply({null: value})
+
+
+def copying_update(
+    instance: Instance,
+    null: Null,
+    value: Hashable,
+    factory: NullFactory | None = None,
+) -> Instance:
+    """``D[v/⊥] ∪ D^fresh``: substitute, keeping an all-fresh copy of ``D``."""
+    factory = factory or NullFactory("cp")
+    fresh_copy, _ = instance.with_fresh_values(instance.nulls(), factory.fresh)
+    return instance.apply({null: value}).union(fresh_copy)
+
+
+def owa_update(instance: Instance, name: str, row: tuple) -> Instance:
+    """``D ∪ R(t)``: add one tuple."""
+    return instance.add_fact(name, row)
+
+
+def iter_cwa_updates(
+    instance: Instance, values: Sequence[Hashable]
+) -> Iterator[Instance]:
+    """All single CWA update results with substitution values in ``values``."""
+    for null in sorted(instance.nulls(), key=sort_key):
+        for value in values:
+            if value != null:
+                yield cwa_update(instance, null, value)
+
+
+def iter_copying_updates(
+    instance: Instance, values: Sequence[Hashable]
+) -> Iterator[Instance]:
+    """All single copying updates with substitution values in ``values``."""
+    factory = NullFactory("cp")
+    for null in sorted(instance.nulls(), key=sort_key):
+        for value in values:
+            if value != null:
+                yield copying_update(instance, null, value, factory)
+
+
+def iter_owa_updates(
+    instance: Instance, values: Sequence[Hashable], schema=None
+) -> Iterator[Instance]:
+    """All single-tuple additions over ``values`` and the instance's schema."""
+    from itertools import product
+
+    schema = schema or instance.schema()
+    for name in schema.relations:
+        for row in product(values, repeat=schema.arity(name)):
+            if row not in instance.tuples(name):
+                yield owa_update(instance, name, row)
+
+
+def canonical_nulls(instance: Instance) -> Instance:
+    """Rename nulls to ``⊥#0, ⊥#1, …`` by first occurrence in sorted fact order.
+
+    A cheap canonical form used to deduplicate BFS states that differ
+    only in the labels of (fresh) nulls.  It is order-heuristic rather
+    than a true graph canonisation, which only costs occasional
+    duplicate states — never wrong answers.
+    """
+    mapping: dict[Null, Null] = {}
+    for _name, row in instance.facts():
+        for value in row:
+            if isinstance(value, Null) and value not in mapping:
+                mapping[value] = Null(f"#{len(mapping)}")
+    return instance.apply(mapping)
+
+
+def reachable(
+    source: Instance,
+    target: Instance,
+    kinds: Sequence[str] = ("cwa",),
+    max_steps: int | None = None,
+    max_frontier: int = 50_000,
+    max_nulls: int | None = None,
+) -> bool:
+    """Is ``target`` reachable from ``source`` by updates of the given kinds?
+
+    ``kinds`` ⊆ {"cwa", "owa", "copying"}.  Substitution/addition values
+    are drawn from ``adom(target)``; the BFS is bounded by ``max_steps``
+    (default: a budget sufficient for the theorems' constructions),
+    ``max_frontier`` states, and — for copying updates, which mint fresh
+    nulls — ``max_nulls`` per state.  States are deduplicated up to the
+    canonical null renaming.
+    """
+    for kind in kinds:
+        if kind not in ("cwa", "owa", "copying"):
+            raise ValueError(f"unknown update kind {kind!r}")
+    if max_steps is None:
+        max_steps = 2 * len(source.nulls()) + target.fact_count() + 2
+    if max_nulls is None:
+        max_nulls = max(2 * len(source.nulls()), len(source.nulls()) + 2)
+    max_facts = 2 * max(target.fact_count(), source.fact_count())
+
+    goal = canonical_nulls(target)
+    # Substitution values: the (canonical) target's values.  Each state
+    # additionally offers its own nulls, so null-merging steps like
+    # D[⊥x/⊥y] are available regardless of canonical relabelling.
+    goal_values = sorted(goal.adom(), key=sort_key)
+
+    def admissible(state: Instance) -> bool:
+        if len(state.nulls()) > max_nulls or state.fact_count() > max_facts:
+            return False
+        return state.constants() <= (target.constants() | source.constants())
+
+    start = canonical_nulls(source)
+    frontier = {start}
+    seen = {start}
+    if start == goal:
+        return True
+    for _ in range(max_steps):
+        next_frontier: set[Instance] = set()
+        for current in frontier:
+            values = goal_values + sorted(current.nulls() - set(goal_values), key=sort_key)
+            streams: list[Iterator[Instance]] = []
+            if "cwa" in kinds:
+                streams.append(iter_cwa_updates(current, values))
+            if "copying" in kinds:
+                streams.append(iter_copying_updates(current, values))
+            if "owa" in kinds:
+                streams.append(iter_owa_updates(current, values, schema=target.schema()))
+            for stream in streams:
+                for updated in stream:
+                    state = canonical_nulls(updated)
+                    if state == goal:
+                        return True
+                    if state in seen or not admissible(state):
+                        continue
+                    seen.add(state)
+                    next_frontier.add(state)
+                    if len(seen) > max_frontier:
+                        raise RuntimeError(
+                            "update reachability search exceeded the frontier bound"
+                        )
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return False

@@ -1,0 +1,47 @@
+"""Semantics of incompleteness: six concrete semantics and the abstract frameworks."""
+
+from repro.semantics.base import ExpansionLimitError, Semantics
+from repro.semantics.cwa import CWA
+from repro.semantics.domain import DatabaseDomain
+from repro.semantics.minimal import MinCWA, MinPowersetCWA
+from repro.semantics.owa import OWA
+from repro.semantics.powerset import PowersetCWA
+from repro.semantics.lifting import LiftedDomain, lift_domain, lift_query
+from repro.semantics.relations import PowersetRelationPair, RelationPair
+from repro.semantics.wcwa import WCWA
+
+#: Singleton instances of the six semantics, keyed by their short names.
+ALL_SEMANTICS = {
+    s.key: s
+    for s in (OWA(), CWA(), WCWA(), PowersetCWA(), MinCWA(), MinPowersetCWA())
+}
+
+
+def get_semantics(key: str) -> Semantics:
+    """Look up a semantics by key: owa, cwa, wcwa, pcwa, mincwa, minpcwa."""
+    try:
+        return ALL_SEMANTICS[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown semantics {key!r}; available: {', '.join(sorted(ALL_SEMANTICS))}"
+        ) from None
+
+
+__all__ = [
+    "Semantics",
+    "ExpansionLimitError",
+    "OWA",
+    "CWA",
+    "WCWA",
+    "PowersetCWA",
+    "MinCWA",
+    "MinPowersetCWA",
+    "DatabaseDomain",
+    "LiftedDomain",
+    "lift_domain",
+    "lift_query",
+    "RelationPair",
+    "PowersetRelationPair",
+    "ALL_SEMANTICS",
+    "get_semantics",
+]

@@ -1,0 +1,135 @@
+"""The common interface of semantics of incompleteness.
+
+A semantics assigns to each incomplete database ``D`` a set ``[[D]]`` of
+complete databases (Section 2.3).  ``[[D]]`` is infinite (valuations
+range over the countably infinite ``Const``), so the library exposes it
+two ways:
+
+* :meth:`Semantics.contains` — an exact membership test
+  ``E ∈ [[D]]?`` for a concrete complete instance ``E``;
+* :meth:`Semantics.expand` — enumeration of the members of ``[[D]]``
+  whose values are drawn from a finite constant *pool*.
+
+For generic queries, certain answers over a pool containing
+``Const(D)``, the query's constants and ``|Null(D)| + 1`` fresh
+constants coincide with the true certain answers (the saturation
+argument of Section 3.1: any valuation factors through a pool valuation
+up to an isomorphism fixing the relevant constants); ``repro.core``
+builds such pools.  The one semantics where enumeration is inherently
+approximate is OWA, whose extensions are unbounded — the
+``extra_facts`` knob bounds how many new tuples an extension may add,
+and the certain-answer layer documents the direction of the
+approximation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from typing import Hashable, Iterator, Sequence
+
+from repro.data.instance import Instance
+from repro.data.schema import Schema
+from repro.data.values import sort_key
+from repro.homs.search import iter_mappings
+
+__all__ = ["Semantics", "ExpansionLimitError", "iter_valuation_images", "iter_facts_over"]
+
+
+class ExpansionLimitError(RuntimeError):
+    """Raised when a bounded enumeration of ``[[D]]`` would explode."""
+
+
+def iter_valuation_images(
+    instance: Instance, pool: Sequence[Hashable]
+) -> Iterator[Instance]:
+    """All images ``v(D)`` for valuations ``v : Null(D) → pool`` (deduped)."""
+    seen: set[Instance] = set()
+    nulls = sorted(instance.nulls(), key=sort_key)
+    for valuation in iter_mappings(nulls, list(pool)):
+        image = instance.apply(valuation)
+        if image not in seen:
+            seen.add(image)
+            yield image
+
+
+def iter_facts_over(
+    schema: Schema, domain: Sequence[Hashable]
+) -> Iterator[tuple[str, tuple]]:
+    """Every possible fact over ``schema`` with values from ``domain``."""
+    values = sorted(domain, key=sort_key)
+    for name in schema.relations:
+        for row in itertools.product(values, repeat=schema.arity(name)):
+            yield name, row
+
+
+class Semantics(ABC):
+    """Abstract base: one of the paper's semantics of incompleteness."""
+
+    #: short identifier, e.g. ``"cwa"``
+    key: str = ""
+    #: display name, e.g. ``"CWA"``
+    name: str = ""
+    #: the paper's notation, e.g. ``"[[·]]_CWA"``
+    notation: str = ""
+    #: does the induced database domain have the saturation property?
+    saturated: bool = True
+    #: the class of homomorphisms characterising naive evaluation
+    #: (Corollary 4.9 / Proposition 10.7)
+    hom_class: str = ""
+    #: the syntactic fragment for which naive evaluation is sound
+    #: (Figure 1)
+    sound_fragment: str = ""
+    #: default bound on extension facts for :meth:`expand`:
+    #: ``None`` = enumerate all extensions (exact), an int = truncate.
+    #: Only meaningful for semantics that add facts (OWA, WCWA).
+    default_extra_facts: int | None = None
+
+    def enumeration_exact(self, extra_facts: int | None) -> bool:
+        """Does :meth:`expand` with this bound cover all of ``[[D]]`` over the pool?
+
+        True for all substitution-only semantics.  OWA is never exact
+        (its extensions are unbounded); WCWA is exact only with
+        ``extra_facts=None`` (full extension enumeration).
+        """
+        return True
+
+    @abstractmethod
+    def expand(
+        self,
+        instance: Instance,
+        pool: Sequence[Hashable],
+        schema: Schema | None = None,
+        extra_facts: int | None = None,
+        limit: int = 500_000,
+    ) -> Iterator[Instance]:
+        """Enumerate the members of ``[[instance]]`` with values in ``pool``.
+
+        ``schema`` widens the vocabulary for semantics that may add
+        facts (OWA, WCWA); ``extra_facts`` bounds how many tuples an
+        extension may add (``None`` = the semantics' default, which is
+        "all" for WCWA and a small bound for OWA).  ``limit`` guards
+        against explosion — if the enumeration provably exceeds it,
+        :class:`ExpansionLimitError` is raised rather than silently
+        truncating.
+        """
+
+    @abstractmethod
+    def contains(self, instance: Instance, complete: Instance) -> bool:
+        """Exact membership test ``complete ∈ [[instance]]``."""
+
+    def __repr__(self) -> str:
+        return f"<semantics {self.notation or self.name}>"
+
+    def _check_complete(self, complete: Instance) -> None:
+        if not complete.is_complete():
+            raise ValueError(f"membership is defined for complete instances; got nulls in {complete!r}")
+
+
+def guard_limit(count: int, limit: int, what: str) -> None:
+    """Raise :class:`ExpansionLimitError` when ``count > limit``."""
+    if count > limit:
+        raise ExpansionLimitError(
+            f"{what} would enumerate {count} instances (limit {limit}); "
+            "shrink the instance/pool or raise the limit"
+        )

@@ -1,0 +1,51 @@
+"""The closed-world semantics ``[[D]]_CWA = { h(D) | h a valuation }``.
+
+Under CWA nothing may be added after substituting constants for nulls:
+``R_sem`` is the identity relation (Section 4.1), and the associated
+homomorphism class is the *strong onto* homomorphisms ``h : D → h(D)``
+(Corollary 4.9).  Naive evaluation is sound for ``Pos+∀G`` (Thm 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Sequence
+
+from repro.data.instance import Instance
+from repro.data.schema import Schema
+from repro.homs.search import has_homomorphism
+from repro.semantics.base import Semantics, guard_limit, iter_valuation_images
+
+__all__ = ["CWA"]
+
+
+class CWA(Semantics):
+    """Closed-world assumption."""
+
+    key = "cwa"
+    name = "CWA"
+    notation = "[[·]]_CWA"
+    saturated = True
+    hom_class = "strong onto homomorphisms"
+    sound_fragment = "PosForallG"
+
+    def expand(
+        self,
+        instance: Instance,
+        pool: Sequence[Hashable],
+        schema: Schema | None = None,
+        extra_facts: int | None = None,
+        limit: int = 500_000,
+    ) -> Iterator[Instance]:
+        guard_limit(len(pool) ** len(instance.nulls()), limit, "CWA expansion")
+        yield from iter_valuation_images(instance, pool)
+
+    def contains(self, instance: Instance, complete: Instance) -> bool:
+        self._check_complete(complete)
+        # E ∈ [[D]]_CWA iff some valuation maps D exactly onto E.
+        return has_homomorphism(
+            instance,
+            complete,
+            fix_constants=True,
+            require_complete_image=True,
+            strong_onto=True,
+        )

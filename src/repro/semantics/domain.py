@@ -1,0 +1,160 @@
+"""Abstract database domains ``⟨D, C, [[·]], ≈⟩`` (Sections 3 and 9).
+
+The paper's most general setting: a set of objects, a subset of complete
+objects, a semantic function into nonempty sets of complete objects, and
+a structural-equivalence relation.  This module realises it for
+*finite, explicit* domains, which makes every definition executable:
+
+* the semantic ordering ``x ≼ y ⇔ [[y]] ⊆ [[x]]``,
+* fairness and its characterisation (Proposition 3.2),
+* (weak) monotonicity and genericity of Boolean queries,
+* certain answers and naive evaluation,
+* the saturation property, representative sets and the χ_S function
+  (Section 9).
+
+Tests use micro-domains to *check the theorems themselves*:
+Theorem 3.1 (naive ⇔ weak monotonicity on saturated domains),
+Proposition 3.3 (⇔ monotonicity on fair saturated domains),
+Theorem 9.1 and Corollary 9.3 (representative sets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Mapping
+
+__all__ = ["DatabaseDomain"]
+
+Obj = Hashable
+BoolQuery = Callable[[Obj], bool]
+
+
+@dataclass(frozen=True)
+class DatabaseDomain:
+    """A finite, explicitly-given database domain.
+
+    ``sem`` maps each object to its (nonempty) set of complete objects;
+    ``iso_key`` induces ``≈``: two objects are equivalent iff their keys
+    are equal (fine for the finite test domains this class is for).
+    """
+
+    objects: frozenset
+    complete: frozenset
+    sem: Mapping[Obj, frozenset]
+    iso_key: Callable[[Obj], Hashable] = field(default=lambda x: x)
+
+    def __post_init__(self):
+        if not self.complete <= self.objects:
+            raise ValueError("complete objects must be objects")
+        for x in self.objects:
+            image = self.sem.get(x)
+            if not image:
+                raise ValueError(f"[[{x!r}]] must be a nonempty set")
+            if not frozenset(image) <= self.complete:
+                raise ValueError(f"[[{x!r}]] must contain only complete objects")
+
+    # ------------------------------------------------------------------
+    # the semantic ordering and fairness
+    # ------------------------------------------------------------------
+
+    def leq(self, x: Obj, y: Obj) -> bool:
+        """The semantic ordering ``x ≼ y ⇔ [[y]] ⊆ [[x]]``."""
+        return frozenset(self.sem[y]) <= frozenset(self.sem[x])
+
+    def equivalent(self, x: Obj, y: Obj) -> bool:
+        """Structural equivalence ``x ≈ y``."""
+        return self.iso_key(x) == self.iso_key(y)
+
+    def is_fair(self) -> bool:
+        """Fairness: the semantics induced by ``≼`` is ``[[·]]`` itself."""
+        return all(
+            frozenset(self.sem[x])
+            == frozenset(c for c in self.complete if frozenset(self.sem[c]) <= frozenset(self.sem[x]))
+            for x in self.objects
+        )
+
+    def fairness_conditions(self) -> tuple[bool, bool]:
+        """Proposition 3.2's two conditions, separately.
+
+        (1) ``c ∈ [[c]]`` for each complete ``c``;
+        (2) ``c ∈ [[x]]`` implies ``[[c]] ⊆ [[x]]``.
+        """
+        cond1 = all(c in self.sem[c] for c in self.complete)
+        cond2 = all(
+            frozenset(self.sem[c]) <= frozenset(self.sem[x])
+            for x in self.objects
+            for c in self.sem[x]
+        )
+        return cond1, cond2
+
+    # ------------------------------------------------------------------
+    # saturation and representative sets (Section 9)
+    # ------------------------------------------------------------------
+
+    def is_saturated(self) -> bool:
+        """Each object has an isomorphic complete object in its semantics."""
+        return all(self.has_saturation_witness(x) for x in self.objects)
+
+    def has_saturation_witness(self, x: Obj) -> bool:
+        return any(self.equivalent(x, c) for c in self.sem[x])
+
+    def is_representative_set(
+        self, subset: frozenset, chi: Mapping[Obj, Obj]
+    ) -> bool:
+        """Is ``subset`` a representative set with selector ``chi``?
+
+        Checks the three conditions of Section 9: contains all complete
+        objects, is saturated, and ``[[x]] = [[χ(x)]]`` with
+        ``χ(x) ∈ subset`` for every object.
+        """
+        if not self.complete <= subset:
+            return False
+        if not all(self.has_saturation_witness(s) for s in subset):
+            return False
+        for x in self.objects:
+            rep = chi.get(x)
+            if rep is None or rep not in subset:
+                return False
+            if frozenset(self.sem[x]) != frozenset(self.sem[rep]):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def is_generic(self, query: BoolQuery) -> bool:
+        """Does the query agree on ≈-equivalent objects?"""
+        by_key: dict[Hashable, bool] = {}
+        for x in self.objects:
+            key = self.iso_key(x)
+            value = bool(query(x))
+            if by_key.setdefault(key, value) != value:
+                return False
+        return True
+
+    def certain(self, query: BoolQuery, x: Obj) -> bool:
+        """``certain(Q, x) = ⋀ { Q(c) | c ∈ [[x]] }``."""
+        return all(query(c) for c in self.sem[x])
+
+    def naive_works(self, query: BoolQuery, over: frozenset | None = None) -> bool:
+        """Does ``Q(x) = certain(Q, x)`` for every object (of ``over``)?"""
+        objects = over if over is not None else self.objects
+        return all(bool(query(x)) == self.certain(query, x) for x in objects)
+
+    def weakly_monotone(self, query: BoolQuery, over: frozenset | None = None) -> bool:
+        """``y ∈ [[x]] ⇒ Q(x) ≤ Q(y)`` over the given objects."""
+        objects = over if over is not None else self.objects
+        return all(
+            (not query(x)) or query(y)
+            for x in objects
+            for y in self.sem[x]
+        )
+
+    def monotone(self, query: BoolQuery) -> bool:
+        """``x ≼ y ⇒ Q(x) ≤ Q(y)``."""
+        return all(
+            (not self.leq(x, y)) or (not query(x)) or query(y)
+            for x in self.objects
+            for y in self.objects
+        )

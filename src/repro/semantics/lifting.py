@@ -1,0 +1,100 @@
+"""The Boolean-to-k-ary lifting construction (Sections 8 and 11).
+
+The paper lifts its Boolean results to k-ary queries by moving to a
+domain of *pairs*: objects ``(D, t)`` where ``t`` is a k-tuple of
+constants, with ``[[(D, t)]]* = {(D', t) | D' ∈ [[D]]}`` and an
+isomorphism relation fixing ``t``.  A k-ary query ``Q`` becomes the
+Boolean query ``Q*(D, t) = t ∈ Q(D)``; Claim 5 of the paper then shows
+the Boolean notions transfer exactly:
+
+1. fairness transfers,
+3. certain answers correspond,
+4. naive evaluation corresponds,
+5. weak monotonicity corresponds.
+
+This module performs the construction on finite explicit domains so
+Claim 5 is *testable*, which is how ``tests/test_lifting.py`` validates
+Lemma 8.1 / Lemma 11.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable
+
+from repro.semantics.domain import DatabaseDomain
+
+__all__ = ["LiftedDomain", "lift_domain", "lift_query"]
+
+Obj = Hashable
+KQuery = Callable[[Obj], frozenset]  # object → set of k-tuples of constants
+
+
+@dataclass(frozen=True)
+class LiftedDomain:
+    """The pair domain ``D*`` plus the tuple universe used to build it."""
+
+    domain: DatabaseDomain
+    tuples: tuple[tuple, ...]
+
+
+def lift_domain(
+    base: DatabaseDomain,
+    tuples: Iterable[tuple],
+) -> LiftedDomain:
+    """Build ``D* = ⟨D × T, C × T, [[·]]*, ≈*⟩`` over tuple universe ``T``.
+
+    ``≈*`` keeps the base isomorphism key and requires equal tuples —
+    the finite-domain counterpart of "the isomorphism and its inverse
+    are the identity on t" (strong saturation, Section 8).
+    """
+    tuple_universe = tuple(tuples)
+    objects = frozenset((x, t) for x in base.objects for t in tuple_universe)
+    complete = frozenset((c, t) for c in base.complete for t in tuple_universe)
+    sem: dict[tuple, frozenset] = {
+        (x, t): frozenset((c, t) for c in base.sem[x])
+        for x in base.objects
+        for t in tuple_universe
+    }
+    base_key = base.iso_key
+    domain = DatabaseDomain(
+        objects, complete, sem, iso_key=lambda pair: (base_key(pair[0]), pair[1])
+    )
+    return LiftedDomain(domain, tuple_universe)
+
+
+def lift_query(query: KQuery) -> Callable[[tuple], bool]:
+    """``Q*(x, t) = t ∈ Q(x)`` — the Boolean companion of a k-ary query."""
+
+    def starred(pair: tuple) -> bool:
+        x, t = pair
+        return t in query(x)
+
+    return starred
+
+
+def kary_certain(base: DatabaseDomain, query: KQuery, x: Obj) -> frozenset:
+    """``certain(Q, x) = ⋂ {Q(c) | c ∈ [[x]]}`` for a k-ary query."""
+    out: frozenset | None = None
+    for c in base.sem[x]:
+        rows = frozenset(query(c))
+        out = rows if out is None else out & rows
+    return out if out is not None else frozenset()
+
+
+def kary_naive_works(base: DatabaseDomain, query: KQuery) -> bool:
+    """Does ``Q(x) = certain(Q, x)`` for every object of the base domain?
+
+    (On finite abstract domains every value is a "constant", so
+    ``Q^C = Q``.)
+    """
+    return all(frozenset(query(x)) == kary_certain(base, query, x) for x in base.objects)
+
+
+def kary_weakly_monotone(base: DatabaseDomain, query: KQuery) -> bool:
+    """``y ∈ [[x]] ⇒ Q(x) ⊆ Q(y)``."""
+    return all(
+        frozenset(query(x)) <= frozenset(query(y))
+        for x in base.objects
+        for y in base.sem[x]
+    )

@@ -1,0 +1,84 @@
+"""The open-world semantics: complete supersets of valuation images.
+
+``[[D]]_OWA = { E complete | ∃ valuation h with h(D) ⊆ E }``
+(Section 2.3).  ``R_sem`` is ``⊆``, the homomorphism class is all
+(database) homomorphisms, and naive evaluation is sound exactly for
+unions of conjunctive queries (Fact 1 / Theorem 5.2 / [Libkin 2011]).
+
+``[[D]]_OWA`` contains arbitrarily large extensions, so bounded
+enumeration is inherently an *under-approximation of the set* (hence an
+over-approximation of certain answers); ``extra_facts`` controls how
+many tuples may be added on top of a valuation image.  See
+``repro.core.certain`` for how the direction of the approximation is
+used soundly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Hashable, Iterator, Sequence
+
+from repro.data.instance import Instance
+from repro.data.schema import Schema
+from repro.homs.search import has_homomorphism
+from repro.semantics.base import (
+    Semantics,
+    guard_limit,
+    iter_facts_over,
+    iter_valuation_images,
+)
+
+__all__ = ["OWA"]
+
+
+class OWA(Semantics):
+    """Open-world assumption."""
+
+    key = "owa"
+    name = "OWA"
+    notation = "[[·]]_OWA"
+    saturated = True
+    hom_class = "homomorphisms"
+    sound_fragment = "EPos"
+    default_extra_facts = 1
+
+    def enumeration_exact(self, extra_facts: int | None) -> bool:
+        return False  # OWA extensions are unbounded
+
+    def expand(
+        self,
+        instance: Instance,
+        pool: Sequence[Hashable],
+        schema: Schema | None = None,
+        extra_facts: int | None = None,
+        limit: int = 500_000,
+    ) -> Iterator[Instance]:
+        if extra_facts is None:
+            extra_facts = self.default_extra_facts
+        schema = schema or instance.schema()
+        all_facts = list(iter_facts_over(schema, list(pool)))
+        n_valuations = len(pool) ** len(instance.nulls())
+        n_subsets = sum(math.comb(len(all_facts), k) for k in range(extra_facts + 1))
+        guard_limit(n_valuations * n_subsets, limit, "OWA expansion")
+
+        seen: set[Instance] = set()
+        for image in iter_valuation_images(instance, pool):
+            for k in range(extra_facts + 1):
+                for extra in itertools.combinations(all_facts, k):
+                    extended = image
+                    for name, row in extra:
+                        extended = extended.add_fact(name, row)
+                    if extended not in seen:
+                        seen.add(extended)
+                        yield extended
+
+    def contains(self, instance: Instance, complete: Instance) -> bool:
+        self._check_complete(complete)
+        # E ∈ [[D]]_OWA iff some valuation maps D into E.
+        return has_homomorphism(
+            instance,
+            complete,
+            fix_constants=True,
+            require_complete_image=True,
+        )

@@ -1,0 +1,94 @@
+"""The powerset closed-world semantics ``⦇D⦈_CWA`` (Section 7).
+
+``⦇D⦈_CWA = { h1(D) ∪ … ∪ hn(D) | h1,…,hn valuations, n ≥ 1 }``: several
+valuations are applied and their images combined.  Its homomorphism
+class is *unions of strong onto homomorphisms*, and naive evaluation is
+sound for ``∃Pos+∀G_bool`` (Corollary 7.9).  Restricted to Codd
+databases, the induced ordering is exactly Plotkin's ``⊑^P``
+(Theorem 7.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Hashable, Iterator, Sequence
+
+from repro.data.instance import Instance
+from repro.data.schema import Schema
+from repro.homs.search import iter_homomorphisms
+from repro.semantics.base import Semantics, guard_limit, iter_valuation_images
+
+__all__ = ["PowersetCWA", "iter_nonempty_unions"]
+
+
+def iter_nonempty_unions(
+    images: list[Instance], max_size: int | None = None
+) -> Iterator[Instance]:
+    """Unions of nonempty subsets of ``images`` up to ``max_size`` (deduplicated).
+
+    ``max_size=None`` enumerates all ``2^n - 1`` subsets.
+    """
+    top = len(images) if max_size is None else min(max_size, len(images))
+    seen: set[Instance] = set()
+    for size in range(1, top + 1):
+        for subset in itertools.combinations(images, size):
+            union = subset[0]
+            for inst in subset[1:]:
+                union = union.union(inst)
+            if union not in seen:
+                seen.add(union)
+                yield union
+
+
+class PowersetCWA(Semantics):
+    """Powerset closed-world assumption ``⦇·⦈_CWA``."""
+
+    key = "pcwa"
+    name = "powerset CWA"
+    notation = "⦇·⦈_CWA"
+    saturated = True
+    hom_class = "unions of strong onto homomorphisms"
+    sound_fragment = "EPosForallGBool"
+    #: default bound on the number of valuations combined in one union.
+    #: For powerset semantics the ``extra_facts`` knob of :meth:`expand`
+    #: is reinterpreted as this bound (``None`` = the class default);
+    #: pass a large value for full subset enumeration on small inputs.
+    default_union_bound = 2
+
+    def enumeration_exact(self, extra_facts: int | None) -> bool:
+        return False  # unions may combine unboundedly many valuations
+
+    def expand(
+        self,
+        instance: Instance,
+        pool: Sequence[Hashable],
+        schema: Schema | None = None,
+        extra_facts: int | None = None,
+        limit: int = 500_000,
+    ) -> Iterator[Instance]:
+        bound = self.default_union_bound if extra_facts is None else extra_facts
+        images = list(iter_valuation_images(instance, pool))
+        top = min(bound, len(images))
+        guard_limit(
+            sum(math.comb(len(images), k) for k in range(1, top + 1)),
+            limit,
+            "powerset-CWA expansion",
+        )
+        yield from iter_nonempty_unions(images, max_size=bound)
+
+    def contains(self, instance: Instance, complete: Instance) -> bool:
+        self._check_complete(complete)
+        # E ∈ ⦇D⦈_CWA iff E is a union of valuation images v(D) ⊆ E.
+        # The union of *all* such images is the largest candidate, so it
+        # suffices to check that it covers E and is nonempty.
+        covered = Instance.empty()
+        any_valuation = False
+        for hom in iter_homomorphisms(
+            instance, complete, fix_constants=True, require_complete_image=True
+        ):
+            any_valuation = True
+            covered = covered.union(instance.apply(hom))
+            if complete.issubinstance(covered):
+                break
+        return any_valuation and covered == complete

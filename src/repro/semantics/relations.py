@@ -1,0 +1,132 @@
+"""The relation-based scheme for generating semantics (Sections 4 and 7).
+
+Every semantics in the paper arises in two steps: a *valuation relation*
+``R_val ⊆ D × C`` (substitute constants for nulls) composed with a
+*semantic relation* ``R_sem ⊆ C × C`` (how the result may be modified:
+nothing for CWA, supersets for OWA, …).  The powerset variant routes
+through sets: ``R_val ⊆ D × 2^C`` and ``R_sem ⊆ 2^C × C``.
+
+This module realises both schemes over finite explicit domains so the
+structural results are executable:
+
+* Proposition 4.1 — the induced domain is fair iff ``R_sem`` is
+  transitive;
+* Proposition 7.2 / Lemma 7.3 — the powerset analogue;
+* construction of the induced :class:`~repro.semantics.domain.DatabaseDomain`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Mapping
+
+from repro.semantics.domain import DatabaseDomain
+
+__all__ = ["RelationPair", "PowersetRelationPair"]
+
+Obj = Hashable
+
+
+@dataclass(frozen=True)
+class RelationPair:
+    """A pair ``(R_val, R_sem)`` over a finite domain.
+
+    ``rval`` maps each object to the set of complete objects reachable
+    by "substituting values"; ``rsem`` is a binary relation on the
+    complete objects, given as a set of pairs.
+    """
+
+    objects: frozenset
+    complete: frozenset
+    rval: Mapping[Obj, frozenset]
+    rsem: frozenset  # of pairs (c, c')
+
+    def validate(self) -> None:
+        """Check the scheme's side conditions (Section 4.1).
+
+        ``R_val`` is total, restricted to ``C`` it is the identity;
+        ``R_sem`` is reflexive on ``C``.
+        """
+        for x in self.objects:
+            if not self.rval.get(x):
+                raise ValueError(f"R_val must be total; no image for {x!r}")
+        for c in self.complete:
+            if frozenset(self.rval.get(c, frozenset())) != frozenset({c}):
+                raise ValueError(f"R_val restricted to C must be the identity; violated at {c!r}")
+        for c in self.complete:
+            if (c, c) not in self.rsem:
+                raise ValueError(f"R_sem must be reflexive; missing ({c!r}, {c!r})")
+
+    def is_rsem_transitive(self) -> bool:
+        """Is ``R_sem`` transitive?  (Fairness criterion, Prop. 4.1.)"""
+        pairs = self.rsem
+        return all(
+            (a, d) in pairs
+            for (a, b) in pairs
+            for (c, d) in pairs
+            if b == c
+        )
+
+    def semantics(self, x: Obj) -> frozenset:
+        """``[[x]] = R_val ∘ R_sem`` applied to ``x``."""
+        out = set()
+        for mid in self.rval.get(x, frozenset()):
+            for (a, b) in self.rsem:
+                if a == mid:
+                    out.add(b)
+        return frozenset(out)
+
+    def induced_domain(self, iso_key: Callable[[Obj], Hashable] = lambda x: x) -> DatabaseDomain:
+        """The database domain whose semantics this pair generates."""
+        sem = {x: self.semantics(x) for x in self.objects}
+        return DatabaseDomain(self.objects, self.complete, sem, iso_key)
+
+
+@dataclass(frozen=True)
+class PowersetRelationPair:
+    """A powerset pair ``(𝓡_val, 𝓡_sem)`` over a finite domain (Section 7).
+
+    ``rval`` maps each object to a set of *sets* of complete objects
+    (each a possible outcome of applying several valuations);
+    ``rsem`` is a set of pairs ``(X, c)`` with ``X ⊆ C`` frozen.
+    """
+
+    objects: frozenset
+    complete: frozenset
+    rval: Mapping[Obj, frozenset]  # of frozensets of complete objects
+    rsem: frozenset  # of pairs (frozenset, c)
+
+    def validate(self) -> None:
+        """Side conditions: totality, ``id_ℓ`` on ``C``, ``id_r ⊆ 𝓡_sem``."""
+        for x in self.objects:
+            if not self.rval.get(x):
+                raise ValueError(f"𝓡_val must be total; no image for {x!r}")
+        for c in self.complete:
+            if frozenset(self.rval.get(c, frozenset())) != frozenset({frozenset({c})}):
+                raise ValueError(f"𝓡_val restricted to C must be id_ℓ; violated at {c!r}")
+        for c in self.complete:
+            if (frozenset({c}), c) not in self.rsem:
+                raise ValueError(f"𝓡_sem must contain id_r; missing ({{{c!r}}}, {c!r})")
+
+    def is_rsem_transitive(self) -> bool:
+        """``𝓡_sem ∘ id_ℓ ∘ 𝓡_sem ⊆ 𝓡_sem`` (the powerset transitivity)."""
+        return all(
+            (x, c2) in self.rsem
+            for (x, c1) in self.rsem
+            for (y, c2) in self.rsem
+            if y == frozenset({c1})
+        )
+
+    def semantics(self, x: Obj) -> frozenset:
+        """``[[x]]_𝓡 = 𝓡_val ∘ 𝓡_sem`` applied to ``x``."""
+        out = set()
+        for mid in self.rval.get(x, frozenset()):
+            for (y, c) in self.rsem:
+                if y == frozenset(mid):
+                    out.add(c)
+        return frozenset(out)
+
+    def induced_domain(self, iso_key: Callable[[Obj], Hashable] = lambda x: x) -> DatabaseDomain:
+        """The database domain whose semantics this powerset pair generates."""
+        sem = {x: self.semantics(x) for x in self.objects}
+        return DatabaseDomain(self.objects, self.complete, sem, iso_key)

@@ -1,0 +1,82 @@
+"""The weak closed-world semantics (Reiter 1977; paper Section 4.3).
+
+``[[D]]_WCWA`` consists of the complete instances obtained by applying a
+valuation ``h`` and then adding tuples that *only use values already in
+the image*: ``h(D) ⊆ E`` with ``adom(E) = adom(h(D))``.  Its
+homomorphism class is the *onto* homomorphisms, and naive evaluation is
+sound for all positive formulae ``Pos`` (Theorem 5.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Hashable, Iterator, Sequence
+
+from repro.data.instance import Instance
+from repro.data.schema import Schema
+from repro.homs.search import has_homomorphism
+from repro.semantics.base import (
+    Semantics,
+    guard_limit,
+    iter_facts_over,
+    iter_valuation_images,
+)
+
+__all__ = ["WCWA"]
+
+
+class WCWA(Semantics):
+    """Weak closed-world assumption."""
+
+    key = "wcwa"
+    name = "WCWA"
+    notation = "[[·]]_WCWA"
+    saturated = True
+    hom_class = "onto homomorphisms"
+    sound_fragment = "Pos"
+    default_extra_facts = None  # full extension enumeration by default
+
+    def enumeration_exact(self, extra_facts: int | None) -> bool:
+        return extra_facts is None
+
+    def expand(
+        self,
+        instance: Instance,
+        pool: Sequence[Hashable],
+        schema: Schema | None = None,
+        extra_facts: int | None = None,
+        limit: int = 500_000,
+    ) -> Iterator[Instance]:
+        schema = schema or instance.schema()
+        seen: set[Instance] = set()
+        n_valuations = len(pool) ** len(instance.nulls())
+        for image in iter_valuation_images(instance, pool):
+            adom = sorted(image.adom(), key=repr)
+            candidates = [
+                fact for fact in iter_facts_over(schema, adom)
+                if fact[1] not in image.tuples(fact[0])
+            ]
+            top = len(candidates) if extra_facts is None else min(extra_facts, len(candidates))
+            n_subsets = sum(math.comb(len(candidates), k) for k in range(top + 1))
+            guard_limit(n_valuations * n_subsets, limit, "WCWA expansion")
+            for k in range(top + 1):
+                for extra in itertools.combinations(candidates, k):
+                    extended = image
+                    for name, row in extra:
+                        extended = extended.add_fact(name, row)
+                    if extended not in seen:
+                        seen.add(extended)
+                        yield extended
+
+    def contains(self, instance: Instance, complete: Instance) -> bool:
+        self._check_complete(complete)
+        # E ∈ [[D]]_WCWA iff some valuation h has h(D) ⊆ E and
+        # adom(h(D)) = adom(E): exactly an onto valuation (Section 4.3).
+        return has_homomorphism(
+            instance,
+            complete,
+            fix_constants=True,
+            require_complete_image=True,
+            onto=True,
+        )

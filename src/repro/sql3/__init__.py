@@ -1,0 +1,18 @@
+"""SQL's three-valued logic, for contrast with certain answers."""
+
+from repro.sql3.compare import SqlComparison, compare_sql_to_certain
+from repro.sql3.eval3 import answers3, evaluate3, holds3
+from repro.sql3.truth import Truth, t_and, t_implies, t_not, t_or
+
+__all__ = [
+    "SqlComparison",
+    "compare_sql_to_certain",
+    "answers3",
+    "evaluate3",
+    "holds3",
+    "Truth",
+    "t_and",
+    "t_implies",
+    "t_not",
+    "t_or",
+]

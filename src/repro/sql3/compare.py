@@ -1,0 +1,81 @@
+"""Quantifying SQL's gap against certain answers.
+
+The paper's introduction observes that SQL's three-valued semantics can
+return answers that are not certain *and* miss answers that are — the
+``NOT IN`` paradox being the canonical case.  This module measures both
+error directions on concrete instances and workloads, producing the
+numbers behind the reproduction's SQL-comparison experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.core.certain import certain_answers
+from repro.core.naive import drop_null_tuples
+from repro.data.instance import Instance
+from repro.logic.queries import Query
+from repro.semantics.base import Semantics
+from repro.sql3.eval3 import answers3
+
+__all__ = ["SqlComparison", "compare_sql_to_certain"]
+
+
+@dataclass(frozen=True)
+class SqlComparison:
+    """Outcome of pitting SQL's 3VL answers against certain answers."""
+
+    #: SQL answer rows (condition TRUE), nulls dropped
+    sql: frozenset[tuple[Hashable, ...]]
+    #: certain answers under the chosen semantics
+    certain: frozenset[tuple[Hashable, ...]]
+
+    @property
+    def unsound(self) -> frozenset[tuple[Hashable, ...]]:
+        """Rows SQL returns that are *not* certain (false positives)."""
+        return self.sql - self.certain
+
+    @property
+    def incomplete(self) -> frozenset[tuple[Hashable, ...]]:
+        """Certain answers SQL misses (false negatives)."""
+        return self.certain - self.sql
+
+    @property
+    def agrees(self) -> bool:
+        return self.sql == self.certain
+
+    def __repr__(self) -> str:
+        return (
+            f"SqlComparison(sql={set(self.sql)}, certain={set(self.certain)}, "
+            f"unsound={set(self.unsound)}, incomplete={set(self.incomplete)})"
+        )
+
+
+def compare_sql_to_certain(
+    query: Query,
+    instance: Instance,
+    semantics: Semantics,
+    pool: Sequence[Hashable] | None = None,
+    extra_facts: int | None = None,
+) -> SqlComparison:
+    """Evaluate SQL-style and certain answers side by side.
+
+    SQL rows containing nulls are dropped before comparison (they could
+    never be certain, and SQL result sets expose raw nulls rather than
+    answers).
+    """
+    sql_rows = drop_null_tuples(
+        answers3(query.formula, instance, query.answer_vars)
+        if not query.is_boolean
+        else _boolean_rows(query, instance)
+    )
+    certain = certain_answers(query, instance, semantics, pool=pool, extra_facts=extra_facts)
+    return SqlComparison(sql_rows, certain)
+
+
+def _boolean_rows(query: Query, instance: Instance) -> frozenset[tuple]:
+    from repro.sql3.eval3 import holds3
+    from repro.sql3.truth import Truth
+
+    return frozenset([()]) if holds3(query.formula, instance) is Truth.TRUE else frozenset()

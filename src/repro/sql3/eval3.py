@@ -1,0 +1,178 @@
+"""Three-valued FO evaluation: what SQL would answer.
+
+Evaluates the same formula AST as :mod:`repro.logic.eval`, but with
+SQL's rules on Codd databases:
+
+* an equality involving a null is *unknown*;
+* a relational atom holds *true* if the exact row (nulls and all) is
+  present — and is *unknown* if a row unifies with it through nulls,
+  mirroring SQL's positional comparison semantics;
+* connectives and quantifiers are Kleene's (∃ = big or, ∀ = big and);
+* a k-ary query returns the rows whose condition evaluates to TRUE —
+  SQL's ``WHERE`` keeps only true rows.
+
+This evaluator exists to *contrast* with certain answers: the paper's
+introduction shows SQL's answers can be arbitrarily wrong in both
+directions, and :mod:`repro.sql3.compare` quantifies that on workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Mapping
+
+from repro.data.instance import Instance
+from repro.data.values import Null, sort_key
+from repro.logic.ast import (
+    And,
+    EqAtom,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    Term,
+    TrueF,
+    Var,
+)
+from repro.logic.transform import free_vars
+from repro.sql3.truth import Truth, t_and, t_implies, t_not, t_or
+
+__all__ = ["evaluate3", "holds3", "answers3"]
+
+Binding = Mapping[Var, Hashable]
+
+
+def _resolve(term: Term, binding: Binding) -> Hashable:
+    if isinstance(term, Var):
+        try:
+            return binding[term]
+        except KeyError:
+            raise ValueError(f"unbound variable {term!r} during 3VL evaluation") from None
+    return term
+
+
+def _eq3(left: Hashable, right: Hashable) -> Truth:
+    """SQL equality: unknown whenever either side is a null."""
+    if isinstance(left, Null) or isinstance(right, Null):
+        return Truth.UNKNOWN
+    return Truth.of(left == right)
+
+
+def _atom3(row: tuple, candidates) -> Truth:
+    """SQL row membership.
+
+    TRUE when the row is *syntactically* stored (variables bound to a
+    row's own cells are identities, not comparisons — SQL's ``FROM``
+    binds rows without comparing); otherwise the best position-wise
+    comparison against stored rows: UNKNOWN if blocked only by nulls,
+    FALSE if some constant position genuinely mismatches everywhere.
+    """
+    if row in candidates:
+        return Truth.TRUE
+    best = Truth.FALSE
+    for candidate in candidates:
+        verdict = t_and(*(_eq3(a, b) for a, b in zip(row, candidate))) if row else Truth.TRUE
+        if verdict is Truth.TRUE:
+            return Truth.TRUE
+        best = t_or(best, verdict)
+    return best
+
+
+def evaluate3(formula: Formula, instance: Instance, binding: Binding | None = None) -> Truth:
+    """The SQL-style three-valued truth value of ``formula`` on ``instance``."""
+    binding = dict(binding or {})
+    domain = sorted(instance.adom(), key=sort_key)
+
+    def rec(phi: Formula, env: dict[Var, Hashable]) -> Truth:
+        match phi:
+            case TrueF():
+                return Truth.TRUE
+            case FalseF():
+                return Truth.FALSE
+            case RelAtom(name=name, terms=terms):
+                row = tuple(_resolve(t, env) for t in terms)
+                return _atom3(row, instance.tuples(name))
+            case EqAtom(left=left, right=right):
+                return _eq3(_resolve(left, env), _resolve(right, env))
+            case Not(sub=sub):
+                return t_not(rec(sub, env))
+            case And(subs=subs):
+                return t_and(*(rec(s, env) for s in subs))
+            case Or(subs=subs):
+                return t_or(*(rec(s, env) for s in subs))
+            case Implies(left=left, right=right):
+                return t_implies(rec(left, env), rec(right, env))
+            case Exists(vars=vs, sub=sub):
+                return _block(vs, sub, env, existential=True)
+            case Forall(vars=vs, sub=sub):
+                return _block(vs, sub, env, existential=False)
+        raise TypeError(f"not a formula: {phi!r}")
+
+    def _block(vs, sub, env, existential: bool) -> Truth:
+        combine = t_or if existential else t_and
+        start = Truth.FALSE if existential else Truth.TRUE
+
+        def assign(index: int) -> Truth:
+            if index == len(vs):
+                return rec(sub, env)
+            var = vs[index]
+            saved = env.get(var, _MISSING)
+            acc = start
+            for value in domain:
+                env[var] = value
+                acc = combine(acc, assign(index + 1))
+                if (existential and acc is Truth.TRUE) or (
+                    not existential and acc is Truth.FALSE
+                ):
+                    break
+            if saved is _MISSING:
+                env.pop(var, None)
+            else:
+                env[var] = saved
+            return acc
+
+        return assign(0)
+
+    return rec(formula, binding)
+
+
+_MISSING = object()
+
+
+def holds3(formula: Formula, instance: Instance) -> Truth:
+    """3VL truth value of a sentence."""
+    unbound = free_vars(formula)
+    if unbound:
+        names = ", ".join(sorted(v.name for v in unbound))
+        raise ValueError(f"formula has free variables ({names}); use answers3()")
+    return evaluate3(formula, instance)
+
+
+def answers3(
+    formula: Formula,
+    instance: Instance,
+    answer_vars: tuple[Var, ...],
+) -> frozenset[tuple[Hashable, ...]]:
+    """SQL's answer set: bindings whose condition is TRUE (not unknown)."""
+    missing = free_vars(formula) - set(answer_vars)
+    if missing:
+        names = ", ".join(sorted(v.name for v in missing))
+        raise ValueError(f"answer variables do not cover free variables: {names}")
+    domain = sorted(instance.adom(), key=sort_key)
+    out: set[tuple[Hashable, ...]] = set()
+
+    def assign(index: int, env: dict[Var, Hashable]) -> Iterator[None]:
+        if index == len(answer_vars):
+            if evaluate3(formula, instance, env) is Truth.TRUE:
+                out.add(tuple(env[v] for v in answer_vars))
+            return
+        for value in domain:
+            env[answer_vars[index]] = value
+            assign(index + 1, env)
+        env.pop(answer_vars[index], None)
+
+    assign(0, {})
+    return frozenset(out)

@@ -1,0 +1,56 @@
+"""Kleene three-valued logic: SQL's truth values.
+
+SQL evaluates comparisons involving ``NULL`` to *unknown*, and composes
+truth values by Kleene's strong three-valued connectives.  The paper's
+introduction singles out the resulting behaviour (the ``NOT IN``
+paradox) as the motivating gap between practice and certain-answer
+semantics; this module makes SQL's side of the comparison executable.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["Truth", "t_not", "t_and", "t_or", "t_implies"]
+
+
+class Truth(Enum):
+    """A Kleene truth value, ordered ``FALSE < UNKNOWN < TRUE``."""
+
+    FALSE = 0
+    UNKNOWN = 1
+    TRUE = 2
+
+    def __bool__(self) -> bool:
+        # SQL semantics: only TRUE selects a row.
+        return self is Truth.TRUE
+
+    def __repr__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def of(cls, value: bool) -> "Truth":
+        """Lift a Python boolean into the two-valued sublattice."""
+        return cls.TRUE if value else cls.FALSE
+
+
+def t_not(value: Truth) -> Truth:
+    """Kleene negation: swaps TRUE and FALSE, fixes UNKNOWN."""
+    if value is Truth.UNKNOWN:
+        return Truth.UNKNOWN
+    return Truth.FALSE if value is Truth.TRUE else Truth.TRUE
+
+
+def t_and(*values: Truth) -> Truth:
+    """Kleene conjunction: the minimum in FALSE < UNKNOWN < TRUE."""
+    return min(values, key=lambda v: v.value, default=Truth.TRUE)
+
+
+def t_or(*values: Truth) -> Truth:
+    """Kleene disjunction: the maximum in FALSE < UNKNOWN < TRUE."""
+    return max(values, key=lambda v: v.value, default=Truth.FALSE)
+
+
+def t_implies(left: Truth, right: Truth) -> Truth:
+    """Kleene implication ``¬left ∨ right``."""
+    return t_or(t_not(left), right)

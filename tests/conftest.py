@@ -1,0 +1,59 @@
+"""Shared fixtures: paper instances, small schemas, query builders."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data import Instance, Null, Schema
+from repro.data.generate import (
+    cores_graph_example,
+    d0_example,
+    intro_example,
+    minimal_4ary_example,
+)
+from repro.logic import Query, parse
+
+
+@pytest.fixture
+def intro_db() -> Instance:
+    return intro_example()
+
+
+@pytest.fixture
+def d0() -> Instance:
+    return d0_example()
+
+
+@pytest.fixture
+def graph_schema() -> Schema:
+    return Schema({"E": 2})
+
+
+@pytest.fixture
+def rs_schema() -> Schema:
+    return Schema({"R": 2, "S": 2})
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(20130622)  # PODS 2013 conference dates
+
+
+@pytest.fixture
+def join_query() -> Query:
+    """The introduction's query: π_AC(R ⋈ S)."""
+    return Query(parse("exists z (R(x, z) & S(z, y))"), ("x", "y"), name="join")
+
+
+@pytest.fixture
+def exists_cycle_query() -> Query:
+    """∃x,y (D(x,y) ∧ D(y,x)) — a UCQ, true naively on D0."""
+    return Query.boolean(parse("exists x, y . D(x,y) & D(y,x)"), name="cycle2")
+
+
+@pytest.fixture
+def forall_exists_query() -> Query:
+    """∀x ∃y D(x,y) — in Pos but not ∃Pos (the D0 separating query)."""
+    return Query.boolean(parse("forall x . exists y . D(x,y)"), name="total")

@@ -1,0 +1,164 @@
+"""Unit tests for repro.algebra.cq: conjunctive queries, containment, minimisation."""
+
+import pytest
+
+from repro.algebra.cq import CQ, UCQ
+from repro.data.generate import intro_example
+from repro.data.instance import Instance
+from repro.data.values import Null
+from repro.logic.ast import Exists, Var
+from repro.logic.classes import in_epos
+from repro.logic.eval import answers
+from repro.logic.parser import parse
+
+x, y, z, w = Var("x"), Var("y"), Var("z"), Var("w")
+
+
+class TestConstruction:
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(ValueError):
+            CQ((x,), (("R", (y,)),))
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            CQ((), ())
+
+    def test_constants_in_head_ok(self):
+        cq = CQ((x, 7), (("R", (x,)),))
+        assert cq.head == (x, 7)
+
+
+class TestEvaluation:
+    def test_join_answers(self):
+        cq = CQ((x, y), (("R", (x, z)), ("S", (z, y))))
+        got = cq.answers(intro_example())
+        assert (1, 4) in got and (Null("2"), 5) in got
+
+    def test_constant_filters(self):
+        cq = CQ((y,), (("R", (1, y)),))
+        d = Instance({"R": [(1, 2), (3, 4)]})
+        assert cq.answers(d) == frozenset({(2,)})
+
+    def test_boolean_cq(self):
+        cq = CQ((), (("E", (x, y)), ("E", (y, x))))
+        assert cq.holds(Instance({"E": [(1, 2), (2, 1)]}))
+        assert not cq.holds(Instance({"E": [(1, 2)]}))
+
+    def test_repeated_variable_in_atom(self):
+        cq = CQ((x,), (("E", (x, x)),))
+        d = Instance({"E": [(1, 1), (1, 2)]})
+        assert cq.answers(d) == frozenset({(1,)})
+
+    def test_agreement_with_logic_eval(self):
+        cq = CQ((x, y), (("R", (x, z)), ("S", (z, y))))
+        formula = cq.to_formula()
+        d = intro_example()
+        assert cq.answers(d) == answers(formula, d, (x, y))
+
+
+class TestFormulaBridge:
+    def test_to_formula_is_epos(self):
+        cq = CQ((x,), (("R", (x, z)),))
+        assert in_epos(cq.to_formula())
+
+    def test_to_formula_binds_non_head(self):
+        cq = CQ((x,), (("R", (x, z)),))
+        phi = cq.to_formula()
+        assert isinstance(phi, Exists) and phi.vars == (z,)
+
+    def test_from_formula_roundtrip(self):
+        phi = parse("exists z (R(x, z) & S(z, y))")
+        cq = CQ.from_formula(phi, (x, y))
+        assert cq.answers(intro_example()) == frozenset({(1, 4), (Null("2"), 5)})
+
+    def test_from_formula_rejects_disjunction(self):
+        with pytest.raises(ValueError):
+            CQ.from_formula(parse("R(x, x) | S(x, x)"), (x,))
+
+
+class TestContainment:
+    def test_classic_containment(self):
+        # E(x,y) ∧ E(y,x) ⊆ E(x,y) ∧ E(y,z)
+        a = CQ((), (("E", (x, y)), ("E", (y, x))))
+        b = CQ((), (("E", (x, y)), ("E", (y, z))))
+        assert a.contained_in(b)
+        assert not b.contained_in(a)
+
+    def test_head_preserved(self):
+        # R(x,y) ⊄ R(y,x) as binary queries, but each is contained in ∃-projections
+        a = CQ((x, y), (("R", (x, y)),))
+        b = CQ((x, y), (("R", (y, x)),))
+        assert not a.contained_in(b)
+        assert a.contained_in(a)
+
+    def test_constants_matter(self):
+        a = CQ((), (("R", (1,)),))
+        b = CQ((), (("R", (x,)),))
+        assert a.contained_in(b)
+        assert not b.contained_in(a)
+
+    def test_arity_mismatch_raises(self):
+        a = CQ((x,), (("R", (x,)),))
+        b = CQ((), (("R", (x,)),))
+        with pytest.raises(ValueError):
+            a.contained_in(b)
+
+    def test_equivalence(self):
+        a = CQ((x,), (("R", (x, y)),))
+        b = CQ((x,), (("R", (x, z)),))
+        assert a.equivalent_to(b)
+
+
+class TestMinimisation:
+    def test_redundant_atom_removed(self):
+        cq = CQ((x,), (("R", (x, y)), ("R", (x, z))))
+        small = cq.minimize()
+        assert len(small.body) == 1
+        assert small.equivalent_to(cq)
+
+    def test_core_query_untouched(self):
+        cq = CQ((x,), (("R", (x, y)), ("S", (y, x))))
+        assert len(cq.minimize().body) == 2
+
+    def test_head_variables_not_collapsed(self):
+        cq = CQ((x, y), (("R", (x, z)), ("R", (y, z))))
+        small = cq.minimize()
+        assert small.equivalent_to(cq)
+        head_vars = {t for t in small.head}
+        body_vars = {t for _, ts in small.body for t in ts}
+        assert head_vars <= body_vars
+
+    def test_boolean_minimisation(self):
+        # E(x,y) ∧ E(z,w): two independent edges collapse to one
+        cq = CQ((), (("E", (x, y)), ("E", (z, w))))
+        assert len(cq.minimize().body) == 1
+
+
+class TestUCQ:
+    def test_union_of_answers(self):
+        u = UCQ((CQ((x,), (("R", (x, 1)),)), CQ((x,), (("S", (x, 2)),))))
+        d = Instance({"R": [(5, 1)], "S": [(6, 2)]})
+        assert u.answers(d) == frozenset({(5,), (6,)})
+
+    def test_mixed_arities_rejected(self):
+        with pytest.raises(ValueError):
+            UCQ((CQ((x,), (("R", (x,)),)), CQ((), (("R", (x,)),))))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            UCQ(())
+
+    def test_to_formula_epos(self):
+        u = UCQ((CQ((), (("R", (x,)),)), CQ((), (("S", (x,)),))))
+        assert in_epos(u.to_formula())
+
+    def test_ucq_containment(self):
+        narrow = UCQ((CQ((), (("E", (x, y)), ("E", (y, x)))),))
+        wide = UCQ((CQ((), (("E", (x, y)),)),))
+        assert narrow.contained_in(wide)
+        assert not wide.contained_in(narrow)
+
+    def test_holds(self):
+        u = UCQ((CQ((), (("R", (x,)),)),))
+        assert u.holds(Instance({"R": [(1,)]}))
+        assert not u.holds(Instance.empty())

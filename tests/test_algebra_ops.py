@@ -1,0 +1,115 @@
+"""Unit tests for repro.algebra.ops: named-column relational algebra."""
+
+import pytest
+
+from repro.algebra.ops import Relation, from_instance, to_instance
+from repro.data.generate import intro_example
+from repro.data.instance import Instance
+from repro.data.values import Null
+
+X = Null("x")
+
+
+def rel(columns, rows):
+    return Relation(tuple(columns), frozenset(tuple(r) for r in rows))
+
+
+class TestConstruction:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            rel(("a", "a"), [(1, 2)])
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            rel(("a", "b"), [(1,)])
+
+    def test_from_instance(self):
+        r = from_instance(intro_example(), "R", ("A", "B"))
+        assert len(r) == 2
+
+    def test_from_instance_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            from_instance(intro_example(), "R", ("A",))
+
+    def test_to_instance_roundtrip(self):
+        r = rel(("a", "b"), [(1, 2)])
+        assert to_instance(r, "T") == Instance({"T": [(1, 2)]})
+
+
+class TestOperators:
+    def test_select_eq_naive_null_semantics(self):
+        r = rel(("a",), [(1,), (X,)])
+        assert len(r.select_eq("a", 1)) == 1
+        assert len(r.select_eq("a", X)) == 1  # syntactic null equality
+        assert len(r.select_eq("a", Null("other"))) == 0
+
+    def test_select_predicate(self):
+        r = rel(("a", "b"), [(1, 2), (3, 4)])
+        assert len(r.select(lambda row: row["a"] > 2)) == 1
+
+    def test_project_reorders(self):
+        r = rel(("a", "b"), [(1, 2)])
+        assert r.project(("b", "a")).rows == frozenset({(2, 1)})
+
+    def test_project_deduplicates(self):
+        r = rel(("a", "b"), [(1, 2), (1, 3)])
+        assert len(r.project(("a",))) == 1
+
+    def test_rename(self):
+        r = rel(("a",), [(1,)]).rename({"a": "z"})
+        assert r.columns == ("z",)
+
+    def test_natural_join(self):
+        r = rel(("a", "b"), [(1, 2), (5, 6)])
+        s = rel(("b", "c"), [(2, 3)])
+        joined = r.join(s)
+        assert joined.columns == ("a", "b", "c")
+        assert joined.rows == frozenset({(1, 2, 3)})
+
+    def test_join_on_nulls_is_syntactic(self):
+        r = rel(("a", "b"), [(1, X)])
+        s = rel(("b", "c"), [(X, 4), (Null("other"), 5)])
+        assert r.join(s).rows == frozenset({(1, X, 4)})
+
+    def test_join_without_shared_columns_is_product(self):
+        r = rel(("a",), [(1,)])
+        s = rel(("b",), [(2,)])
+        assert r.join(s).rows == frozenset({(1, 2)})
+
+    def test_union_difference_schema_checked(self):
+        r = rel(("a",), [(1,)])
+        s = rel(("b",), [(2,)])
+        with pytest.raises(ValueError):
+            r.union(s)
+        with pytest.raises(ValueError):
+            r.difference(s)
+
+    def test_union_difference(self):
+        r = rel(("a",), [(1,), (2,)])
+        s = rel(("a",), [(2,), (3,)])
+        assert r.union(s).rows == frozenset({(1,), (2,), (3,)})
+        assert r.difference(s).rows == frozenset({(1,)})
+
+    def test_product_requires_disjoint(self):
+        r = rel(("a",), [(1,)])
+        with pytest.raises(ValueError):
+            r.product(r)
+
+    def test_drop_null_rows(self):
+        r = rel(("a", "b"), [(1, X), (1, 2)])
+        assert r.drop_null_rows().rows == frozenset({(1, 2)})
+
+    def test_missing_column_raises(self):
+        with pytest.raises(KeyError):
+            rel(("a",), [(1,)]).project(("zz",))
+
+
+class TestIntroQueryViaAlgebra:
+    def test_pi_ac_join(self):
+        """The paper's π_AC(R ⋈ S) with naive evaluation, algebraically."""
+        db = intro_example()
+        r = from_instance(db, "R", ("A", "B"))
+        s = from_instance(db, "S", ("B", "C"))
+        raw = r.join(s).project(("A", "C"))
+        assert len(raw) == 2  # (1,4) and (⊥2,5)
+        assert raw.drop_null_rows().rows == frozenset({(1, 4)})

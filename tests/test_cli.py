@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import instance_from_json, instance_to_json, main
+from repro.data.instance import Instance
+from repro.data.values import Null
+
+
+class TestJsonFormat:
+    def test_round_trip(self):
+        d = Instance({"R": [(1, Null("x"))], "S": [(Null("x"), 4)]})
+        assert instance_from_json(instance_to_json(d)) == d
+
+    def test_nulls_marked_with_question(self):
+        d = instance_from_json('{"R": [[1, "?x"], ["?x", 2]]}')
+        assert len(d.nulls()) == 1  # ?x repeats
+
+    def test_plain_strings_are_constants(self):
+        d = instance_from_json('{"R": [["alice", "bob"]]}')
+        assert d.is_complete()
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError):
+            instance_from_json("[1, 2]")
+
+    def test_nested_list_rejected(self):
+        with pytest.raises(ValueError):
+            instance_from_json('{"R": [[[1]]]}')
+
+
+class TestCommands:
+    def test_analyze_all_semantics(self, capsys):
+        assert main(["analyze", "exists z (R(x,z) & S(z,y))"]) == 0
+        out = capsys.readouterr().out
+        assert "owa" in out and "SOUND" in out
+
+    def test_analyze_single_semantics(self, capsys):
+        assert main(["analyze", "forall x . exists y . D(x,y)", "--semantics", "owa"]) == 0
+        out = capsys.readouterr().out
+        assert "not sound" in out
+
+    def test_fragments(self, capsys):
+        assert main(["fragments", "forall x . exists y . D(x,y)"]) == 0
+        out = capsys.readouterr().out
+        assert "Pos" in out and "EPos" not in out.split("fragments:")[1].split(",")[0]
+
+    def test_evaluate_kary(self, tmp_path, capsys):
+        db = tmp_path / "db.json"
+        db.write_text(json.dumps({"R": [[1, "?1"], ["?2", "?3"]], "S": [["?1", 4], ["?3", 5]]}))
+        code = main(["evaluate", "exists z (R(x,z) & S(z,y))", str(db), "--semantics", "owa"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1, 4" in out and "naive" in out
+
+    def test_evaluate_boolean(self, tmp_path, capsys):
+        db = tmp_path / "db.json"
+        db.write_text(json.dumps({"D": [["?a", "?b"], ["?b", "?a"]]}))
+        code = main(["evaluate", "exists x, y . D(x,y) & D(y,x)", str(db), "--semantics", "cwa"])
+        assert code == 0
+        assert "certain answer: True" in capsys.readouterr().out
+
+    def test_evaluate_missing_file(self, capsys):
+        code = main(["evaluate", "R(x)", "/nonexistent/db.json"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_query_reported(self, capsys):
+        code = main(["fragments", "R(x"])
+        assert code == 2
+
+    def test_mode_flag(self, tmp_path, capsys):
+        db = tmp_path / "db.json"
+        db.write_text(json.dumps({"D": [["?a", "?b"]]}))
+        code = main(
+            ["evaluate", "exists x, y . D(x, y)", str(db), "--mode", "enumeration"]
+        )
+        assert code == 0
+        assert "enumeration" in capsys.readouterr().out

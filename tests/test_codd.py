@@ -1,0 +1,71 @@
+"""Unit tests for repro.data.codd: SQL-null modelling."""
+
+import pytest
+
+from repro.data.codd import as_codd, codd_instance, from_sql_rows, to_sql_rows, tuple_leq
+from repro.data.instance import Instance
+from repro.data.values import Null
+
+
+class TestTupleLeq:
+    def test_reflexive_on_constants(self):
+        assert tuple_leq((1, 2), (1, 2))
+
+    def test_null_positions_refine_to_anything(self):
+        assert tuple_leq((1, Null("x")), (1, 2))
+        assert tuple_leq((Null("x"), Null("y")), (5, 6))
+
+    def test_constant_positions_must_match(self):
+        assert not tuple_leq((1, 2), (1, 3))
+        assert not tuple_leq((1, Null("x")), (2, 2))
+
+    def test_length_mismatch(self):
+        assert not tuple_leq((1,), (1, 2))
+
+    def test_not_symmetric(self):
+        assert tuple_leq((Null("x"),), (1,))
+        assert not tuple_leq((1,), (Null("x"),))
+
+
+class TestSqlRows:
+    def test_from_sql_rows_makes_codd(self):
+        inst = from_sql_rows({"R": [(1, None), (None, 2), (None, None)]})
+        assert inst.is_codd()
+        assert len(inst.nulls()) == 4
+        assert inst.fact_count() == 3
+
+    def test_roundtrip_shape(self):
+        inst = from_sql_rows({"R": [(1, None)]})
+        rows = to_sql_rows(inst)
+        assert rows == {"R": [(1, None)]}
+
+    def test_to_sql_rows_rejects_repeating_nulls(self):
+        x = Null("x")
+        with pytest.raises(ValueError):
+            to_sql_rows(Instance({"R": [(x, x)]}))
+
+
+class TestAsCodd:
+    def test_as_codd_breaks_null_links(self):
+        x = Null("x")
+        naive = Instance({"R": [(x, x)]})
+        codd = as_codd(naive)
+        assert codd.is_codd()
+        assert len(codd.nulls()) == 2
+
+    def test_as_codd_preserves_constants(self):
+        naive = Instance({"R": [(1, Null("x"))]})
+        codd = as_codd(naive)
+        assert codd.constants() == frozenset({1})
+        assert codd.fact_count() == 1
+
+
+class TestCoddInstance:
+    def test_accepts_codd(self):
+        inst = codd_instance({"R": [(1, Null("a")), (Null("b"), 2)]})
+        assert inst.is_codd()
+
+    def test_rejects_naive(self):
+        x = Null("x")
+        with pytest.raises(ValueError):
+            codd_instance({"R": [(x, 1), (x, 2)]})

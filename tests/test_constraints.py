@@ -1,0 +1,130 @@
+"""Tests for constraints: FDs, keys, constrained certain answers (Section 12)."""
+
+import pytest
+
+from repro.constraints import (
+    ConstrainedSemantics,
+    FunctionalDependency,
+    Key,
+    certain_answers_under,
+    satisfies,
+    violations,
+)
+from repro.data.instance import Instance
+from repro.data.values import Null
+from repro.core.certain import certain_answers
+from repro.logic.parser import parse
+from repro.logic.queries import Query
+from repro.semantics import get_semantics
+
+X, Y = Null("x"), Null("y")
+
+
+class TestFDs:
+    def test_holds_simple(self):
+        fd = FunctionalDependency("R", (0,), (1,))
+        assert fd.holds_in(Instance({"R": [(1, 2), (2, 2)]}))
+        assert not fd.holds_in(Instance({"R": [(1, 2), (1, 3)]}))
+
+    def test_nulls_compare_syntactically(self):
+        fd = FunctionalDependency("R", (0,), (1,))
+        assert fd.holds_in(Instance({"R": [(1, X), (2, Y)]}))
+        assert not fd.holds_in(Instance({"R": [(1, X), (1, Y)]}))
+
+    def test_violations_reported(self):
+        fd = FunctionalDependency("R", (0,), (1,))
+        d = Instance({"R": [(1, 2), (1, 3)]})
+        found = violations(d, [fd])
+        assert len(found) == 1
+        assert found[0][0] == fd
+
+    def test_empty_relation_vacuous(self):
+        fd = FunctionalDependency("R", (0,), (1,))
+        assert fd.holds_in(Instance.empty())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FunctionalDependency("R", (0,), ())
+        with pytest.raises(ValueError):
+            FunctionalDependency("R", (0,), (0,))
+
+    def test_key_helper(self):
+        key = Key("R", (0,), arity=3)
+        assert key.lhs == (0,) and key.rhs == (1, 2)
+        with pytest.raises(ValueError):
+            Key("R", (0, 1), arity=2)
+
+    def test_satisfies_multiple(self):
+        fds = [FunctionalDependency("R", (0,), (1,)), FunctionalDependency("S", (0,), (1,))]
+        d = Instance({"R": [(1, 2)], "S": [(1, 2), (1, 2)]})
+        assert satisfies(d, fds)
+
+
+class TestConstrainedSemantics:
+    def test_expand_filters_inconsistent_worlds(self):
+        d = Instance({"R": [(1, X), (1, 2)]})
+        key = Key("R", (0,), arity=2)
+        sem = ConstrainedSemantics(get_semantics("cwa"), [key])
+        worlds = list(sem.expand(d, [2, 3]))
+        # the key forces X = 2: only the merged world survives
+        assert worlds == [Instance({"R": [(1, 2)]})]
+
+    def test_contains_checks_constraints(self):
+        d = Instance({"R": [(1, X), (1, 2)]})
+        key = Key("R", (0,), arity=2)
+        sem = ConstrainedSemantics(get_semantics("cwa"), [key])
+        assert sem.contains(d, Instance({"R": [(1, 2)]}))
+        assert not sem.contains(d, Instance({"R": [(1, 2), (1, 3)]}))
+
+    def test_metadata(self):
+        sem = ConstrainedSemantics(get_semantics("cwa"), [Key("R", (0,), 2)])
+        assert sem.key == "cwa+fd"
+        assert "Σ" in sem.notation
+
+
+class TestConstraintsChangeCertainAnswers:
+    def test_key_makes_answer_certain(self):
+        """The classic effect: without the key, R(1,2)'s null partner is
+        anything; with the key on position 0, the null must equal 2."""
+        d = Instance({"R": [(1, X), (1, 2)]})
+        q = Query(parse("R(a, b)"), ("a", "b"))
+        plain = certain_answers(q, d, get_semantics("cwa"))
+        assert plain == frozenset({(1, 2)})
+        constrained = certain_answers_under(
+            q, d, get_semantics("cwa"), [Key("R", (0,), 2)]
+        )
+        assert constrained == frozenset({(1, 2)})
+        # the *Boolean* gain: "the null equals 2" becomes certain
+        qb = Query.boolean(parse("forall a, b . R(a, b) -> b = 2"))
+        assert not bool(certain_answers(qb, d, get_semantics("cwa")))
+        assert bool(
+            certain_answers_under(qb, d, get_semantics("cwa"), [Key("R", (0,), 2)])
+        )
+
+    def test_certain_answers_only_grow(self):
+        d = Instance({"R": [(1, X), (2, 2)]})
+        q = Query(parse("R(a, b)"), ("a", "b"))
+        plain = certain_answers(q, d, get_semantics("cwa"))
+        constrained = certain_answers_under(
+            q, d, get_semantics("cwa"), [FunctionalDependency("R", (1,), (0,))]
+        )
+        assert plain <= constrained
+
+    def test_inconsistent_database_raises(self):
+        d = Instance({"R": [(1, 2), (1, 3)]})  # hard key violation
+        q = Query(parse("R(a, b)"), ("a", "b"))
+        with pytest.raises(ValueError):
+            certain_answers_under(q, d, get_semantics("cwa"), [Key("R", (0,), 2)])
+
+    def test_fd_propagates_through_join(self):
+        """An FD can transfer certainty across a join through nulls."""
+        d = Instance({"R": [(1, X)], "S": [(2, 9)]})
+        fd = FunctionalDependency("R", (0,), (1,))
+        q = Query.boolean(parse("exists a, b . R(a, b) & S(b, 9)"))
+        # without constraints the null may be anything — not certain
+        assert not bool(certain_answers(q, d, get_semantics("cwa")))
+        # the FD alone doesn't pin it either (single R-tuple): still open
+        assert not bool(certain_answers_under(q, d, get_semantics("cwa"), [fd]))
+        # but adding a second R-tuple with the same key does:
+        d2 = d.union(Instance({"R": [(1, 2)]}))
+        assert bool(certain_answers_under(q, d2, get_semantics("cwa"), [fd]))

@@ -1,0 +1,79 @@
+"""Tests for repro.core.analyzer: Figure 1 as executable policy."""
+
+import pytest
+
+from repro.core.analyzer import FIGURE_1, Verdict, analyze
+from repro.logic.parser import parse
+from repro.logic.queries import Query
+from repro.semantics import get_semantics
+
+UCQ = Query.boolean(parse("exists x, y . D(x,y) & D(y,x)"))
+POS = Query.boolean(parse("forall x . exists y . D(x,y)"))
+GUARDED = Query.boolean(parse("forall x, y . E(x, y) -> exists z . E(y, z)"))
+OPEN_GUARD = Query(parse("forall x . R(x) -> S(x, w)"), ("w",))
+NEGATION = Query.boolean(parse("!(exists x . D(x, x))"))
+
+
+class TestFigure1Table:
+    def test_all_semantics_covered(self):
+        assert set(FIGURE_1) == {"owa", "cwa", "wcwa", "pcwa", "mincwa", "minpcwa"}
+
+    def test_ucq_sound_everywhere(self):
+        for key in FIGURE_1:
+            verdict = analyze(UCQ, key)
+            assert verdict.sound, key
+
+    def test_pos_sound_under_wcwa_cwa_not_owa(self):
+        assert not analyze(POS, "owa").sound
+        assert analyze(POS, "wcwa").sound
+        assert analyze(POS, "cwa").sound
+        assert not analyze(POS, "pcwa").sound  # plain ∀ is not a Boolean guard
+
+    def test_guarded_sound_under_cwa_and_pcwa(self):
+        assert analyze(GUARDED, "cwa").sound
+        assert analyze(GUARDED, "pcwa").sound
+        assert not analyze(GUARDED, "owa").sound
+
+    def test_open_guard_cwa_only(self):
+        # free variable in guard body: fine for Pos+∀G, not for ∃Pos+∀G_bool
+        assert analyze(OPEN_GUARD, "cwa").sound
+        assert not analyze(OPEN_GUARD, "pcwa").sound
+
+    def test_negation_sound_nowhere(self):
+        for key in FIGURE_1:
+            assert not analyze(NEGATION, key).sound, key
+
+
+class TestMinimalSemanticsVerdicts:
+    def test_over_cores_flag(self):
+        v = analyze(GUARDED, "mincwa")
+        assert v.sound and v.over_cores_only and v.approximation
+
+    def test_standard_semantics_not_core_restricted(self):
+        assert not analyze(GUARDED, "cwa").over_cores_only
+
+
+class TestVerdictText:
+    def test_positive_reason_cites_paper(self):
+        assert "Theorem 5.2" in analyze(POS, "cwa").reason
+
+    def test_negative_reason_explains(self):
+        reason = analyze(NEGATION, "cwa").reason
+        assert "negation" in reason
+
+    def test_owa_boolean_tightness_mentioned(self):
+        reason = analyze(POS, "owa").reason
+        assert "union of conjunctive queries" in reason
+
+    def test_bool_protocol(self):
+        assert analyze(UCQ, "owa")
+        assert not analyze(NEGATION, "owa")
+
+
+class TestInputs:
+    def test_accepts_semantics_object(self):
+        assert analyze(UCQ, get_semantics("cwa")).semantics == "cwa"
+
+    def test_unknown_semantics_raises(self):
+        with pytest.raises(ValueError):
+            analyze(UCQ, "bogus")

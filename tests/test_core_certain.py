@@ -1,0 +1,110 @@
+"""Tests for repro.core.certain: the bounded certain-answer oracle."""
+
+import pytest
+
+from repro.core.certain import certain_answers, certain_holds, default_pool, query_schema
+from repro.data.instance import Instance
+from repro.data.values import Null
+from repro.logic.parser import parse
+from repro.logic.queries import Query
+from repro.semantics import get_semantics
+
+X, Y = Null("x"), Null("y")
+K, K1 = Null(""), Null("'")
+
+
+class TestDefaultPool:
+    def test_contains_instance_and_query_constants(self):
+        d = Instance({"R": [(1, X)]})
+        q = Query.boolean(parse("exists v . R(v, 7)"))
+        pool = default_pool(d, q)
+        assert 1 in pool and 7 in pool
+
+    def test_fresh_count(self):
+        d = Instance({"R": [(X, Y)]})
+        pool = default_pool(d)
+        fresh = [v for v in pool if isinstance(v, str) and v.startswith("_f")]
+        assert len(fresh) == 3  # nulls + 1
+
+    def test_fresh_avoid_collisions(self):
+        d = Instance({"R": [("_f1", X)]})
+        pool = default_pool(d)
+        assert len(set(pool)) == len(pool)
+
+    def test_n_fresh_override(self):
+        d = Instance({"R": [(X, Y)]})
+        assert len(default_pool(d, n_fresh=0)) == 0
+
+
+class TestQuerySchema:
+    def test_collects_arities(self):
+        q = Query.boolean(parse("exists v . R(v, v) & S(v)"))
+        s = query_schema(q)
+        assert s.arity("R") == 2 and s.arity("S") == 1
+
+    def test_conflicting_arity_raises(self):
+        q = Query.boolean(parse("exists v . R(v) & R(v, v)"))
+        with pytest.raises(ValueError):
+            query_schema(q)
+
+
+class TestCertainAnswers:
+    def test_intro_example_all_semantics(self, join_query, intro_db):
+        for key in ("owa", "cwa", "wcwa", "pcwa", "mincwa", "minpcwa"):
+            kw = {"extra_facts": 1} if key == "wcwa" else {}
+            got = certain_answers(join_query, intro_db, get_semantics(key), **kw)
+            assert got == frozenset({(1, 4)}), key
+
+    def test_d0_forall_split(self, d0, forall_exists_query):
+        # ∀x∃y D(x,y): certain under CWA/WCWA, not under OWA (Section 2.4)
+        assert not certain_holds(forall_exists_query, d0, get_semantics("owa"))
+        assert certain_holds(forall_exists_query, d0, get_semantics("cwa"))
+        assert certain_holds(forall_exists_query, d0, get_semantics("wcwa"))
+
+    def test_d0_exists_cycle_everywhere(self, d0, exists_cycle_query):
+        for key in ("owa", "cwa", "wcwa", "pcwa"):
+            assert certain_holds(exists_cycle_query, d0, get_semantics(key)), key
+
+    def test_negative_query_under_cwa(self):
+        # ¬∃v R(v,v) on {R(1,⊥)}: some valuation sets ⊥=1 → not certain
+        d = Instance({"R": [(1, X)]})
+        q = Query.boolean(parse("!(exists v . R(v, v))"))
+        assert not certain_holds(q, d, get_semantics("cwa"))
+
+    def test_negative_query_certain_when_unreachable(self):
+        # ¬R(2,2) on {R(1,⊥)}: no valuation creates (2,2) under CWA
+        d = Instance({"R": [(1, X)]})
+        q = Query.boolean(parse("!R(2, 2)"))
+        assert certain_holds(q, d, get_semantics("cwa"))
+        # ... but under OWA extensions may add it
+        assert not certain_holds(q, d, get_semantics("owa"))
+
+    def test_kary_certain_answer_with_constants(self):
+        d = Instance({"R": [(1, 2), (3, X)]})
+        q = Query(parse("R(a, b)"), ("a", "b"))
+        got = certain_answers(q, d, get_semantics("cwa"))
+        assert got == frozenset({(1, 2)})
+
+    def test_certain_empty_when_all_null(self):
+        d = Instance({"R": [(X, Y)]})
+        q = Query(parse("R(a, b)"), ("a", "b"))
+        assert certain_answers(q, d, get_semantics("cwa")) == frozenset()
+
+    def test_complete_instance_certain_equals_eval(self):
+        d = Instance({"R": [(1, 2)]})
+        q = Query(parse("R(a, b)"), ("a", "b"))
+        assert certain_answers(q, d, get_semantics("cwa")) == frozenset({(1, 2)})
+
+    def test_certain_holds_rejects_kary(self):
+        q = Query(parse("R(a, b)"), ("a", "b"))
+        with pytest.raises(ValueError):
+            certain_holds(q, Instance.empty(), get_semantics("cwa"))
+
+    def test_minimal_semantics_forall_example(self):
+        """The Cor 10.11 remark: certain answer to ∀x D(x,x) under
+        [[·]]^min_CWA on {(⊥,⊥),(⊥,⊥')} is TRUE (minimal valuations
+        collapse the nulls) although naive evaluation returns false."""
+        d = Instance({"D": [(X, X), (X, Y)]})
+        q = Query.boolean(parse("forall v . D(v, v)"))
+        assert certain_holds(q, d, get_semantics("mincwa"))
+        assert not certain_holds(q, d, get_semantics("cwa"))

@@ -1,0 +1,107 @@
+"""Tests for repro.core.monotone: empirical monotonicity/preservation checks."""
+
+import pytest
+
+from repro.core.monotone import (
+    HOM_CLASSES,
+    preservation_counterexample,
+    weak_monotonicity_counterexample,
+)
+from repro.data.instance import Instance
+from repro.data.values import Null
+from repro.logic.parser import parse
+from repro.logic.queries import Query
+from repro.semantics import get_semantics
+
+X, Y = Null("x"), Null("y")
+D0 = Instance({"D": [(X, Y), (Y, X)]})
+SMALL = [
+    Instance({"D": [(X, Y)]}),
+    D0,
+    Instance({"D": [(1, X)]}),
+]
+
+
+class TestWeakMonotonicity:
+    def test_ucq_weakly_monotone_everywhere(self):
+        q = Query.boolean(parse("exists a, b . D(a,b) & D(b,a)"))
+        for key in ("owa", "cwa", "wcwa", "pcwa"):
+            assert (
+                weak_monotonicity_counterexample(q, SMALL, get_semantics(key)) is None
+            ), key
+
+    def test_forall_query_fails_owa(self):
+        q = Query.boolean(parse("forall a . exists b . D(a, b)"))
+        ce = weak_monotonicity_counterexample(q, SMALL, get_semantics("owa"))
+        assert ce is not None
+        assert ce.lost == ()
+
+    def test_forall_query_survives_cwa(self):
+        q = Query.boolean(parse("forall a . exists b . D(a, b)"))
+        assert weak_monotonicity_counterexample(q, SMALL, get_semantics("cwa")) is None
+
+    def test_negation_fails_cwa(self):
+        q = Query.boolean(parse("!(exists a . D(a, a))"))
+        ce = weak_monotonicity_counterexample(q, SMALL, get_semantics("cwa"))
+        assert ce is not None
+
+
+class TestPreservation:
+    PAIRS = [
+        (Instance({"D": [(1, 2)]}), Instance({"D": [(3, 3)]})),
+        (Instance({"D": [(1, 2), (2, 1)]}), Instance({"D": [(1, 1)]})),
+        (Instance({"D": [(1, 2)]}), Instance({"D": [(1, 2), (2, 1)]})),
+    ]
+
+    def complete_pairs(self):
+        # drop constants so homs exist: use fix_constants anyway; these
+        # pairs exercise hom enumeration between complete instances
+        return self.PAIRS
+
+    def test_hom_classes_exposed(self):
+        assert set(HOM_CLASSES) == {"hom", "onto", "strong_onto", "minimal"}
+
+    def test_ucq_preserved_under_homs(self):
+        q = Query.boolean(parse("exists a, b . D(a, b)"))
+        pairs = [(s.apply({1: 5, 2: 6}), t) for s, t in self.PAIRS]  # renamed
+        assert preservation_counterexample(q, self.PAIRS, "hom") is None
+
+    def test_forall_not_preserved_under_homs(self):
+        # ∀a∃b D(a,b) true in {(1,2),(2,1)} but adding values breaks it:
+        # build a pair with a plain hom into a bigger instance
+        q = Query.boolean(parse("forall a . exists b . D(a, b)"))
+        pairs = [
+            (Instance({"D": [(1, 2), (2, 1)]}), Instance({"D": [(1, 2), (2, 1), (1, 3)]})),
+        ]
+        ce = preservation_counterexample(q, pairs, "hom")
+        assert ce is not None
+
+    def test_forall_preserved_under_onto(self):
+        q = Query.boolean(parse("forall a . exists b . D(a, b)"))
+        pairs = [
+            (Instance({"D": [(1, 2), (2, 1)]}), Instance({"D": [(1, 2), (2, 1), (1, 1)]})),
+        ]
+        assert preservation_counterexample(q, pairs, "onto") is None
+
+    def test_guard_counterexample_from_paper(self):
+        """Remark after Prop 5.1: ∀x (R(x,x) → S(x)) is not preserved
+        under strong onto homs when guard variables repeat."""
+        q = Query.boolean(parse("forall v . R(v, v) -> S(v)"))
+        # can't use database homs with distinct constants — model the
+        # paper's h: {1,2} → 3 with null-based instances instead
+        a, b, c = Null("a"), Null("b"), Null("c")
+        source = Instance({"R": [(a, b)], "S": [(a,), (b,)]})
+        target = Instance({"R": [(c, c)]})
+        # h(a)=h(b)=c maps R-fact onto R(c,c) but S-facts must go too —
+        # build target accordingly minus S(c) to break the implication:
+        target = Instance({"R": [(c, c)], "S": []})
+        # no strong onto hom exists here (S-facts must map somewhere),
+        # so use the exact paper shape: S empty in both
+        source = Instance({"R": [(a, b)]})
+        ce = preservation_counterexample(q, [(source, target)], "strong_onto")
+        assert ce is not None
+
+    def test_unknown_class_raises(self):
+        q = Query.boolean(parse("exists a . D(a, a)"))
+        with pytest.raises(ValueError):
+            preservation_counterexample(q, self.PAIRS, "bogus")

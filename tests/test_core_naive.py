@@ -1,0 +1,49 @@
+"""Unit tests for repro.core.naive: the two-step procedure."""
+
+import pytest
+
+from repro.core.naive import drop_null_tuples, naive_eval, naive_holds
+from repro.data.instance import Instance
+from repro.data.values import Null
+from repro.logic.parser import parse
+from repro.logic.queries import Query
+
+X = Null("x")
+
+
+def test_drop_null_tuples():
+    rows = frozenset({(1, 2), (1, X), (X, X), ()})
+    assert drop_null_tuples(rows) == frozenset({(1, 2), ()})
+
+
+def test_naive_eval_intro_example(join_query, intro_db):
+    assert naive_eval(join_query, intro_db) == frozenset({(1, 4)})
+
+
+def test_naive_eval_keeps_constant_rows():
+    q = Query(parse("R(a, b)"), ("a", "b"))
+    d = Instance({"R": [(1, 2), (1, X)]})
+    assert naive_eval(q, d) == frozenset({(1, 2)})
+
+
+def test_naive_holds_boolean(d0):
+    q = Query.boolean(parse("exists x, y . D(x,y) & D(y,x)"))
+    assert naive_holds(q, d0)
+
+
+def test_naive_holds_nulls_count_as_witnesses(d0):
+    # ∀x∃y D(x,y) holds naively on D0 (nulls are values)
+    q = Query.boolean(parse("forall x . exists y . D(x, y)"))
+    assert naive_holds(q, d0)
+
+
+def test_naive_holds_rejects_kary():
+    q = Query(parse("R(a, b)"), ("a", "b"))
+    with pytest.raises(ValueError):
+        naive_holds(q, Instance.empty())
+
+
+def test_naive_eval_boolean_encoding():
+    q = Query.boolean(parse("exists v . R(v, v)"))
+    assert naive_eval(q, Instance({"R": [(X, X)]})) == frozenset({()})
+    assert naive_eval(q, Instance.empty()) == frozenset()

@@ -1,0 +1,77 @@
+"""Tests for possible answers (the dual of certain answers)."""
+
+import pytest
+
+from repro.core.certain import certain_answers, certain_holds
+from repro.core.possible import possible_answers, possible_holds
+from repro.data.instance import Instance
+from repro.data.values import Null
+from repro.logic.parser import parse
+from repro.logic.queries import Query
+from repro.semantics import get_semantics
+
+X, Y = Null("x"), Null("y")
+
+
+class TestBasics:
+    def test_possible_contains_certain(self):
+        d = Instance({"R": [(1, X), (2, 3)]})
+        q = Query(parse("R(a, b)"), ("a", "b"))
+        for key in ("cwa", "mincwa", "pcwa"):
+            sem = get_semantics(key)
+            certain = certain_answers(q, d, sem)
+            possible = possible_answers(q, d, sem)
+            assert certain <= possible, key
+
+    def test_null_row_possible_not_certain(self):
+        d = Instance({"R": [(1, X)]})
+        q = Query.boolean(parse("R(1, 2)"))
+        sem = get_semantics("cwa")
+        assert possible_holds(q, d, sem)
+        assert not certain_holds(q, d, sem)
+
+    def test_impossible_stays_impossible(self):
+        d = Instance({"R": [(1, X)]})
+        q = Query.boolean(parse("R(2, 2)"))
+        assert not possible_holds(q, d, get_semantics("cwa"))
+        # ... though OWA extensions make anything over the schema possible
+        assert possible_holds(q, d, get_semantics("owa"), extra_facts=1)
+
+    def test_complete_instance_possible_equals_certain(self):
+        d = Instance({"R": [(1, 2)]})
+        q = Query(parse("R(a, b)"), ("a", "b"))
+        sem = get_semantics("cwa")
+        assert possible_answers(q, d, sem) == certain_answers(q, d, sem)
+
+    def test_fresh_values_dropped_by_default(self):
+        d = Instance({"R": [(1, X)]})
+        q = Query(parse("R(a, b)"), ("a", "b"))
+        possible = possible_answers(q, d, get_semantics("cwa"))
+        assert all(not (isinstance(v, str) and v.startswith("_f")) for row in possible for v in row)
+
+    def test_fresh_values_kept_on_request(self):
+        d = Instance({"R": [(1, X)]})
+        q = Query(parse("R(a, b)"), ("a", "b"))
+        possible = possible_answers(q, d, get_semantics("cwa"), drop_fresh=False)
+        assert any(isinstance(v, str) and v.startswith("_f") for row in possible for v in row)
+
+    def test_kary_guard(self):
+        q = Query(parse("R(a, b)"), ("a", "b"))
+        with pytest.raises(ValueError):
+            possible_holds(q, Instance.empty().add_fact("R", (1, 1)), get_semantics("cwa"))
+
+
+class TestDisjunctiveKnowledge:
+    def test_cwa_vs_pcwa_possibility(self):
+        """Under powerset CWA, both images can coexist in one world."""
+        d = Instance({"R": [(X,)]})
+        both = Query.boolean(parse("R(1) & R(2)"))
+        assert not possible_holds(both, d, get_semantics("cwa"))
+        assert possible_holds(both, d, get_semantics("pcwa"), extra_facts=2)
+
+    def test_minimal_semantics_restrict_possibility(self):
+        d = Instance({"T": [(X, X), (X, Y)]})
+        # a world with two distinct rows requires a non-minimal valuation
+        q = Query.boolean(parse("exists a, b, c . T(a, b) & T(a, c) & !(b = c)"))
+        assert possible_holds(q, d, get_semantics("cwa"))
+        assert not possible_holds(q, d, get_semantics("mincwa"))

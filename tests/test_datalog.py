@@ -1,0 +1,143 @@
+"""Tests for the datalog substrate and its naive = certain connection."""
+
+import pytest
+
+from repro.data.generate import cycle, path
+from repro.data.instance import Instance
+from repro.data.values import Null
+from repro.datalog import (
+    Atom,
+    DatalogError,
+    Program,
+    Rule,
+    datalog_certain_answers,
+    datalog_naive_answers,
+    evaluate_program,
+)
+from repro.logic.ast import Var
+from repro.semantics import get_semantics
+
+x, y, z = Var("x"), Var("y"), Var("z")
+X, Y = Null("x"), Null("y")
+
+#: transitive closure of E into T
+TC = Program(
+    (
+        Rule(Atom("T", (x, y)), (Atom("E", (x, y)),)),
+        Rule(Atom("T", (x, z)), (Atom("E", (x, y)), Atom("T", (y, z)))),
+    )
+)
+
+
+class TestProgramValidation:
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(DatalogError):
+            Rule(Atom("H", (x, y)), (Atom("E", (x, x)),))
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(DatalogError):
+            Rule(Atom("H", (x,)), ())
+
+    def test_arity_clash_rejected(self):
+        with pytest.raises(DatalogError):
+            Program(
+                (
+                    Rule(Atom("H", (x,)), (Atom("E", (x, y)),)),
+                    Rule(Atom("H", (x, y)), (Atom("E", (x, y)),)),
+                )
+            )
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(DatalogError):
+            Program(())
+
+    def test_idb_edb_split(self):
+        assert TC.idb == {"T"}
+        assert TC.edb == {"E"}
+
+    def test_rules_for(self):
+        assert len(TC.rules_for("T")) == 2
+        assert TC.rules_for("E") == ()
+
+    def test_constants_allowed_in_rules(self):
+        p = Program((Rule(Atom("H", (x,)), (Atom("E", (x, 1)),)),))
+        got = evaluate_program(p, Instance({"E": [(5, 1), (6, 2)]}))
+        assert got.tuples("H") == frozenset({(5,)})
+
+
+class TestFixpoint:
+    def test_transitive_closure_on_path(self):
+        edb = path(3, values=[0, 1, 2, 3])
+        fixpoint = evaluate_program(TC, edb)
+        expected = {(i, j) for i in range(4) for j in range(4) if i < j}
+        assert fixpoint.tuples("T") == frozenset(expected)
+
+    def test_transitive_closure_on_cycle(self):
+        edb = cycle(3, values=[0, 1, 2])
+        fixpoint = evaluate_program(TC, edb)
+        assert fixpoint.tuples("T") == frozenset(
+            {(i, j) for i in range(3) for j in range(3)}
+        )
+
+    def test_nulls_are_plain_values(self):
+        edb = Instance({"E": [(1, X), (X, 2)]})
+        fixpoint = evaluate_program(TC, edb)
+        assert (1, 2) in fixpoint.tuples("T")  # through the null
+        assert (1, X) in fixpoint.tuples("T")
+
+    def test_edb_preserved(self):
+        edb = Instance({"E": [(1, 2)]})
+        fixpoint = evaluate_program(TC, edb)
+        assert edb <= fixpoint
+
+    def test_empty_edb(self):
+        fixpoint = evaluate_program(TC, Instance.empty())
+        assert fixpoint.tuples("T") == frozenset()
+
+    def test_mutual_recursion(self):
+        # even/odd distance from a source marker
+        even = Program(
+            (
+                Rule(Atom("Even", (x,)), (Atom("Start", (x,)),)),
+                Rule(Atom("Odd", (y,)), (Atom("Even", (x,)), Atom("E", (x, y)))),
+                Rule(Atom("Even", (y,)), (Atom("Odd", (x,)), Atom("E", (x, y)))),
+            )
+        )
+        edb = path(3, values=[0, 1, 2, 3]).union(Instance({"Start": [(0,)]}))
+        fixpoint = evaluate_program(even, edb)
+        assert fixpoint.tuples("Even") == frozenset({(0,), (2,)})
+        assert fixpoint.tuples("Odd") == frozenset({(1,), (3,)})
+
+
+class TestNaiveEqualsCertain:
+    """Section 12's observation: naive evaluation works for datalog."""
+
+    EDBS = [
+        Instance({"E": [(1, X), (X, 2)]}),
+        Instance({"E": [(X, Y), (Y, X)]}),
+        Instance({"E": [(1, 2), (2, X)]}),
+        Instance({"E": [(X, X)]}),
+    ]
+
+    @pytest.mark.parametrize("key", ["cwa", "owa"])
+    def test_tc_naive_equals_certain(self, key):
+        sem = get_semantics(key)
+        extra = {"extra_facts": 1} if key == "owa" else {}
+        for edb in self.EDBS:
+            naive = datalog_naive_answers(TC, edb, "T")
+            certain = datalog_certain_answers(TC, edb, "T", sem, **extra)
+            assert naive == certain, (key, edb)
+
+    def test_naive_through_null_join_is_certain(self):
+        # the repeated null ⊥ joins (1,⊥) with (⊥,2): T(1,2) is certain
+        edb = Instance({"E": [(1, X), (X, 2)]})
+        naive = datalog_naive_answers(TC, edb, "T")
+        assert (1, 2) in naive
+
+    def test_codd_style_join_not_certain(self):
+        # distinct nulls do not join: T(1,2) must NOT be answered
+        edb = Instance({"E": [(1, X), (Y, 2)]})
+        naive = datalog_naive_answers(TC, edb, "T")
+        assert (1, 2) not in naive
+        certain = datalog_certain_answers(TC, edb, "T", get_semantics("cwa"))
+        assert naive == certain

@@ -1,0 +1,124 @@
+"""Unit tests for repro.data.generate: generators and paper fixtures."""
+
+import random
+
+import pytest
+
+from repro.data.generate import (
+    clique,
+    cores_graph_example,
+    cycle,
+    d0_example,
+    disjoint_union,
+    intro_example,
+    minimal_4ary_example,
+    path,
+    random_codd_instance,
+    random_complete_instance,
+    random_instance,
+    sql_paradox_example,
+)
+from repro.data.instance import Instance
+from repro.data.schema import Schema
+from repro.data.values import Null
+
+
+@pytest.fixture
+def rng():
+    return random.Random(7)
+
+
+class TestRandomGenerators:
+    def test_random_instance_respects_schema(self, rng):
+        schema = Schema({"R": 2, "S": 3})
+        inst = random_instance(schema, rng, n_facts=10)
+        for name in inst.relations:
+            assert inst.arity(name) == schema.arity(name)
+
+    def test_random_instance_null_pool_repeats(self, rng):
+        schema = Schema({"R": 2})
+        inst = random_instance(schema, rng, n_facts=30, n_nulls=1, null_probability=0.9)
+        # a single shared null must repeat across 30 facts
+        assert len(inst.nulls()) <= 1
+        assert not inst.is_codd() or inst.fact_count() < 2
+
+    def test_random_codd_is_codd(self, rng):
+        schema = Schema({"R": 2})
+        for _ in range(10):
+            assert random_codd_instance(schema, rng, n_facts=8).is_codd()
+
+    def test_random_complete_is_complete(self, rng):
+        schema = Schema({"R": 2})
+        assert random_complete_instance(schema, rng).is_complete()
+
+    def test_determinism_under_seed(self):
+        schema = Schema({"R": 2})
+        a = random_instance(schema, random.Random(42))
+        b = random_instance(schema, random.Random(42))
+        assert a == b
+
+
+class TestGraphs:
+    def test_cycle_shape(self):
+        c3 = cycle(3, values=[0, 1, 2])
+        assert c3.tuples("E") == frozenset({(0, 1), (1, 2), (2, 0)})
+
+    def test_cycle_default_nodes_are_nulls(self):
+        assert cycle(4).nulls() and len(cycle(4).nulls()) == 4
+
+    def test_cycle_validation(self):
+        with pytest.raises(ValueError):
+            cycle(0)
+        with pytest.raises(ValueError):
+            cycle(3, values=[1, 2])
+
+    def test_path_shape(self):
+        p = path(2, values=["a", "b", "c"])
+        assert p.tuples("E") == frozenset({("a", "b"), ("b", "c")})
+
+    def test_clique_shape(self):
+        k3 = clique(3, values=[1, 2, 3])
+        assert len(k3.tuples("E")) == 6
+        assert (1, 1) not in k3.tuples("E")
+
+    def test_disjoint_union(self):
+        g = disjoint_union(cycle(2, [1, 2]), cycle(3, [3, 4, 5]))
+        assert g.fact_count() == 5
+
+    def test_disjoint_union_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            disjoint_union(cycle(2, [1, 2]), cycle(2, [2, 3]))
+
+
+class TestPaperFixtures:
+    def test_intro_example_shape(self):
+        d = intro_example()
+        assert d.relations == ("R", "S")
+        assert d.fact_count() == 4
+        assert len(d.nulls()) == 3
+        assert not d.is_codd()  # ⊥1 and ⊥3 repeat across R and S
+
+    def test_d0_shape(self):
+        d0 = d0_example()
+        assert d0.fact_count() == 2
+        assert len(d0.nulls()) == 2
+
+    def test_sql_paradox_shapes(self):
+        x, y = sql_paradox_example()
+        assert x.fact_count() > y.fact_count()
+        assert y.nulls()
+
+    def test_minimal_4ary_is_the_paper_instance(self):
+        d, h = minimal_4ary_example()
+        assert d.arity("T") == 4
+        assert d.fact_count() == 2
+        image = d.apply(h)
+        assert image.fact_count() == 2
+
+    def test_cores_graph_example_is_strong_onto(self):
+        from repro.homs.properties import is_strong_onto
+
+        g, h_graph, hom = cores_graph_example()
+        assert g.fact_count() == 10  # C4 + C6
+        assert h_graph.fact_count() == 5  # C3 + C2
+        assert is_strong_onto(hom, g, h_graph)

@@ -1,0 +1,76 @@
+"""Unit tests for repro.homs.properties: mapping classification."""
+
+from repro.data.instance import Instance
+from repro.data.values import Null
+from repro.homs.properties import (
+    fix_set,
+    fixes_constants,
+    image,
+    is_database_homomorphism,
+    is_homomorphism,
+    is_onto,
+    is_strong_onto,
+    is_valuation,
+)
+
+X, Y = Null("x"), Null("y")
+
+
+def test_image_is_apply():
+    d = Instance({"R": [(X, 1)]})
+    assert image({X: 2}, d) == Instance({"R": [(2, 1)]})
+
+
+def test_is_homomorphism_basic():
+    d = Instance({"R": [(X, 1)]})
+    e = Instance({"R": [(2, 1), (3, 3)]})
+    assert is_homomorphism({X: 2}, d, e)
+    assert not is_homomorphism({X: 9}, d, e)
+
+
+def test_partial_mapping_extends_by_identity():
+    d = Instance({"R": [(X, 1)]})
+    e = Instance({"R": [(2, 1)]})
+    assert is_homomorphism({X: 2}, d, e)  # constant 1 not in the dict
+
+
+def test_plain_hom_may_move_constants():
+    d = Instance({"R": [(1, 2)]})
+    e = Instance({"R": [(3, 4)]})
+    assert is_homomorphism({1: 3, 2: 4}, d, e)
+    assert not is_database_homomorphism({1: 3, 2: 4}, d, e)
+
+
+def test_fixes_constants():
+    d = Instance({"R": [(1, X)]})
+    assert fixes_constants({X: 5}, d)
+    assert not fixes_constants({1: 2, X: 5}, d)
+
+
+def test_is_onto_and_strong_onto():
+    d = Instance({"D": [(1, 2)]})
+    d2 = Instance({"D": [(3, 4), (4, 3)]})
+    h = {1: 3, 2: 4}
+    assert is_onto(h, d, d2)
+    assert not is_strong_onto(h, d, d2)
+    assert is_strong_onto(h, d, Instance({"D": [(3, 4)]}))
+
+
+def test_is_onto_requires_hom():
+    d = Instance({"D": [(1, 2)]})
+    e = Instance({"D": [(5, 6)]})
+    assert not is_onto({1: 6, 2: 5}, d, e)  # covers adom but (6,5) ∉ E
+
+
+def test_is_valuation():
+    d = Instance({"R": [(1, X), (Y, 2)]})
+    assert is_valuation({X: 7, Y: 8}, d)
+    assert not is_valuation({X: 7}, d)  # Y left as a null
+    assert not is_valuation({X: 7, Y: Null("z")}, d)  # maps null to null
+    assert not is_valuation({X: 7, Y: 8, 1: 9}, d)  # moves a constant
+
+
+def test_fix_set():
+    d = Instance({"R": [(1, 2), (3, X)]})
+    h = {1: 1, 2: 9, X: 4}  # moves 2, fixes 1 and (implicitly) 3
+    assert fix_set(h, d) == frozenset({1, 3})

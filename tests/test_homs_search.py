@@ -1,0 +1,154 @@
+"""Unit tests for repro.homs.search: the backtracking homomorphism engine."""
+
+import pytest
+
+from repro.data.generate import cycle, disjoint_union
+from repro.data.instance import Instance
+from repro.data.values import Null
+from repro.homs.search import (
+    find_homomorphism,
+    find_isomorphism,
+    has_homomorphism,
+    iter_homomorphisms,
+    iter_mappings,
+)
+
+X, Y, Z = Null("x"), Null("y"), Null("z")
+
+
+class TestBasicSearch:
+    def test_identity_hom_exists(self):
+        d = Instance({"R": [(1, 2)]})
+        assert has_homomorphism(d, d)
+
+    def test_null_to_constant(self):
+        d = Instance({"R": [(1, X)]})
+        e = Instance({"R": [(1, 2)]})
+        hom = find_homomorphism(d, e)
+        assert hom is not None and hom[X] == 2
+
+    def test_constants_block_by_default(self):
+        d = Instance({"R": [(1, 2)]})
+        e = Instance({"R": [(3, 4)]})
+        assert not has_homomorphism(d, e)
+        assert has_homomorphism(d, e, fix_constants=False)
+
+    def test_repeated_null_consistency(self):
+        d = Instance({"R": [(X, X)]})
+        e = Instance({"R": [(1, 2)]})
+        assert not has_homomorphism(d, e)
+        e2 = Instance({"R": [(1, 1)]})
+        assert has_homomorphism(d, e2)
+
+    def test_cross_fact_consistency(self):
+        d = Instance({"R": [(1, X)], "S": [(X, 4)]})
+        e = Instance({"R": [(1, 7)], "S": [(8, 4)]})
+        assert not has_homomorphism(d, e)
+        e2 = Instance({"R": [(1, 7)], "S": [(7, 4)]})
+        assert has_homomorphism(d, e2)
+
+    def test_no_hom_into_missing_relation(self):
+        d = Instance({"R": [(X,)]})
+        e = Instance({"S": [(1,)]})
+        assert not has_homomorphism(d, e)
+
+    def test_empty_source_maps_anywhere(self):
+        assert has_homomorphism(Instance.empty(), Instance({"R": [(1,)]}))
+        assert has_homomorphism(Instance.empty(), Instance.empty())
+
+    def test_iter_counts_all_homs(self):
+        d = Instance({"R": [(X,)]})
+        e = Instance({"R": [(1,), (2,), (3,)]})
+        assert len(list(iter_homomorphisms(d, e))) == 3
+
+
+class TestGraphHoms:
+    def test_even_cycle_maps_to_c2(self):
+        c4, c2 = cycle(4), cycle(2, values=[Null("u"), Null("v")])
+        assert has_homomorphism(c4, c2, fix_constants=False)
+
+    def test_odd_cycle_does_not_map_to_even(self):
+        c3, c2 = cycle(3), cycle(2, values=[Null("u"), Null("v")])
+        assert not has_homomorphism(c3, c2, fix_constants=False)
+
+    def test_c6_maps_to_c3(self):
+        c6 = cycle(6)
+        c3 = cycle(3, values=[Null("a"), Null("b"), Null("c")])
+        assert has_homomorphism(c6, c3, fix_constants=False)
+
+    def test_c4_does_not_map_to_c3(self):
+        c4 = cycle(4)
+        c3 = cycle(3, values=[Null("a"), Null("b"), Null("c")])
+        assert not has_homomorphism(c4, c3, fix_constants=False)
+
+
+class TestModes:
+    def test_strong_onto(self):
+        d = Instance({"R": [(X, Y)]})
+        e = Instance({"R": [(1, 2), (3, 4)]})
+        assert has_homomorphism(d, e)  # plain: map into one fact
+        assert not has_homomorphism(d, e, strong_onto=True)  # can't cover both
+
+    def test_onto_vs_strong_onto(self):
+        # paper's example: D = {(1,2)} maps strongly onto {(3,4)} and
+        # onto (but not strongly onto) {(3,4),(4,3)}
+        d = Instance({"D": [(1, 2)]})
+        d1 = Instance({"D": [(3, 4)]})
+        d2 = Instance({"D": [(3, 4), (4, 3)]})
+        assert has_homomorphism(d, d1, fix_constants=False, strong_onto=True)
+        assert has_homomorphism(d, d2, fix_constants=False, onto=True)
+        assert not has_homomorphism(d, d2, fix_constants=False, strong_onto=True)
+
+    def test_valuation_mode(self):
+        d = Instance({"R": [(X, Y)]})
+        e = Instance({"R": [(1, 2)], "S": [(Null("t"),)]})
+        hom = find_homomorphism(d, e, require_complete_image=True)
+        assert hom is not None
+        assert all(not isinstance(v, Null) for v in hom.values())
+
+    def test_injective(self):
+        d = Instance({"R": [(X,), (Y,)]})
+        e = Instance({"R": [(1,)]})
+        assert has_homomorphism(d, e)
+        assert not has_homomorphism(d, e, injective=True)
+
+    def test_pinned(self):
+        d = Instance({"R": [(X,)]})
+        e = Instance({"R": [(1,), (2,)]})
+        homs = list(iter_homomorphisms(d, e, pinned={X: 2}))
+        assert homs == [{X: 2}]
+        assert not list(iter_homomorphisms(d, e, pinned={X: 3}))
+
+
+class TestIsomorphism:
+    def test_renaming_nulls(self):
+        a = Instance({"R": [(X, Y)]})
+        b = Instance({"R": [(Null("p"), Null("q"))]})
+        iso = find_isomorphism(a, b)
+        assert iso is not None
+        assert a.apply(iso) == b
+
+    def test_size_mismatch_fast_path(self):
+        a = Instance({"R": [(X,)]})
+        b = Instance({"R": [(Null("p"),), (Null("q"),)]})
+        assert find_isomorphism(a, b) is None
+
+    def test_cycles_of_different_length(self):
+        assert find_isomorphism(cycle(3), cycle(4), fix_constants=False) is None
+
+    def test_same_cycle_relabelled(self):
+        assert find_isomorphism(cycle(5), cycle(5, values=[Null(f"w{i}") for i in range(5)])) is not None
+
+
+class TestIterMappings:
+    def test_counts(self):
+        maps = list(iter_mappings([X, Y], [1, 2, 3]))
+        assert len(maps) == 9
+        assert all(set(m) == {X, Y} for m in maps)
+
+    def test_empty_domain(self):
+        assert list(iter_mappings([], [1, 2])) == [{}]
+
+    def test_base_extension(self):
+        maps = list(iter_mappings([X], [1], base={Y: 5}))
+        assert maps == [{Y: 5, X: 1}]

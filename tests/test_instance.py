@@ -1,0 +1,166 @@
+"""Unit tests for repro.data.instance: the naive-database value object."""
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.schema import SchemaError
+from repro.data.values import Null, NullFactory
+
+
+def test_empty_instance():
+    d = Instance.empty()
+    assert d.is_empty()
+    assert d.is_complete()
+    assert d.adom() == frozenset()
+    assert d.fact_count() == 0
+
+
+def test_construction_and_accessors():
+    x = Null("1")
+    d = Instance({"R": [(1, x)], "S": [(x, 4)]})
+    assert d.relations == ("R", "S")
+    assert d.arity("R") == 2
+    assert d.tuples("R") == frozenset({(1, x)})
+    assert d.tuples("missing") == frozenset()
+    assert d.fact_count() == 2
+
+
+def test_mixed_arity_rejected():
+    with pytest.raises(SchemaError):
+        Instance({"R": [(1,), (1, 2)]})
+
+
+def test_zero_arity_rejected():
+    with pytest.raises(SchemaError):
+        Instance({"R": [()]})
+
+
+def test_empty_relations_are_dropped():
+    d = Instance({"R": [], "S": [(1,)]})
+    assert d.relations == ("S",)
+    assert d.arity("S") == 1
+    with pytest.raises(SchemaError):
+        d.arity("R")
+
+
+def test_adom_nulls_constants():
+    x, y = Null("x"), Null("y")
+    d = Instance({"R": [(1, x), (x, y)]})
+    assert d.adom() == frozenset({1, x, y})
+    assert d.nulls() == frozenset({x, y})
+    assert d.constants() == frozenset({1})
+
+
+def test_completeness_and_codd():
+    x = Null("x")
+    assert Instance({"R": [(1, 2)]}).is_complete()
+    assert not Instance({"R": [(1, x)]}).is_complete()
+    assert Instance({"R": [(1, x)]}).is_codd()
+    assert not Instance({"R": [(x, x)]}).is_codd()
+    assert not Instance({"R": [(1, x)], "S": [(x,)]}).is_codd()
+
+
+def test_facts_deterministic_order():
+    x = Null("x")
+    d = Instance({"S": [(x,)], "R": [(2, 1), (1, 2)]})
+    facts = list(d.facts())
+    assert facts == [("R", (1, 2)), ("R", (2, 1)), ("S", (x,))]
+
+
+def test_apply_mapping_dict_and_callable():
+    x, y = Null("x"), Null("y")
+    d = Instance({"R": [(x, y)]})
+    assert d.apply({x: 1, y: 2}) == Instance({"R": [(1, 2)]})
+    assert d.apply(lambda v: 9) == Instance({"R": [(9, 9)]})
+
+
+def test_apply_merges_facts():
+    x, y = Null("x"), Null("y")
+    d = Instance({"R": [(x, 1), (y, 1)]})
+    assert d.apply({x: 5, y: 5}).fact_count() == 1
+
+
+def test_union_and_subinstance():
+    a = Instance({"R": [(1, 2)]})
+    b = Instance({"R": [(2, 3)], "S": [(1,)]})
+    u = a.union(b)
+    assert a <= u and b <= u
+    assert a < u
+    assert not u <= a
+    assert (a | b) == u
+
+
+def test_union_arity_conflict():
+    with pytest.raises(SchemaError):
+        Instance({"R": [(1,)]}).union(Instance({"R": [(1, 2)]}))
+
+
+def test_difference_restrict_add_remove():
+    d = Instance({"R": [(1, 2), (2, 3)], "S": [(1,)]})
+    assert d.difference(Instance({"R": [(1, 2)]})) == Instance({"R": [(2, 3)], "S": [(1,)]})
+    assert d.restrict(["S"]) == Instance({"S": [(1,)]})
+    assert d.add_fact("R", (9, 9)).fact_count() == 4
+    assert d.remove_fact("S", (1,)) == Instance({"R": [(1, 2), (2, 3)]})
+    assert d.remove_fact("S", (42,)) == d
+
+
+def test_equality_hash_as_value_object():
+    x = Null("x")
+    a = Instance({"R": [(1, x)]})
+    b = Instance({"R": {(1, x)}})
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1
+
+
+def test_schema_inference():
+    d = Instance({"R": [(1, 2)], "S": [(1,)]})
+    s = d.schema()
+    assert s.arity("R") == 2 and s.arity("S") == 1
+
+
+def test_repr_and_pretty():
+    x = Null("x")
+    d = Instance({"R": [(1, x)]})
+    assert "R" in repr(d)
+    assert "⊥x" in d.pretty()
+    assert Instance.empty().pretty() == "(empty instance)"
+
+
+def test_from_facts_roundtrip():
+    d = Instance({"R": [(1, 2)], "S": [(3,)]})
+    assert Instance.from_facts(d.facts()) == d
+
+
+class TestIsomorphism:
+    def test_null_renaming_is_isomorphism(self):
+        a = Instance({"R": [(1, Null("x"))]})
+        b = Instance({"R": [(1, Null("y"))]})
+        assert a.isomorphic(b)
+
+    def test_constants_fixed_by_default(self):
+        a = Instance({"R": [(1, 2)]})
+        b = Instance({"R": [(3, 4)]})
+        assert not a.isomorphic(b)
+        assert a.isomorphic(b, fix_constants=False)
+
+    def test_collapsing_is_not_isomorphism(self):
+        a = Instance({"R": [(Null("x"), Null("y"))]})
+        b = Instance({"R": [(Null("z"), Null("z"))]})
+        assert not a.isomorphic(b)
+        assert not b.isomorphic(a)
+
+    def test_different_fact_counts(self):
+        a = Instance({"R": [(1, 2), (2, 3)]})
+        b = Instance({"R": [(1, 2)]})
+        assert not a.isomorphic(b)
+
+
+def test_with_fresh_values():
+    x, y = Null("x"), Null("y")
+    d = Instance({"R": [(x, y), (y, 1)]})
+    factory = NullFactory("f")
+    renamed, mapping = d.with_fresh_values(d.nulls(), factory.fresh)
+    assert set(mapping) == {x, y}
+    assert renamed.isomorphic(d)
+    assert renamed.nulls().isdisjoint(d.nulls())

@@ -1,0 +1,116 @@
+"""Tests for the k-ary lifting construction (Sections 8/11, Claim 5)."""
+
+import itertools
+
+import pytest
+
+from repro.semantics.domain import DatabaseDomain
+from repro.semantics.lifting import (
+    kary_certain,
+    kary_naive_works,
+    kary_weakly_monotone,
+    lift_domain,
+    lift_query,
+)
+
+TUPLES = ((1,), (2,))
+
+
+def base_domain() -> DatabaseDomain:
+    sem = {"a": frozenset({"a"}), "b": frozenset({"b"}), "x": frozenset({"a", "b"})}
+    iso = lambda o: "ax" if o in ("a", "x") else o
+    return DatabaseDomain(frozenset(sem), frozenset({"a", "b"}), sem, iso)
+
+
+def all_kary_queries():
+    """Every function from {a,b,x} to subsets of TUPLES (64 queries)."""
+    subsets = [frozenset(s) for r in range(3) for s in itertools.combinations(TUPLES, r)]
+    for qa in subsets:
+        for qb in subsets:
+            for qx in subsets:
+                table = {"a": qa, "b": qb, "x": qx}
+                yield table.__getitem__
+
+
+class TestConstruction:
+    def test_shape(self):
+        lifted = lift_domain(base_domain(), TUPLES)
+        assert len(lifted.domain.objects) == 6
+        assert len(lifted.domain.complete) == 4
+
+    def test_semantics_fixes_tuple(self):
+        lifted = lift_domain(base_domain(), TUPLES)
+        assert lifted.domain.sem[("x", (1,))] == frozenset({("a", (1,)), ("b", (1,))})
+
+    def test_claim5_item1_fairness_transfers(self):
+        base = base_domain()
+        assert base.is_fair()
+        lifted = lift_domain(base, TUPLES)
+        assert lifted.domain.is_fair()
+
+    def test_saturation_transfers(self):
+        base = base_domain()
+        assert base.is_saturated()
+        lifted = lift_domain(base, TUPLES)
+        assert lifted.domain.is_saturated()
+
+    def test_unfair_base_gives_unfair_lift(self):
+        sem = {"a": frozenset({"b"}), "b": frozenset({"b"}), "x": frozenset({"a", "b"})}
+        base = DatabaseDomain(frozenset(sem), frozenset({"a", "b"}), sem)
+        assert not base.is_fair()
+        lifted = lift_domain(base, TUPLES)
+        assert not lifted.domain.is_fair()
+
+
+class TestClaim5Exhaustively:
+    """Claim 5 items 3–5 checked over all 64 k-ary queries on the base."""
+
+    def test_item3_certain_answers_correspond(self):
+        base = base_domain()
+        lifted = lift_domain(base, TUPLES)
+        for query in all_kary_queries():
+            starred = lift_query(query)
+            for x in base.objects:
+                for t in TUPLES:
+                    assert lifted.domain.certain(starred, (x, t)) == (
+                        t in kary_certain(base, query, x)
+                    )
+
+    def test_item4_naive_evaluation_corresponds(self):
+        base = base_domain()
+        lifted = lift_domain(base, TUPLES)
+        for query in all_kary_queries():
+            starred = lift_query(query)
+            assert lifted.domain.naive_works(starred) == kary_naive_works(base, query)
+
+    def test_item5_weak_monotonicity_corresponds(self):
+        base = base_domain()
+        lifted = lift_domain(base, TUPLES)
+        for query in all_kary_queries():
+            starred = lift_query(query)
+            assert lifted.domain.weakly_monotone(starred) == kary_weakly_monotone(
+                base, query
+            )
+
+    def test_item2_genericity_of_lifted_generic_queries(self):
+        # a k-ary query constant on iso classes lifts to a generic Q*
+        base = base_domain()
+        lifted = lift_domain(base, TUPLES)
+        query = lambda o: frozenset({(1,)}) if o in ("a", "x") else frozenset()
+        starred = lift_query(query)
+        assert lifted.domain.is_generic(starred)
+
+    def test_lemma_8_1_on_the_lifted_domain(self):
+        """naive works ⇔ weakly monotone, via Thm 3.1 on D* (saturated)."""
+        base = base_domain()
+        lifted = lift_domain(base, TUPLES)
+        assert lifted.domain.is_saturated()
+        for query in all_kary_queries():
+            starred = lift_query(query)
+            if not lifted.domain.is_generic(starred):
+                continue
+            assert lifted.domain.naive_works(starred) == lifted.domain.weakly_monotone(
+                starred
+            )
+            # ... which by Claim 5 is exactly Lemma 8.1 for the base query:
+            assert kary_naive_works(base, query) == kary_weakly_monotone(base, query)

@@ -1,0 +1,90 @@
+"""Unit tests for repro.logic.ast: formula construction and invariants."""
+
+import pytest
+
+from repro.logic.ast import (
+    FALSE,
+    TRUE,
+    And,
+    EqAtom,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    Var,
+)
+
+
+class TestTerms:
+    def test_var_identity(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+        assert len({Var("x"), Var("x")}) == 1
+
+    def test_var_repr(self):
+        assert repr(Var("abc")) == "abc"
+
+
+class TestAtoms:
+    def test_rel_atom_terms_coerced_to_tuple(self):
+        atom = RelAtom("R", [Var("x"), 1])
+        assert atom.terms == (Var("x"), 1)
+
+    def test_rel_atom_needs_terms(self):
+        with pytest.raises(ValueError):
+            RelAtom("R", ())
+
+    def test_atom_repr(self):
+        assert repr(RelAtom("R", (Var("x"), 5))) == "R(x, 5)"
+        assert repr(EqAtom(Var("x"), Var("y"))) == "x = y"
+
+
+class TestConnectives:
+    def test_and_or_arity_validation(self):
+        with pytest.raises(ValueError):
+            And(())
+        with pytest.raises(ValueError):
+            Or(())
+
+    def test_hashable_and_equal(self):
+        a = And((TRUE, FALSE))
+        b = And((TRUE, FALSE))
+        assert a == b and hash(a) == hash(b)
+
+    def test_operator_sugar(self):
+        r = RelAtom("R", (Var("x"),))
+        s = RelAtom("S", (Var("x"),))
+        assert (r & s) == And((r, s))
+        assert (r | s) == Or((r, s))
+        assert (~r) == Not(r)
+        assert (r >> s) == Implies(r, s)
+
+
+class TestQuantifiers:
+    def test_vars_must_be_var_objects(self):
+        with pytest.raises(TypeError):
+            Exists(("x",), TRUE)
+        with pytest.raises(TypeError):
+            Forall(("x",), TRUE)
+
+    def test_need_at_least_one_var(self):
+        with pytest.raises(ValueError):
+            Exists((), TRUE)
+
+    def test_repr_lists_vars(self):
+        phi = Forall((Var("x"), Var("y")), TRUE)
+        assert repr(phi).startswith("∀x, y")
+
+    def test_nested_formulas_equal_structurally(self):
+        a = Exists((Var("x"),), RelAtom("R", (Var("x"),)))
+        b = Exists((Var("x"),), RelAtom("R", (Var("x"),)))
+        assert a == b
+
+
+def test_truth_constants_singletons_compare():
+    assert TRUE == TRUE
+    assert FALSE == FALSE
+    assert TRUE != FALSE
+    assert repr(TRUE) == "true"

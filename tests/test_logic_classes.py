@@ -1,0 +1,160 @@
+"""Unit tests for repro.logic.classes: the paper's syntactic fragments."""
+
+import pytest
+
+from repro.logic.ast import Var
+from repro.logic.builders import (
+    FALSE,
+    TRUE,
+    Rel,
+    eq,
+    eq_guard,
+    exists,
+    forall,
+    guard,
+    implies,
+    not_,
+    or_,
+)
+from repro.logic.classes import (
+    FRAGMENTS,
+    classify,
+    in_epos,
+    in_epos_forall_gbool,
+    in_fragment,
+    in_pos,
+    in_pos_forall_g,
+    why_not_in,
+)
+from repro.logic.parser import parse
+
+R, S = Rel("R"), Rel("S")
+
+
+class TestEPos:
+    def test_ucq_shapes(self):
+        assert in_epos(exists("x", "y", R("x", "y") & S("y", "x")))
+        assert in_epos(or_(exists("x", R("x", "x")), exists("y", S("y", "y"))))
+        assert in_epos(TRUE) and in_epos(FALSE)
+        assert in_epos(eq("x", "y"))
+
+    def test_forall_excluded(self):
+        assert not in_epos(forall("x", R("x", "x")))
+
+    def test_negation_excluded(self):
+        assert not in_epos(not_(R("x", "x")))
+        assert not in_epos(exists("x", ~R("x", "x")))
+
+    def test_implication_excluded(self):
+        assert not in_epos(implies(R("x", "x"), S("x", "x")))
+
+
+class TestPos:
+    def test_adds_forall(self):
+        phi = forall("x", exists("y", R("x", "y")))
+        assert in_pos(phi)
+        assert not in_epos(phi)
+
+    def test_still_no_negation(self):
+        assert not in_pos(forall("x", ~R("x", "x")))
+
+    def test_still_no_bare_implication(self):
+        assert not in_pos(forall("x", implies(R("x", "x"), S("x", "x"))))
+
+
+class TestPosForallG:
+    def test_guard_accepted(self):
+        phi = guard("R", ("x", "y"), exists("z", S("y", "z")))
+        assert in_pos_forall_g(phi)
+        assert not in_pos(phi)
+
+    def test_equality_guard_accepted(self):
+        phi = eq_guard("x", "z", R("x", "z"))
+        assert in_pos_forall_g(phi)
+
+    def test_nested_guards(self):
+        inner = guard("S", ("u", "v"), R("u", "v"))
+        phi = guard("R", ("x", "y"), inner)
+        assert in_pos_forall_g(phi)
+
+    def test_guard_with_repeated_variables_rejected(self):
+        # the remark after Prop 5.1: ∀x (R(x,x) → S(x)) is NOT a guard
+        x = Var("x")
+        from repro.logic.ast import Forall, Implies, RelAtom
+
+        phi = Forall((x,), Implies(RelAtom("R", (x, x)), RelAtom("S", (x,))))
+        assert not in_pos_forall_g(phi)
+
+    def test_guard_vars_must_match_atom_args(self):
+        from repro.logic.ast import Forall, Implies, RelAtom
+
+        x, y = Var("x"), Var("y")
+        # guard atom uses y,x but quantifier binds x,y in that order
+        phi = Forall((x, y), Implies(RelAtom("R", (y, x)), RelAtom("S", (x,))))
+        assert not in_pos_forall_g(phi)
+
+    def test_guard_body_may_use_outer_variables(self):
+        # ϕ(x̄, ȳ) may have extra free variables in Pos+∀G
+        phi = guard("R", ("x",), S("x", "w"))
+        assert in_pos_forall_g(phi)
+
+    def test_plain_forall_still_allowed(self):
+        assert in_pos_forall_g(forall("x", exists("y", R("x", "y"))))
+
+    def test_negation_still_rejected(self):
+        assert not in_pos_forall_g(guard("R", ("x",), ~S("x", "x")))
+
+
+class TestEPosForallGBool:
+    def test_boolean_guard_accepted(self):
+        phi = guard("R", ("x", "y"), exists("z", S("x", "z")))
+        assert in_epos_forall_gbool(phi)
+
+    def test_open_guard_rejected(self):
+        # body has a free variable outside the guard block → not Boolean
+        phi = guard("R", ("x",), S("x", "w"))
+        assert not in_epos_forall_gbool(phi)
+
+    def test_plain_forall_rejected(self):
+        assert not in_epos_forall_gbool(forall("x", exists("y", R("x", "y"))))
+
+    def test_epos_base_included(self):
+        assert in_epos_forall_gbool(exists("x", R("x", "x")))
+
+    def test_guards_compose_with_conjunction(self):
+        phi = guard("R", ("x",), S("x", "x")) & exists("y", R("y", "y"))
+        assert in_epos_forall_gbool(phi)
+
+
+class TestClassifyAndReasons:
+    def test_classify_hierarchy(self):
+        ucq = exists("x", R("x", "x"))
+        assert classify(ucq) == FRAGMENTS  # in everything
+
+    def test_classify_pos_only(self):
+        phi = forall("x", exists("y", R("x", "y")))
+        got = classify(phi)
+        assert "Pos" in got and "PosForallG" in got and "FO" in got
+        assert "EPos" not in got and "EPosForallGBool" not in got
+
+    def test_fo_catches_everything(self):
+        assert in_fragment(not_(R("x", "x")), "FO")
+        assert classify(not_(R("x", "x"))) == ("FO",)
+
+    def test_why_not_in_mentions_negation(self):
+        reason = why_not_in(not_(R("x", "x")), "EPos")
+        assert reason is not None and "negation" in reason
+
+    def test_why_not_in_none_when_member(self):
+        assert why_not_in(exists("x", R("x", "x")), "EPos") is None
+
+    def test_unknown_fragment_raises(self):
+        with pytest.raises(ValueError):
+            in_fragment(TRUE, "nope")
+        with pytest.raises(ValueError):
+            why_not_in(TRUE, "nope")
+
+    def test_parsed_guard_recognised(self):
+        phi = parse("forall x, y . R(x, y) -> exists z (S(y, z))")
+        assert in_pos_forall_g(phi)
+        assert in_epos_forall_gbool(phi)

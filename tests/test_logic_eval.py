@@ -1,0 +1,115 @@
+"""Unit tests for repro.logic.eval: active-domain FO evaluation."""
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.values import Null
+from repro.logic.ast import Var
+from repro.logic.builders import Rel, eq, exists, forall, implies, not_, or_
+from repro.logic.eval import answers, evaluate, holds, iter_answers
+
+R, S, E = Rel("R"), Rel("S"), Rel("E")
+X = Null("x")
+
+
+class TestAtoms:
+    def test_atom_membership(self):
+        d = Instance({"R": [(1, 2)]})
+        assert evaluate(R(1, 2), d)
+        assert not evaluate(R(2, 1), d)
+
+    def test_missing_relation_is_empty(self):
+        d = Instance({"R": [(1, 2)]})
+        assert not evaluate(S(1, 1), d)
+
+    def test_naive_null_equality(self):
+        d = Instance({"R": [(X, X)]})
+        y = Null("y")
+        assert evaluate(eq(X, X), d)
+        assert not evaluate(eq(X, y), d)
+        assert not evaluate(eq(X, 1), d)
+
+    def test_unbound_variable_raises(self):
+        d = Instance({"R": [(1, 2)]})
+        with pytest.raises(ValueError):
+            evaluate(R("v", 2), d)
+
+
+class TestConnectives:
+    def test_boolean_structure(self):
+        d = Instance({"R": [(1, 2)]})
+        assert evaluate(R(1, 2) & ~R(2, 1), d)
+        assert evaluate(or_(R(9, 9), R(1, 2)), d)
+        assert evaluate(implies(R(2, 1), R(9, 9)), d)  # false antecedent
+        assert not evaluate(implies(R(1, 2), R(9, 9)), d)
+
+
+class TestQuantifiers:
+    def test_exists_over_active_domain(self):
+        d = Instance({"R": [(1, 2)]})
+        assert evaluate(exists("v", R(1, "v")), d)
+        assert not evaluate(exists("v", R("v", "v")), d)
+
+    def test_forall_over_active_domain(self):
+        d = Instance({"E": [(1, 2), (2, 1)]})
+        assert evaluate(forall("v", exists("w", E("v", "w"))), d)
+
+    def test_forall_false_when_witness_missing(self):
+        d = Instance({"E": [(1, 2)]})
+        assert not evaluate(forall("v", exists("w", E("v", "w"))), d)
+
+    def test_nulls_participate_in_quantification(self):
+        d = Instance({"E": [(X, X)]})
+        assert evaluate(forall("v", E("v", "v")), d)
+
+    def test_empty_instance_quantifiers(self):
+        d = Instance.empty()
+        assert evaluate(forall("v", E("v", "v")), d)  # vacuous
+        assert not evaluate(exists("v", eq("v", "v")), d)
+
+    def test_multi_variable_block(self):
+        d = Instance({"E": [(1, 2)]})
+        assert evaluate(exists("a", "b", E("a", "b")), d)
+        assert not evaluate(forall("a", "b", E("a", "b")), d)
+
+
+class TestHolds:
+    def test_rejects_free_variables(self):
+        with pytest.raises(ValueError):
+            holds(R("x", "x"), Instance({"R": [(1, 1)]}))
+
+    def test_sentence_ok(self):
+        assert holds(exists("x", R("x", "x")), Instance({"R": [(1, 1)]}))
+
+
+class TestAnswers:
+    def test_basic_answers(self):
+        d = Instance({"R": [(1, 2), (2, 3)]})
+        got = answers(R("a", "b"), d, (Var("a"), Var("b")))
+        assert got == frozenset({(1, 2), (2, 3)})
+
+    def test_answers_include_nulls(self):
+        d = Instance({"R": [(1, X)]})
+        got = answers(R("a", "b"), d, (Var("a"), Var("b")))
+        assert (1, X) in got
+
+    def test_column_order_respected(self):
+        d = Instance({"R": [(1, 2)]})
+        got = answers(R("a", "b"), d, (Var("b"), Var("a")))
+        assert got == frozenset({(2, 1)})
+
+    def test_uncovered_free_variable_raises(self):
+        d = Instance({"R": [(1, 2)]})
+        with pytest.raises(ValueError):
+            answers(R("a", "b"), d, (Var("a"),))
+
+    def test_join_query(self):
+        d = Instance({"R": [(1, X)], "S": [(X, 4)]})
+        phi = exists("z", R("a", "z") & S("z", "c"))
+        got = answers(phi, d, (Var("a"), Var("c")))
+        assert got == frozenset({(1, 4)})
+
+    def test_iter_answers_streams(self):
+        d = Instance({"R": [(1, 2), (3, 4)]})
+        stream = iter_answers(R("a", "b"), d, (Var("a"), Var("b")))
+        assert next(stream) in {(1, 2), (3, 4)}

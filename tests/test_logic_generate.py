@@ -1,0 +1,60 @@
+"""Tests for the stratified random formula generators."""
+
+import random
+
+import pytest
+
+from repro.data.schema import Schema
+from repro.logic.classes import in_fragment
+from repro.logic.generate import random_kary_query, random_sentence
+from repro.logic.transform import free_vars, is_sentence
+
+SCHEMA = Schema({"R": 2, "S": 1})
+FRAGMENTS = ("EPos", "Pos", "PosForallG", "EPosForallGBool")
+
+
+@pytest.mark.parametrize("fragment", FRAGMENTS)
+class TestRandomSentence:
+    def test_membership_guaranteed(self, fragment):
+        rng = random.Random(1)
+        for _ in range(30):
+            phi = random_sentence(SCHEMA, rng, fragment, max_depth=3)
+            assert in_fragment(phi, fragment)
+
+    def test_sentences_are_closed(self, fragment):
+        rng = random.Random(2)
+        for _ in range(20):
+            assert is_sentence(random_sentence(SCHEMA, rng, fragment))
+
+    def test_deterministic_under_seed(self, fragment):
+        a = random_sentence(SCHEMA, random.Random(99), fragment)
+        b = random_sentence(SCHEMA, random.Random(99), fragment)
+        assert a == b
+
+
+class TestRandomKaryQuery:
+    def test_arity_and_safety(self):
+        rng = random.Random(3)
+        for arity in (1, 2):
+            q = random_kary_query(SCHEMA, rng, "EPos", arity=arity)
+            assert q.arity == arity
+            assert free_vars(q.formula) == set(q.answer_vars)
+
+    def test_fragment_guaranteed(self):
+        rng = random.Random(4)
+        for fragment in FRAGMENTS:
+            q = random_kary_query(SCHEMA, rng, fragment, arity=1)
+            assert in_fragment(q.formula, fragment)
+
+    def test_queries_evaluate(self):
+        from repro.data.generate import random_instance
+
+        rng = random.Random(5)
+        instance = random_instance(SCHEMA, rng, n_facts=4)
+        q = random_kary_query(SCHEMA, rng, "EPos", arity=1, max_depth=1)
+        q.eval_raw(instance)  # must not raise
+
+    def test_depth_zero_is_atomic_anchor(self):
+        rng = random.Random(6)
+        q = random_kary_query(SCHEMA, rng, "EPos", arity=1, max_depth=0)
+        assert q.arity == 1

@@ -1,0 +1,137 @@
+"""Unit tests for repro.logic.parser."""
+
+import pytest
+
+from repro.logic.ast import (
+    And,
+    EqAtom,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    TrueF,
+    Var,
+)
+from repro.logic.parser import ParseError, parse
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+class TestAtoms:
+    def test_relational_atom(self):
+        assert parse("R(x, y)") == RelAtom("R", (x, y))
+
+    def test_numeric_constants(self):
+        assert parse("R(x, 5)") == RelAtom("R", (x, 5))
+        assert parse("R(-3)") == RelAtom("R", (-3,))
+
+    def test_string_constants(self):
+        assert parse("R('alice', x)") == RelAtom("R", ("alice", x))
+        assert parse('R("bob")') == RelAtom("R", ("bob",))
+
+    def test_equality(self):
+        assert parse("x = y") == EqAtom(x, y)
+        assert parse("x = 3") == EqAtom(x, 3)
+        assert parse("5 = x") == EqAtom(5, x)
+
+    def test_truth_constants(self):
+        assert isinstance(parse("true"), TrueF)
+
+
+class TestConnectives:
+    def test_precedence_and_over_or(self):
+        got = parse("R(x) | S(x) & T(x)")
+        assert isinstance(got, Or)
+        assert isinstance(got.subs[1], And)
+
+    def test_arrow_lowest_right_assoc(self):
+        got = parse("R(x) -> S(x) -> T(x)")
+        assert isinstance(got, Implies)
+        assert isinstance(got.right, Implies)
+
+    def test_negation(self):
+        assert parse("!R(x)") == Not(RelAtom("R", (x,)))
+        assert parse("~~R(x)") == Not(Not(RelAtom("R", (x,))))
+
+    def test_parentheses(self):
+        got = parse("(R(x) | S(x)) & T(x)")
+        assert isinstance(got, And)
+
+    def test_nary_flattening_not_applied(self):
+        got = parse("R(x) & S(x) & T(x)")
+        assert isinstance(got, And) and len(got.subs) == 3
+
+
+class TestQuantifiers:
+    def test_dot_body_extends_right(self):
+        got = parse("exists x . R(x) & S(x)")
+        assert isinstance(got, Exists)
+        assert isinstance(got.sub, And)
+
+    def test_parenthesised_body(self):
+        got = parse("exists x (R(x)) & S(y)")
+        assert isinstance(got, And)
+        assert isinstance(got.subs[0], Exists)
+
+    def test_multi_variable(self):
+        got = parse("forall x, y . E(x, y)")
+        assert got == Forall((x, y), RelAtom("E", (x, y)))
+
+    def test_unicode_connectives(self):
+        assert parse("R(x) ∧ S(x)") == parse("R(x) & S(x)")
+        assert parse("R(x) ∨ S(x)") == parse("R(x) | S(x)")
+        assert parse("¬R(x)") == parse("!R(x)")
+        assert parse("R(x) → S(x)") == parse("R(x) -> S(x)")
+
+    def test_guard_shape_parses(self):
+        got = parse("forall x, y . R(x, y) -> exists z . S(y, z)")
+        assert isinstance(got, Forall)
+        assert isinstance(got.sub, Implies)
+
+
+class TestErrors:
+    def test_trailing_input(self):
+        with pytest.raises(ParseError):
+            parse("R(x) R(y)")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            parse("(R(x)")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse("R(x) @ S(y)")
+
+    def test_bare_identifier_without_equality(self):
+        with pytest.raises(ParseError):
+            parse("x")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+    def test_error_mentions_position(self):
+        try:
+            parse("R(x) &")
+        except ParseError as err:
+            assert "position" in str(err)
+        else:
+            pytest.fail("expected ParseError")
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "exists z (R(x, z) & S(z, y))",
+            "forall x . exists y . D(x, y)",
+            "forall x, y . R(x, y) -> (exists z . S(y, z))",
+            "!R(x, 1) | x = y",
+            "true & false",
+        ],
+    )
+    def test_parse_is_stable_under_reparse_of_repr_free_forms(self, text):
+        # parsing twice gives identical ASTs (determinism)
+        assert parse(text) == parse(text)

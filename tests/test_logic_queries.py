@@ -1,0 +1,71 @@
+"""Unit tests for repro.logic.queries: the Query wrapper."""
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.values import Null
+from repro.logic.ast import Var
+from repro.logic.parser import parse
+from repro.logic.queries import Query
+
+X = Null("x")
+
+
+class TestConstruction:
+    def test_answer_vars_must_cover_free_vars(self):
+        with pytest.raises(ValueError):
+            Query(parse("R(x, y)"), ("x",))
+
+    def test_answer_vars_must_be_free(self):
+        with pytest.raises(ValueError):
+            Query(parse("exists y (R(x, y))"), ("x", "y"))
+
+    def test_answer_vars_must_be_distinct(self):
+        with pytest.raises(ValueError):
+            Query(parse("R(x, x)"), ("x", "x"))
+
+    def test_strings_coerced_to_vars(self):
+        q = Query(parse("R(x, y)"), ("x", "y"))
+        assert q.answer_vars == (Var("x"), Var("y"))
+
+    def test_boolean_constructor(self):
+        q = Query.boolean(parse("exists x (R(x, x))"))
+        assert q.is_boolean and q.arity == 0
+
+    def test_boolean_rejects_free_vars(self):
+        with pytest.raises(ValueError):
+            Query.boolean(parse("R(x, x)"))
+
+
+class TestEvaluation:
+    def test_eval_raw_kary(self):
+        d = Instance({"R": [(1, X)]})
+        q = Query(parse("R(a, b)"), ("a", "b"))
+        assert q.eval_raw(d) == frozenset({(1, X)})
+
+    def test_eval_raw_boolean_encoding(self):
+        d = Instance({"R": [(1, 1)]})
+        q = Query.boolean(parse("exists v (R(v, v))"))
+        assert q.eval_raw(d) == frozenset({()})
+        assert q.eval_raw(Instance.empty()) == frozenset()
+
+    def test_holds_only_for_boolean(self):
+        q = Query(parse("R(a, b)"), ("a", "b"))
+        with pytest.raises(ValueError):
+            q.holds(Instance.empty())
+
+
+class TestMetadata:
+    def test_constants(self):
+        q = Query.boolean(parse("exists v (R(v, 7) & v = 'joe')"))
+        assert q.constants() == frozenset({7, "joe"})
+
+    def test_fragments(self):
+        q = Query.boolean(parse("exists v (R(v, v))"))
+        assert "EPos" in q.fragments()
+        q2 = Query.boolean(parse("!(exists v (R(v, v)))"))
+        assert q2.fragments() == ("FO",)
+
+    def test_repr_mentions_name_and_head(self):
+        q = Query(parse("R(a, b)"), ("a", "b"), name="edges")
+        assert "edges" in repr(q) and "a, b" in repr(q)

@@ -1,0 +1,113 @@
+"""Unit tests for repro.logic.transform."""
+
+import pytest
+
+from repro.logic.ast import FALSE, TRUE, And, EqAtom, Exists, Forall, Implies, Not, Or, RelAtom, Var
+from repro.logic.builders import Rel, eq, exists, forall, implies, not_
+from repro.logic.transform import (
+    all_vars,
+    constants_used,
+    free_vars,
+    is_sentence,
+    nnf,
+    quantifier_depth,
+    relations_used,
+    subformulas,
+    substitute,
+)
+
+R, S = Rel("R"), Rel("S")
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+class TestFreeVars:
+    def test_atom(self):
+        assert free_vars(R("x", "y")) == {x, y}
+        assert free_vars(R("x", const_1:= 1)) == {x}
+
+    def test_quantifier_binds(self):
+        assert free_vars(exists("x", R("x", "y"))) == {y}
+        assert free_vars(forall("x", "y", R("x", "y"))) == set()
+
+    def test_shadowing(self):
+        phi = R("x", "x") & exists("x", S("x", "y"))
+        assert free_vars(phi) == {x, y}
+
+    def test_implies_and_not(self):
+        assert free_vars(implies(R("x", "y"), S("y", "z"))) == {x, y, z}
+        assert free_vars(not_(eq("x", "y"))) == {x, y}
+
+    def test_truth_constants(self):
+        assert free_vars(TRUE) == set()
+
+    def test_all_vars_includes_bound(self):
+        phi = exists("x", R("x", "y"))
+        assert all_vars(phi) == {x, y}
+
+
+class TestSubstitute:
+    def test_ground_substitution(self):
+        phi = R("x", "y")
+        assert substitute(phi, {x: 1, y: 2}) == R(1, 2)
+
+    def test_bound_variables_untouched(self):
+        phi = exists("x", R("x", "y"))
+        out = substitute(phi, {x: 1, y: 2})
+        assert out == exists("x", R("x", 2))
+
+    def test_empty_binding_identity(self):
+        phi = R("x", "y")
+        assert substitute(phi, {}) is phi
+
+    def test_equality_atoms(self):
+        assert substitute(eq("x", "y"), {x: 3}) == EqAtom(3, y)
+
+
+class TestShapeQueries:
+    def test_is_sentence(self):
+        assert is_sentence(exists("x", R("x", "x")))
+        assert not is_sentence(R("x", "x"))
+
+    def test_relations_used(self):
+        phi = exists("x", R("x", "x") & S("x", "x")) | R("y", "y")
+        assert relations_used(phi) == {"R", "S"}
+
+    def test_constants_used(self):
+        phi = R("x", 7) & eq("x", 9)
+        assert constants_used(phi) == {7, 9}
+
+    def test_subformulas_traversal(self):
+        phi = exists("x", R("x", "x") & TRUE)
+        kinds = [type(s).__name__ for s in subformulas(phi)]
+        assert kinds == ["Exists", "And", "RelAtom", "TrueF"]
+
+    def test_quantifier_depth(self):
+        assert quantifier_depth(R("x", "y")) == 0
+        assert quantifier_depth(exists("x", forall("y", R("x", "y")))) == 2
+        assert quantifier_depth(exists("x", R("x", "x")) & forall("y", S("y", "y"))) == 1
+
+
+class TestNNF:
+    def test_double_negation(self):
+        phi = not_(not_(R("x", "y")))
+        assert nnf(phi) == R("x", "y")
+
+    def test_de_morgan(self):
+        phi = not_(R("x", "x") & S("x", "x"))
+        assert nnf(phi) == Or((Not(R("x", "x")), Not(S("x", "x"))))
+
+    def test_quantifier_duals(self):
+        phi = not_(forall("x", R("x", "x")))
+        assert nnf(phi) == Exists((x,), Not(R("x", "x")))
+
+    def test_implication_compiled(self):
+        phi = implies(R("x", "x"), S("x", "x"))
+        assert nnf(phi) == Or((Not(R("x", "x")), S("x", "x")))
+
+    def test_negated_implication(self):
+        phi = not_(implies(R("x", "x"), S("x", "x")))
+        assert nnf(phi) == And((R("x", "x"), Not(S("x", "x"))))
+
+    def test_truth_constants_flip(self):
+        assert nnf(not_(TRUE)) == FALSE
+        assert nnf(not_(FALSE)) == TRUE

@@ -1,0 +1,96 @@
+"""Tests for Codd-database orderings (Section 6 and Theorem 7.1's last item)."""
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.values import Null
+from repro.orders.codd import cwa_codd_leq, has_refinement_matching, hoare_leq, plotkin_leq
+from repro.orders.semantic import leq_cwa, leq_owa, leq_pcwa
+
+A, B, C = Null("a"), Null("b"), Null("c")
+
+
+class TestHoare:
+    def test_refinement(self):
+        d = Instance({"R": [(1, A)]})
+        e = Instance({"R": [(1, 2), (9, 9)]})
+        assert hoare_leq(d, e)
+
+    def test_missing_refinement(self):
+        d = Instance({"R": [(1, A)]})
+        e = Instance({"R": [(2, 2)]})
+        assert not hoare_leq(d, e)
+
+    def test_rejects_naive_databases(self):
+        x = Null("x")
+        with pytest.raises(ValueError):
+            hoare_leq(Instance({"R": [(x, x)]}), Instance({"R": [(1, 1)]}))
+
+    def test_relation_only_on_one_side(self):
+        d = Instance({"R": [(1,)], "S": [(2,)]})
+        e = Instance({"R": [(1,)]})
+        assert not hoare_leq(d, e)
+        assert hoare_leq(e, d)
+
+
+class TestPlotkin:
+    def test_both_directions_needed(self):
+        d = Instance({"R": [(1, A)]})
+        e = Instance({"R": [(1, 2), (9, 9)]})
+        assert hoare_leq(d, e)
+        assert not plotkin_leq(d, e)  # (9,9) refines nothing in d
+
+    def test_plotkin_holds(self):
+        d = Instance({"R": [(1, A)]})
+        e = Instance({"R": [(1, 2), (1, 3)]})
+        assert plotkin_leq(d, e)
+
+
+class TestMatching:
+    def test_matching_needs_enough_sources(self):
+        d = Instance({"R": [(1, A)]})
+        e = Instance({"R": [(1, 2), (1, 3)]})
+        # two target tuples refine the single source tuple: no perfect matching
+        assert not has_refinement_matching(d, e)
+
+    def test_matching_exists(self):
+        d = Instance({"R": [(1, A), (1, B)]})
+        e = Instance({"R": [(1, 2), (1, 3)]})
+        assert has_refinement_matching(d, e)
+
+    def test_matching_distinctness(self):
+        # both target tuples only refine the same source tuple
+        d = Instance({"R": [(1, A), (2, B)]})
+        e = Instance({"R": [(1, 5), (1, 6)]})
+        assert not has_refinement_matching(d, e)
+
+
+class TestLibkin2011Characterisations:
+    """Section 6: over Codd databases, ≼_OWA = ⊑^H and ≼_CWA = ⊑^P + matching."""
+
+    CODD_SAMPLES = [
+        Instance({"R": [(1, A)]}),
+        Instance({"R": [(1, B), (2, C)]}),
+        Instance({"R": [(1, 2)]}),
+        Instance({"R": [(1, 2), (1, 3)]}),
+        Instance({"R": [(1, 2), (2, 1)]}),
+        Instance({"R": [(Null("p"), Null("q"))]}),
+    ]
+
+    def test_owa_equals_hoare(self):
+        for left in self.CODD_SAMPLES:
+            for right in self.CODD_SAMPLES:
+                assert leq_owa(left, right) == hoare_leq(left, right), (left, right)
+
+    def test_cwa_equals_plotkin_plus_matching(self):
+        for left in self.CODD_SAMPLES:
+            for right in self.CODD_SAMPLES:
+                expected = plotkin_leq(left, right) and has_refinement_matching(left, right)
+                assert leq_cwa(left, right) == expected, (left, right)
+                assert cwa_codd_leq(left, right) == expected
+
+    def test_pcwa_equals_plotkin(self):
+        """Theorem 7.1, last item: ⋐_CWA and ⊑^P coincide on Codd databases."""
+        for left in self.CODD_SAMPLES:
+            for right in self.CODD_SAMPLES:
+                assert leq_pcwa(left, right) == plotkin_leq(left, right), (left, right)

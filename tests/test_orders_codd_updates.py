@@ -1,0 +1,94 @@
+"""Tests for Codd updates and the Libkin 1995 closure theorems (Section 6)."""
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.values import Null
+from repro.orders.codd import hoare_leq, plotkin_leq
+from repro.orders.codd_updates import (
+    codd_add_copy,
+    codd_reachable,
+    codd_replace,
+    iter_codd_cwa_updates,
+)
+
+A, B, C = Null("a"), Null("b"), Null("c")
+
+
+class TestSingleSteps:
+    def test_replace_one_occurrence(self):
+        d = Instance({"R": [(A, 2)]})
+        assert codd_replace(d, "R", (A, 2), 0, 1) == Instance({"R": [(1, 2)]})
+
+    def test_replace_requires_null(self):
+        d = Instance({"R": [(1, 2)]})
+        with pytest.raises(ValueError):
+            codd_replace(d, "R", (1, 2), 0, 9)
+
+    def test_add_copy_keeps_original(self):
+        d = Instance({"R": [(A, 2)]})
+        updated = codd_add_copy(d, "R", (A, 2), 0, 1)
+        assert Instance({"R": [(1, 2)]}) <= updated
+        assert (A, 2) in updated.tuples("R")
+        assert updated.fact_count() == 2
+
+    def test_add_copy_freshens_other_nulls(self):
+        d = Instance({"R": [(A, B)]})
+        updated = codd_add_copy(d, "R", (A, B), 0, 1)
+        assert updated.is_codd()  # B must not repeat
+        assert updated.fact_count() == 2
+
+    def test_iter_enumerates_both_kinds(self):
+        d = Instance({"R": [(A, 2)]})
+        results = list(iter_codd_cwa_updates(d, [1]))
+        assert Instance({"R": [(1, 2)]}) in results
+        assert any(r.fact_count() == 2 for r in results)
+
+
+class TestSqlMotivation:
+    def test_paper_example_null_2_to_both(self):
+        """Section 6: (NULL, 2) must reach {(1,2),(2,2)} under Codd CWA
+        updates — SQL's null represents both lost values."""
+        d = Instance({"R": [(A, 2)]})
+        e = Instance({"R": [(1, 2), (2, 2)]})
+        assert codd_reachable(d, e)
+
+    def test_naive_semantics_differ(self):
+        """Contrast: marked-null CWA updates cannot do the same
+        (tests in test_orders_updates cover that side)."""
+        from repro.orders.updates import reachable
+
+        d = Instance({"R": [(A, 2)]})
+        e = Instance({"R": [(1, 2), (2, 2)]})
+        assert not reachable(d, e, ("cwa",))
+
+
+class TestLibkin95Closures:
+    CODD_GRID = [
+        Instance({"R": [(Null("a"), 2)]}),
+        Instance({"R": [(1, Null("b"))]}),
+        Instance({"R": [(1, 2)]}),
+        Instance({"R": [(1, 2), (2, 2)]}),
+        Instance({"R": [(1, 2), (1, 3)]}),
+        Instance({"R": [(Null("p"), Null("q"))]}),
+    ]
+
+    def test_codd_cwa_closure_is_plotkin(self):
+        for left in self.CODD_GRID:
+            for right in self.CODD_GRID:
+                got = codd_reachable(left, right)
+                want = plotkin_leq(left, right)
+                assert got == want, (left, right)
+
+    def test_codd_cwa_owa_closure_is_hoare(self):
+        for left in self.CODD_GRID:
+            for right in self.CODD_GRID:
+                got = codd_reachable(left, right, with_owa=True)
+                want = hoare_leq(left, right)
+                assert got == want, (left, right)
+
+    def test_rejects_naive_databases(self):
+        x = Null("x")
+        naive = Instance({"R": [(x, x)]})
+        with pytest.raises(ValueError):
+            codd_reachable(naive, Instance({"R": [(1, 1)]}))

@@ -1,0 +1,138 @@
+"""Tests for update systems and their closures (Theorems 6.2 and 7.1)."""
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.values import Null, NullFactory
+from repro.orders.semantic import leq_cwa, leq_owa, leq_pcwa
+from repro.orders.updates import (
+    canonical_nulls,
+    copying_update,
+    cwa_update,
+    iter_cwa_updates,
+    iter_owa_updates,
+    owa_update,
+    reachable,
+)
+
+X, Y = Null("x"), Null("y")
+
+
+class TestSingleSteps:
+    def test_cwa_update_replaces_everywhere(self):
+        d = Instance({"R": [(X, X), (X, 1)]})
+        assert cwa_update(d, X, 5) == Instance({"R": [(5, 5), (5, 1)]})
+
+    def test_cwa_update_null_to_null(self):
+        d = Instance({"R": [(X, Y)]})
+        assert cwa_update(d, X, Y) == Instance({"R": [(Y, Y)]})
+
+    def test_owa_update_adds(self):
+        d = Instance({"R": [(1, 2)]})
+        assert owa_update(d, "R", (3, 4)).fact_count() == 2
+
+    def test_copying_update_keeps_fresh_copy(self):
+        d = Instance({"R": [(X, 1)]})
+        factory = NullFactory("fresh")
+        updated = copying_update(d, X, 5, factory)
+        assert Instance({"R": [(5, 1)]}) <= updated
+        assert updated.fact_count() == 2
+        assert updated.nulls()  # the fresh copy's null
+
+    def test_iter_cwa_updates_enumerates(self):
+        d = Instance({"R": [(X, Y)]})
+        results = set(iter_cwa_updates(d, [1]))
+        assert results == {Instance({"R": [(1, Y)]}), Instance({"R": [(X, 1)]})}
+
+    def test_iter_owa_updates_skips_existing(self):
+        d = Instance({"R": [(1, 1)]})
+        added = list(iter_owa_updates(d, [1]))
+        assert added == []
+
+
+class TestCanonicalNulls:
+    def test_isomorphic_states_identified(self):
+        a = Instance({"R": [(Null("p"), 1)]})
+        b = Instance({"R": [(Null("q"), 1)]})
+        assert canonical_nulls(a) == canonical_nulls(b)
+
+    def test_distinct_structure_kept(self):
+        a = Instance({"R": [(Null("p"), Null("p"))]})
+        b = Instance({"R": [(Null("p"), Null("q"))]})
+        assert canonical_nulls(a) != canonical_nulls(b)
+
+
+class TestTheorem62:
+    """Closure of CWA updates = ≼_CWA; CWA+OWA updates = ≼_OWA."""
+
+    SAMPLES = [
+        (Instance({"R": [(X, Y)]}), Instance({"R": [(1, 2)]})),
+        (Instance({"R": [(X, Y)]}), Instance({"R": [(1, 1)]})),
+        (Instance({"R": [(X, Y)]}), Instance({"R": [(1, 2), (2, 1)]})),
+        (Instance({"R": [(X, X)]}), Instance({"R": [(1, 2)]})),
+        (Instance({"R": [(1, X)]}), Instance({"R": [(2, 2)]})),
+        (
+            Instance({"D": [(X, Y), (Y, X)]}),
+            Instance({"D": [(1, 2), (2, 1)]}),
+        ),
+    ]
+
+    def test_cwa_updates_match_cwa_ordering(self):
+        for source, target in self.SAMPLES:
+            assert reachable(source, target, ("cwa",)) == leq_cwa(source, target), (
+                source,
+                target,
+            )
+
+    def test_cwa_owa_updates_match_owa_ordering(self):
+        for source, target in self.SAMPLES:
+            assert reachable(source, target, ("cwa", "owa")) == leq_owa(source, target), (
+                source,
+                target,
+            )
+
+    def test_repeated_null_semantics(self):
+        # SQL motivation: {(null, 2)} must reach {(1,2),(2,2)} with OWA help
+        d = Instance({"R": [(X, 2)]})
+        e = Instance({"R": [(1, 2), (2, 2)]})
+        assert not reachable(d, e, ("cwa",))
+        assert reachable(d, e, ("cwa", "owa"))
+
+
+class TestTheorem71:
+    """Closure of CWA + copying updates = ⋐_CWA."""
+
+    SAMPLES = [
+        (Instance({"R": [(X, Y)]}), Instance({"R": [(1, 2)]}), True),
+        (Instance({"R": [(X, Y)]}), Instance({"R": [(1, 2), (2, 1)]}), True),
+        (Instance({"R": [(X, X)]}), Instance({"R": [(1, 2)]}), False),
+        (Instance({"R": [(X, X)]}), Instance({"R": [(1, 1), (2, 2)]}), True),
+        (Instance({"R": [(1, X)]}), Instance({"R": [(2, 2)]}), False),
+    ]
+
+    def test_copying_closure_matches_pcwa(self):
+        for source, target, expected in self.SAMPLES:
+            assert leq_pcwa(source, target) == expected, (source, target)
+            assert reachable(source, target, ("cwa", "copying")) == expected, (
+                source,
+                target,
+            )
+
+    def test_copying_strictly_weaker_than_owa(self):
+        # {(1,2),(1,3)} is OWA-above {(⊥,2)} but adding (1,3) is not a
+        # union of images of the original (3 never appears).
+        d = Instance({"R": [(X, 2)]})
+        e = Instance({"R": [(1, 2), (1, 3)]})
+        assert reachable(d, e, ("cwa", "owa"))
+        assert not leq_pcwa(d, e)
+        assert not reachable(d, e, ("cwa", "copying"))
+
+
+class TestGuards:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            reachable(Instance.empty(), Instance.empty(), ("bogus",))
+
+    def test_identity_reachable_in_zero_steps(self):
+        d = Instance({"R": [(1, 1)]})
+        assert reachable(d, d, ("cwa",))

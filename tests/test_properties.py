@@ -1,0 +1,235 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import naive_eval
+from repro.core.certain import certain_answers
+from repro.data.codd import as_codd, tuple_leq
+from repro.data.instance import Instance
+from repro.data.schema import Schema
+from repro.data.values import Null
+from repro.homs.core import core, is_core
+from repro.homs.properties import is_homomorphism
+from repro.homs.search import find_homomorphism, find_isomorphism, iter_homomorphisms
+from repro.logic.classes import classify, in_epos, in_fragment
+from repro.logic.generate import random_sentence
+from repro.logic.queries import Query
+from repro.orders.codd import hoare_leq, plotkin_leq
+from repro.orders.semantic import leq_cwa, leq_owa, leq_pcwa, leq_wcwa
+from repro.semantics import get_semantics
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+values = st.one_of(
+    st.integers(min_value=1, max_value=3),
+    st.builds(Null, st.sampled_from(["a", "b", "c"])),
+)
+
+pairs = st.tuples(values, values)
+
+
+@st.composite
+def instances(draw, max_facts=4):
+    n = draw(st.integers(min_value=0, max_value=max_facts))
+    rows = [draw(pairs) for _ in range(n)]
+    singles = draw(st.lists(values, max_size=2))
+    rels = {}
+    if rows:
+        rels["R"] = rows
+    if singles:
+        rels["S"] = [(v,) for v in singles]
+    return Instance(rels)
+
+
+@st.composite
+def complete_instances(draw, max_facts=4):
+    inst = draw(instances(max_facts))
+    return inst.apply({n: 9 for n in inst.nulls()})
+
+
+# ----------------------------------------------------------------------
+# instance algebra
+# ----------------------------------------------------------------------
+
+
+@given(instances(), instances())
+def test_union_is_upper_bound(a, b):
+    u = a.union(b)
+    assert a <= u and b <= u
+
+
+@given(instances(), instances())
+def test_union_commutative(a, b):
+    assert a.union(b) == b.union(a)
+
+
+@given(instances())
+def test_union_idempotent(a):
+    assert a.union(a) == a
+
+
+@given(instances(), instances())
+def test_difference_disjoint_from_subtrahend(a, b):
+    diff = a.difference(b)
+    for name in diff.relations:
+        assert not (diff.tuples(name) & b.tuples(name))
+
+
+@given(instances())
+def test_apply_identity_is_identity(a):
+    assert a.apply({}) == a
+
+
+@given(instances())
+def test_as_codd_forgets_but_preserves_shape(a):
+    codd = as_codd(a)
+    assert codd.is_codd()
+    assert codd.fact_count() == a.fact_count()
+    assert codd.constants() == a.constants()
+
+
+@given(instances())
+def test_facts_roundtrip(a):
+    assert Instance.from_facts(a.facts()) == a
+
+
+# ----------------------------------------------------------------------
+# homomorphisms and cores
+# ----------------------------------------------------------------------
+
+
+@given(instances())
+def test_hom_reflexivity(a):
+    assert find_homomorphism(a, a) is not None
+
+
+@given(instances(max_facts=3), instances(max_facts=3))
+def test_found_homs_are_homs(a, b):
+    for hom in iter_homomorphisms(a, b):
+        assert is_homomorphism(hom, a, b)
+        break  # one witness suffices per pair
+
+
+@given(instances(max_facts=3))
+def test_core_idempotent_and_smaller(a):
+    c = core(a)
+    assert c <= a
+    assert is_core(c)
+    assert core(c) == c
+
+
+@given(instances(max_facts=3))
+def test_core_homomorphically_equivalent(a):
+    c = core(a)
+    assert find_homomorphism(a, c) is not None
+    assert find_homomorphism(c, a) is not None
+
+
+@given(instances(max_facts=3))
+def test_isomorphism_with_renamed_nulls(a):
+    renamed, _ = a.with_fresh_values(a.nulls(), iter(Null(f"zz{i}") for i in range(99)).__next__)
+    assert find_isomorphism(a, renamed) is not None
+
+
+# ----------------------------------------------------------------------
+# orderings
+# ----------------------------------------------------------------------
+
+
+@given(instances(max_facts=3))
+def test_orderings_reflexive(a):
+    assert leq_owa(a, a) and leq_cwa(a, a) and leq_wcwa(a, a) and leq_pcwa(a, a)
+
+
+@given(instances(max_facts=2), instances(max_facts=2), instances(max_facts=2))
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_owa_ordering_transitive(a, b, c):
+    if leq_owa(a, b) and leq_owa(b, c):
+        assert leq_owa(a, c)
+
+
+@given(instances(max_facts=3))
+def test_cwa_implies_wcwa_implies_owa(a):
+    # on valuation images: stronger orderings imply weaker ones
+    image = a.apply({n: 7 for n in a.nulls()})
+    assert leq_cwa(a, image)
+    assert leq_wcwa(a, image)
+    assert leq_owa(a, image)
+    assert leq_pcwa(a, image)
+
+
+@given(instances(max_facts=3), instances(max_facts=3))
+def test_hierarchy_between_orderings(a, b):
+    if leq_cwa(a, b):
+        assert leq_wcwa(a, b) and leq_pcwa(a, b)
+    if leq_wcwa(a, b):
+        assert leq_owa(a, b)
+    if leq_pcwa(a, b):
+        assert leq_owa(a, b)
+
+
+@given(instances(max_facts=3).filter(lambda d: d.is_codd()),
+       instances(max_facts=3).filter(lambda d: d.is_codd()))
+@settings(suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow], deadline=None)
+def test_plotkin_implies_hoare(a, b):
+    if plotkin_leq(a, b):
+        assert hoare_leq(a, b)
+
+
+@given(st.lists(pairs, min_size=1, max_size=3), st.lists(pairs, min_size=1, max_size=3))
+def test_tuple_leq_antisymmetry_on_constants(rows_a, rows_b):
+    for t in rows_a:
+        for s in rows_b:
+            if tuple_leq(t, s) and tuple_leq(s, t):
+                assert t == s or any(isinstance(v, Null) for v in t + s)
+
+
+# ----------------------------------------------------------------------
+# fragments and naive evaluation
+# ----------------------------------------------------------------------
+
+SCHEMA = Schema({"R": 2, "S": 1})
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.sampled_from(["EPos", "Pos", "PosForallG", "EPosForallGBool"]))
+def test_random_sentences_in_their_fragment(seed, fragment):
+    rng = random.Random(seed)
+    phi = random_sentence(SCHEMA, rng, fragment, max_depth=2)
+    assert in_fragment(phi, fragment)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+def test_classify_is_downward_consistent(seed):
+    # membership respects the known inclusions EPos ⊆ Pos ⊆ Pos+∀G ⊆ FO
+    rng = random.Random(seed)
+    phi = random_sentence(SCHEMA, rng, "EPos", max_depth=2)
+    got = classify(phi)
+    assert "EPos" in got and "Pos" in got and "PosForallG" in got and "FO" in got
+
+
+@given(instances(max_facts=3), st.integers(min_value=0, max_value=500))
+@settings(deadline=None, max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+def test_ucq_naive_equals_certain_cwa(instance, seed):
+    """Fact 1 as a property: naive = certain for random UCQs under CWA."""
+    rng = random.Random(seed)
+    query = Query.boolean(random_sentence(SCHEMA, rng, "EPos", max_depth=2))
+    naive = naive_eval(query, instance)
+    certain = certain_answers(query, instance, get_semantics("cwa"))
+    assert naive == certain
+
+
+@given(instances(max_facts=3), st.integers(min_value=0, max_value=500))
+@settings(deadline=None, max_examples=15, suppress_health_check=[HealthCheck.too_slow])
+def test_epos_weakly_monotone_under_valuations(instance, seed):
+    """∃Pos queries never lose answers when nulls are instantiated."""
+    rng = random.Random(seed)
+    query = Query.boolean(random_sentence(SCHEMA, rng, "EPos", max_depth=2))
+    before = naive_eval(query, instance)
+    image = instance.apply({n: 8 for n in instance.nulls()})
+    after = naive_eval(query, image)
+    assert before <= after

@@ -1,0 +1,94 @@
+"""Property-based tests linking CQ machinery, logic evaluation, and cores."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.cq import CQ
+from repro.data.instance import Instance
+from repro.data.values import Null
+from repro.logic.ast import Var
+from repro.logic.eval import answers
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+values = st.one_of(
+    st.integers(min_value=1, max_value=3),
+    st.builds(Null, st.sampled_from(["a", "b"])),
+)
+pairs = st.tuples(values, values)
+
+
+@st.composite
+def instances(draw, max_facts=4):
+    rows = [draw(pairs) for _ in range(draw(st.integers(1, max_facts)))]
+    return Instance({"R": rows})
+
+
+@st.composite
+def cqs(draw):
+    """Random binary-head CQs over R with up to 3 atoms."""
+    variables = [x, y, z]
+    n_atoms = draw(st.integers(1, 3))
+    body = tuple(
+        ("R", (draw(st.sampled_from(variables)), draw(st.sampled_from(variables))))
+        for _ in range(n_atoms)
+    )
+    body_vars = [t for _, terms in body for t in terms]
+    head = (draw(st.sampled_from(body_vars)),)
+    return CQ(head, body)
+
+
+@given(cqs(), instances())
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_cq_evaluation_agrees_with_logic(cq, instance):
+    """Join-based CQ evaluation equals FO evaluation of the translation."""
+    head_vars = tuple(t for t in cq.head if isinstance(t, Var))
+    got = cq.answers(instance)
+    want = answers(cq.to_formula(), instance, head_vars)
+    assert got == want
+
+
+@given(cqs())
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_minimize_preserves_equivalence(cq):
+    small = cq.minimize()
+    assert small.equivalent_to(cq)
+    assert len(small.body) <= len(cq.body)
+
+
+@given(cqs())
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_minimize_idempotent_in_size(cq):
+    once = cq.minimize()
+    twice = once.minimize()
+    assert len(twice.body) == len(once.body)
+
+
+@given(cqs(), instances())
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_minimized_cq_same_answers(cq, instance):
+    assert cq.minimize().answers(instance) == cq.answers(instance)
+
+
+@given(cqs(), cqs())
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_containment_implies_answer_containment(cq1, cq2):
+    """Chandra–Merlin soundness: cq1 ⊆ cq2 ⇒ answers(cq1) ⊆ answers(cq2)."""
+    if len(cq1.head) != len(cq2.head):
+        return
+    if cq1.contained_in(cq2):
+        rng = random.Random(0)
+        for _ in range(3):
+            rows = [
+                (rng.randint(1, 3), rng.randint(1, 3)) for _ in range(rng.randint(1, 4))
+            ]
+            instance = Instance({"R": rows})
+            assert cq1.answers(instance) <= cq2.answers(instance)
+
+
+@given(cqs())
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_containment_reflexive(cq):
+    assert cq.contained_in(cq)

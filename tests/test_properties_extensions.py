@@ -1,0 +1,221 @@
+"""Property-based tests for the extension substrates (sql3, datalog, ctables, constraints)."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import FunctionalDependency, satisfies
+from repro.ctables import CFact, CInstance, TRUE_C, cand, ceq, cneq, cor
+from repro.data.instance import Instance
+from repro.data.schema import Schema
+from repro.data.values import Null
+from repro.datalog import Atom, Program, Rule, datalog_naive_answers, evaluate_program
+from repro.logic.ast import Var
+from repro.logic.generate import random_sentence
+from repro.logic.eval import evaluate as evaluate2
+from repro.sql3 import Truth, evaluate3, t_and, t_not, t_or
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+values = st.one_of(
+    st.integers(min_value=1, max_value=3),
+    st.builds(Null, st.sampled_from(["a", "b"])),
+)
+pairs = st.tuples(values, values)
+
+
+@st.composite
+def instances(draw, max_facts=4):
+    rows = [draw(pairs) for _ in range(draw(st.integers(0, max_facts)))]
+    singles = draw(st.lists(values, max_size=2))
+    rels = {}
+    if rows:
+        rels["R"] = rows
+    if singles:
+        rels["S"] = [(v,) for v in singles]
+    return Instance(rels)
+
+
+truths = st.sampled_from([Truth.TRUE, Truth.FALSE, Truth.UNKNOWN])
+
+
+# ----------------------------------------------------------------------
+# Kleene logic laws
+# ----------------------------------------------------------------------
+
+
+@given(truths, truths)
+def test_de_morgan_three_valued(a, b):
+    assert t_not(t_and(a, b)) == t_or(t_not(a), t_not(b))
+    assert t_not(t_or(a, b)) == t_and(t_not(a), t_not(b))
+
+
+@given(truths)
+def test_double_negation_three_valued(a):
+    assert t_not(t_not(a)) == a
+
+
+@given(truths, truths, truths)
+def test_kleene_distributivity(a, b, c):
+    assert t_and(a, t_or(b, c)) == t_or(t_and(a, b), t_and(a, c))
+
+
+SCHEMA = Schema({"R": 2, "S": 1})
+
+
+@given(instances(max_facts=3), st.integers(0, 300))
+@settings(deadline=None, max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+def test_3vl_refines_2vl_on_complete_instances(instance, seed):
+    """On complete instances, 3VL and classical evaluation coincide."""
+    complete = instance.apply({n: 9 for n in instance.nulls()})
+    rng = random.Random(seed)
+    phi = random_sentence(SCHEMA, rng, "Pos", max_depth=2)
+    classical = evaluate2(phi, complete)
+    three = evaluate3(phi, complete)
+    assert three == Truth.of(classical)
+
+
+@given(instances(max_facts=3), st.integers(0, 300))
+@settings(deadline=None, max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+def test_3vl_true_implies_naive_true_for_positive(instance, seed):
+    """For positive formulae, SQL-TRUE is at least as strict as naive truth."""
+    rng = random.Random(seed)
+    phi = random_sentence(SCHEMA, rng, "EPos", max_depth=2)
+    if evaluate3(phi, instance) is Truth.TRUE:
+        assert evaluate2(phi, instance)
+
+
+# ----------------------------------------------------------------------
+# datalog invariants
+# ----------------------------------------------------------------------
+
+x, y, z = Var("x"), Var("y"), Var("z")
+TC = Program(
+    (
+        Rule(Atom("T", (x, y)), (Atom("E", (x, y)),)),
+        Rule(Atom("T", (x, z)), (Atom("E", (x, y)), Atom("T", (y, z)))),
+    )
+)
+
+
+@st.composite
+def edges(draw, max_facts=4):
+    rows = [draw(pairs) for _ in range(draw(st.integers(0, max_facts)))]
+    return Instance({"E": rows}) if rows else Instance.empty()
+
+
+@given(edges())
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_fixpoint_is_increasing_and_idempotent(edb):
+    fixpoint = evaluate_program(TC, edb)
+    assert edb <= fixpoint
+    assert evaluate_program(TC, fixpoint) == fixpoint
+
+
+@given(edges())
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_semi_naive_equals_naive_iteration(edb):
+    assert evaluate_program(TC, edb, semi_naive=True) == evaluate_program(
+        TC, edb, semi_naive=False
+    )
+
+
+@given(edges(max_facts=3), edges(max_facts=2))
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_datalog_monotone_in_edb(small, extra):
+    bigger = small.union(extra)
+    a = evaluate_program(TC, small).tuples("T")
+    b = evaluate_program(TC, bigger).tuples("T")
+    assert a <= b
+
+
+@given(edges(max_facts=3))
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_datalog_naive_answers_preserved_under_valuations(edb):
+    """Weak monotonicity of datalog queries: certain answers survive
+    instantiating the nulls."""
+    before = datalog_naive_answers(TC, edb, "T")
+    image = edb.apply({n: 7 for n in edb.nulls()})
+    after = datalog_naive_answers(TC, image, "T")
+    assert before <= after
+
+
+# ----------------------------------------------------------------------
+# c-tables invariants
+# ----------------------------------------------------------------------
+
+conditions = st.one_of(
+    st.just(TRUE_C),
+    st.builds(ceq, values, values),
+    st.builds(cneq, values, values),
+)
+
+
+@st.composite
+def cinstances(draw):
+    n = draw(st.integers(1, 3))
+    facts = tuple(
+        CFact("R", draw(pairs), draw(conditions)) for _ in range(n)
+    )
+    return CInstance(facts)
+
+
+@given(cinstances())
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_ctable_worlds_are_complete(ct):
+    for world in ct.worlds([1, 2]):
+        assert world.is_complete()
+
+
+@given(cinstances())
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_naive_lift_matches_cwa_expansion(ct):
+    """With all-true conditions, c-table worlds = CWA valuation images."""
+    from repro.semantics import get_semantics
+
+    naive = Instance({"R": [f.row for f in ct.facts]})
+    lifted = CInstance.from_instance(naive)
+    got = set(lifted.worlds([1, 2]))
+    want = set(get_semantics("cwa").expand(naive, [1, 2]))
+    assert got == want
+
+
+@given(st.lists(pairs, min_size=1, max_size=3))
+def test_condition_conjunction_monotone(rows):
+    """Adding conjuncts never grows a fact's presence set."""
+    base = ceq(rows[0][0], rows[0][1])
+    stronger = cand(base, cneq(rows[-1][0], rows[-1][1]))
+    for v1 in (1, 2):
+        for v2 in (1, 2):
+            valuation = {Null("a"): v1, Null("b"): v2}
+            if stronger.satisfied(valuation):
+                assert base.satisfied(valuation)
+
+
+# ----------------------------------------------------------------------
+# constraints invariants
+# ----------------------------------------------------------------------
+
+
+@given(instances(max_facts=4))
+def test_fd_violation_iff_not_satisfies(instance):
+    fd = FunctionalDependency("R", (0,), (1,))
+    assert fd.holds_in(instance) == satisfies(instance, [fd])
+
+
+@given(instances(max_facts=3))
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_constrained_expansion_is_subset(instance):
+    from repro.constraints import ConstrainedSemantics
+    from repro.semantics import get_semantics
+
+    base = get_semantics("cwa")
+    fd = FunctionalDependency("R", (0,), (1,))
+    constrained = ConstrainedSemantics(base, [fd])
+    all_worlds = set(base.expand(instance, [1, 2]))
+    kept = set(constrained.expand(instance, [1, 2]))
+    assert kept <= all_worlds
+    assert all(satisfies(w, [fd]) for w in kept)

@@ -1,0 +1,67 @@
+"""Unit tests for repro.data.schema."""
+
+import pytest
+
+from repro.data.schema import Schema, SchemaError
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = Schema({"R": 2, "S": 1})
+        assert s.arity("R") == 2
+        assert s.arity("S") == 1
+        assert len(s) == 2
+
+    def test_relations_sorted(self):
+        s = Schema({"Z": 1, "A": 2})
+        assert s.relations == ("A", "Z")
+
+    def test_rejects_bad_arity(self):
+        with pytest.raises(SchemaError):
+            Schema({"R": 0})
+        with pytest.raises(SchemaError):
+            Schema({"R": -1})
+        with pytest.raises(SchemaError):
+            Schema({"R": "two"})
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(SchemaError):
+            Schema({"": 1})
+        with pytest.raises(SchemaError):
+            Schema({3: 1})
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(SchemaError):
+            Schema({"R": 1}).arity("S")
+
+
+class TestOperations:
+    def test_contains_and_iter(self):
+        s = Schema({"R": 2})
+        assert "R" in s
+        assert "S" not in s
+        assert list(s) == ["R"]
+
+    def test_equality_and_hash(self):
+        assert Schema({"R": 2}) == Schema({"R": 2})
+        assert Schema({"R": 2}) != Schema({"R": 3})
+        assert hash(Schema({"R": 2})) == hash(Schema({"R": 2}))
+
+    def test_union_merges(self):
+        merged = Schema({"R": 2}).union(Schema({"S": 3}))
+        assert merged == Schema({"R": 2, "S": 3})
+
+    def test_union_conflict_raises(self):
+        with pytest.raises(SchemaError):
+            Schema({"R": 2}).union(Schema({"R": 3}))
+
+    def test_union_idempotent_on_agreement(self):
+        s = Schema({"R": 2})
+        assert s.union(s) == s
+
+    def test_graph_helper(self):
+        assert Schema.graph() == Schema({"E": 2})
+        assert Schema.graph("Edge") == Schema({"Edge": 2})
+
+    def test_repr_mentions_arities(self):
+        assert "R/2" in repr(Schema({"R": 2}))

@@ -1,0 +1,101 @@
+"""Tests for the semantics base utilities and cross-semantics laws."""
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.schema import Schema
+from repro.data.values import Null
+from repro.semantics import get_semantics
+from repro.semantics.base import (
+    ExpansionLimitError,
+    guard_limit,
+    iter_facts_over,
+    iter_valuation_images,
+)
+
+X, Y = Null("x"), Null("y")
+
+
+class TestUtilities:
+    def test_iter_valuation_images_dedupes(self):
+        d = Instance({"R": [(X, Y)]})
+        images = list(iter_valuation_images(d, [1]))
+        assert images == [Instance({"R": [(1, 1)]})]
+
+    def test_iter_valuation_images_no_nulls(self):
+        d = Instance({"R": [(1, 2)]})
+        assert list(iter_valuation_images(d, [5, 6])) == [d]
+
+    def test_iter_facts_over_counts(self):
+        schema = Schema({"R": 2, "S": 1})
+        facts = list(iter_facts_over(schema, [1, 2]))
+        assert len(facts) == 4 + 2
+        assert ("S", (1,)) in facts
+
+    def test_guard_limit(self):
+        guard_limit(10, 10, "fine")
+        with pytest.raises(ExpansionLimitError):
+            guard_limit(11, 10, "too much")
+
+    def test_semantics_repr(self):
+        assert "CWA" in repr(get_semantics("cwa"))
+
+
+class TestCrossSemanticsLaws:
+    """Structural laws connecting the semantics (Sections 2.3, 4.3)."""
+
+    INSTANCES = [
+        Instance({"R": [(X, Y)]}),
+        Instance({"R": [(1, X), (X, 2)]}),
+        Instance({"R": [(X, X)]}),
+    ]
+
+    def test_owa_members_contain_cwa_members(self):
+        """D' ∈ [[D]]_OWA iff D' ⊇ some D'' ∈ [[D]]_CWA (Section 2.3)."""
+        owa, cwa = get_semantics("owa"), get_semantics("cwa")
+        for d in self.INSTANCES:
+            for member in owa.expand(d, [1, 2], extra_facts=1):
+                assert any(
+                    core_member <= member for core_member in cwa.expand(d, [1, 2])
+                )
+
+    def test_cwa_members_are_wcwa_and_owa_members(self):
+        """[[D]]_CWA ⊆ [[D]]_WCWA ⊆ [[D]]_OWA."""
+        cwa, wcwa, owa = (get_semantics(k) for k in ("cwa", "wcwa", "owa"))
+        for d in self.INSTANCES:
+            for member in cwa.expand(d, [1, 2]):
+                assert wcwa.contains(d, member)
+                assert owa.contains(d, member)
+
+    def test_wcwa_members_are_owa_members(self):
+        wcwa, owa = get_semantics("wcwa"), get_semantics("owa")
+        for d in self.INSTANCES:
+            for member in wcwa.expand(d, [1, 2], extra_facts=1):
+                assert owa.contains(d, member)
+
+    def test_min_cwa_members_are_cwa_members(self):
+        """[[D]]^min_CWA ⊆ [[D]]_CWA."""
+        mincwa, cwa = get_semantics("mincwa"), get_semantics("cwa")
+        for d in self.INSTANCES:
+            for member in mincwa.expand(d, [1, 2]):
+                assert cwa.contains(d, member)
+
+    def test_cwa_members_are_pcwa_members(self):
+        """[[D]]_CWA ⊆ ⦇D⦈_CWA (singleton unions)."""
+        cwa, pcwa = get_semantics("cwa"), get_semantics("pcwa")
+        for d in self.INSTANCES:
+            for member in cwa.expand(d, [1, 2]):
+                assert pcwa.contains(d, member)
+
+    def test_min_pcwa_members_are_pcwa_members(self):
+        minp, pcwa = get_semantics("minpcwa"), get_semantics("pcwa")
+        for d in self.INSTANCES:
+            for member in minp.expand(d, [1, 2], extra_facts=3):
+                assert pcwa.contains(d, member)
+
+    def test_complete_instance_fixed_point(self):
+        """For a complete D: [[D]]_CWA = {D} and D ∈ [[D]] everywhere."""
+        d = Instance({"R": [(1, 2)]})
+        assert list(get_semantics("cwa").expand(d, [3])) == [d]
+        for key in ("owa", "cwa", "wcwa", "pcwa", "mincwa", "minpcwa"):
+            assert get_semantics(key).contains(d, d), key

@@ -1,0 +1,200 @@
+"""Tests for the abstract database-domain framework (Sections 3 and 9).
+
+These tests *execute the paper's theorems* on finite micro-domains:
+Proposition 3.2 (fairness characterisation), Theorem 3.1 (naive ⇔ weak
+monotonicity on saturated domains), Proposition 3.3 (⇔ monotonicity on
+fair saturated domains), Theorem 9.1 / Corollary 9.3 (representative
+sets).
+"""
+
+import itertools
+
+import pytest
+
+from repro.semantics.domain import DatabaseDomain
+
+
+def make_domain(sem: dict, complete=None, iso_key=lambda x: x) -> DatabaseDomain:
+    objects = frozenset(sem)
+    if complete is None:
+        complete = frozenset(c for members in sem.values() for c in members)
+    return DatabaseDomain(objects, frozenset(complete), {k: frozenset(v) for k, v in sem.items()}, iso_key)
+
+
+#: a fair, saturated micro-domain: objects a > x > bottom, with
+#: "complete" objects a, b; iso classes identify x with a.
+FAIR = {
+    "a": {"a"},
+    "b": {"b"},
+    "x": {"a", "b"},  # x is incomplete: describes both
+}
+
+
+class TestConstruction:
+    def test_empty_semantics_rejected(self):
+        with pytest.raises(ValueError):
+            make_domain({"a": set()}, complete={"a"})
+
+    def test_non_complete_member_rejected(self):
+        with pytest.raises(ValueError):
+            DatabaseDomain(
+                frozenset({"a", "x"}),
+                frozenset({"a"}),
+                {"a": frozenset({"a"}), "x": frozenset({"x"})},
+            )
+
+    def test_complete_must_be_objects(self):
+        with pytest.raises(ValueError):
+            DatabaseDomain(frozenset({"a"}), frozenset({"b"}), {"a": frozenset({"a"})})
+
+
+class TestOrderingAndFairness:
+    def test_leq_by_semantics_inclusion(self):
+        dom = make_domain(FAIR, complete={"a", "b"}, iso_key=lambda o: "ax" if o in ("a", "x") else o)
+        assert dom.leq("x", "a")  # [[a]] ⊆ [[x]]
+        assert not dom.leq("a", "x")
+
+    def test_fairness_of_standard_domain(self):
+        dom = make_domain(FAIR, complete={"a", "b"}, iso_key=lambda o: "ax" if o in ("a", "x") else o)
+        assert dom.is_fair()
+        assert dom.fairness_conditions() == (True, True)
+
+    def test_prop_3_2_condition1_violation(self):
+        # c ∉ [[c]] breaks fairness
+        sem = {"a": {"b"}, "b": {"b"}, "x": {"a", "b"}}
+        dom = make_domain(sem, complete={"a", "b"})
+        cond1, _ = dom.fairness_conditions()
+        assert not cond1
+        assert not dom.is_fair()
+
+    def test_prop_3_2_condition2_violation(self):
+        # c ∈ [[x]] but [[c]] ⊄ [[x]]
+        sem = {"a": {"a", "b"}, "b": {"b"}, "x": {"a"}}
+        dom = make_domain(sem, complete={"a", "b"})
+        _, cond2 = dom.fairness_conditions()
+        assert not cond2
+        assert not dom.is_fair()
+
+    def test_prop_3_2_equivalence_on_random_micro_domains(self):
+        """Proposition 3.2: fair ⇔ (condition 1 ∧ condition 2), exhaustively."""
+        complete = ("a", "b")
+        subsets = [frozenset(s) for r in (1, 2) for s in itertools.combinations(complete, r)]
+        checked = 0
+        for sem_a in subsets:
+            for sem_b in subsets:
+                for sem_x in subsets:
+                    dom = make_domain(
+                        {"a": sem_a, "b": sem_b, "x": sem_x}, complete=complete
+                    )
+                    cond1, cond2 = dom.fairness_conditions()
+                    assert dom.is_fair() == (cond1 and cond2)
+                    checked += 1
+        assert checked == 27
+
+
+class TestSaturationAndQueries:
+    def test_saturation(self):
+        dom = make_domain(FAIR, complete={"a", "b"}, iso_key=lambda o: "ax" if o in ("a", "x") else o)
+        assert dom.is_saturated()
+
+    def test_non_saturated_domain(self):
+        dom = make_domain(FAIR, complete={"a", "b"})  # identity iso: x ≉ a
+        assert not dom.is_saturated()
+
+    def test_genericity(self):
+        dom = make_domain(FAIR, complete={"a", "b"}, iso_key=lambda o: "ax" if o in ("a", "x") else o)
+        assert dom.is_generic(lambda o: o in ("a", "x"))
+        assert not dom.is_generic(lambda o: o == "a")  # splits the a≈x class
+
+    def test_certain_and_naive(self):
+        dom = make_domain(FAIR, complete={"a", "b"})
+        q = lambda o: o != "nothing"  # constantly true
+        assert dom.certain(q, "x")
+        assert dom.naive_works(q)
+
+    def test_theorem_3_1_exhaustively(self):
+        """Thm 3.1: on a saturated domain, naive works ⇔ weakly monotone,
+        for every generic Boolean query (checked over all 2^3 queries)."""
+        iso = lambda o: "ax" if o in ("a", "x") else o
+        dom = make_domain(FAIR, complete={"a", "b"}, iso_key=iso)
+        assert dom.is_saturated()
+        for bits in itertools.product([False, True], repeat=3):
+            table = dict(zip(("a", "b", "x"), bits))
+            query = table.__getitem__
+            if not dom.is_generic(query):
+                continue
+            assert dom.naive_works(query) == dom.weakly_monotone(query)
+
+    def test_proposition_3_3_exhaustively(self):
+        """Prop 3.3: fair + saturated ⇒ naive ⇔ monotone ⇔ weakly monotone."""
+        iso = lambda o: "ax" if o in ("a", "x") else o
+        dom = make_domain(FAIR, complete={"a", "b"}, iso_key=iso)
+        assert dom.is_fair() and dom.is_saturated()
+        for bits in itertools.product([False, True], repeat=3):
+            table = dict(zip(("a", "b", "x"), bits))
+            query = table.__getitem__
+            if not dom.is_generic(query):
+                continue
+            naive = dom.naive_works(query)
+            assert naive == dom.weakly_monotone(query) == dom.monotone(query)
+
+
+class TestRepresentativeSets:
+    """Section 9: a non-saturated domain with a saturated subdomain."""
+
+    # objects: complete a, b; core-like object k (saturated); junk object
+    # j with [[j]] = [[k]] but no isomorphic complete member.
+    SEM = {"a": {"a"}, "b": {"b"}, "k": {"a"}, "j": {"a"}}
+
+    def iso(self, o):
+        return "ak" if o in ("a", "k") else o
+
+    def domain(self):
+        return make_domain(self.SEM, complete={"a", "b"}, iso_key=self.iso)
+
+    def test_domain_not_saturated(self):
+        dom = self.domain()
+        assert not dom.is_saturated()  # j has no ≈-witness in [[j]]
+
+    def test_representative_set_accepted(self):
+        dom = self.domain()
+        chi = {"a": "a", "b": "b", "k": "k", "j": "k"}
+        assert dom.is_representative_set(frozenset({"a", "b", "k"}), chi)
+
+    def test_representative_set_needs_complete(self):
+        dom = self.domain()
+        chi = {"a": "a", "b": "b", "k": "k", "j": "k"}
+        assert not dom.is_representative_set(frozenset({"a", "k"}), chi)
+
+    def test_representative_set_needs_equal_semantics(self):
+        dom = self.domain()
+        chi_bad = {"a": "a", "b": "b", "k": "k", "j": "b"}  # [[j]] ≠ [[b]]
+        assert not dom.is_representative_set(frozenset({"a", "b", "k"}), chi_bad)
+
+    def test_theorem_9_1_exhaustively(self):
+        """Thm 9.1: naive works ⇔ weakly monotone ∧ Q(x) = Q(χ(x))."""
+        dom = self.domain()
+        chi = {"a": "a", "b": "b", "k": "k", "j": "k"}
+        S = frozenset({"a", "b", "k"})
+        assert dom.is_representative_set(S, chi)
+        for bits in itertools.product([False, True], repeat=4):
+            table = dict(zip(("a", "b", "k", "j"), bits))
+            query = table.__getitem__
+            if not dom.is_generic(query):
+                continue
+            lhs = dom.naive_works(query)
+            rhs = dom.weakly_monotone(query) and all(
+                query(x) == query(chi[x]) for x in dom.objects
+            )
+            assert lhs == rhs, f"Theorem 9.1 fails on {table}"
+
+    def test_corollary_9_3_exhaustively(self):
+        """Cor 9.3: over S itself, naive works ⇔ weakly monotone over S."""
+        dom = self.domain()
+        S = frozenset({"a", "b", "k"})
+        for bits in itertools.product([False, True], repeat=4):
+            table = dict(zip(("a", "b", "k", "j"), bits))
+            query = table.__getitem__
+            if not dom.is_generic(query):
+                continue
+            assert dom.naive_works(query, over=S) == dom.weakly_monotone(query, over=S)

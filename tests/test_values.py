@@ -1,0 +1,90 @@
+"""Unit tests for repro.data.values: nulls, factories, classification."""
+
+import pytest
+
+from repro.data.values import (
+    Null,
+    NullFactory,
+    constants_in,
+    fresh_nulls,
+    is_const,
+    is_null,
+    nulls_in,
+    sort_key,
+)
+
+
+class TestNull:
+    def test_equality_is_by_label(self):
+        assert Null("1") == Null("1")
+        assert Null("1") != Null("2")
+
+    def test_null_never_equals_constant(self):
+        assert Null("1") != "1"
+        assert Null("1") != 1
+        assert "1" != Null("1")
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Null("a")) == hash(Null("a"))
+        assert len({Null("a"), Null("a"), Null("b")}) == 2
+
+    def test_repr_uses_bottom_symbol(self):
+        assert repr(Null("7")) == "⊥7"
+
+    def test_non_string_labels_coerced(self):
+        assert Null(3) == Null("3")
+
+    def test_ordering_nulls_after_constants(self):
+        assert Null("a") > 5
+        assert not (Null("a") < 5)
+        assert Null("a") < Null("b")
+
+
+class TestNullFactory:
+    def test_fresh_nulls_are_distinct(self):
+        factory = NullFactory()
+        assert factory.fresh() != factory.fresh()
+
+    def test_prefix_appears_in_label(self):
+        factory = NullFactory("xyz")
+        assert factory.fresh().label.startswith("xyz")
+
+    def test_fresh_many_count_and_distinctness(self):
+        batch = NullFactory().fresh_many(10)
+        assert len(batch) == 10
+        assert len(set(batch)) == 10
+
+    def test_two_factories_same_prefix_collide_by_design(self):
+        # labels are deterministic per prefix; callers wanting global
+        # freshness share one factory
+        assert NullFactory("n").fresh() == NullFactory("n").fresh()
+
+
+class TestClassifiers:
+    def test_is_null_and_is_const(self):
+        assert is_null(Null("x"))
+        assert not is_null(0)
+        assert is_const("a")
+        assert not is_const(Null("a"))
+
+    def test_filters(self):
+        mixed = [1, Null("a"), "b", Null("c")]
+        assert list(constants_in(mixed)) == [1, "b"]
+        assert list(nulls_in(mixed)) == [Null("a"), Null("c")]
+
+    def test_fresh_nulls_helper(self):
+        batch = fresh_nulls(4, "q")
+        assert len(set(batch)) == 4
+        assert all(n.label.startswith("q") for n in batch)
+
+
+class TestSortKey:
+    def test_total_order_over_mixed_values(self):
+        values = [Null("b"), 2, "a", Null("a"), 1]
+        ordered = sorted(values, key=sort_key)
+        # constants first, then nulls by label
+        assert ordered[-2:] == [Null("a"), Null("b")]
+
+    def test_heterogeneous_constants_sortable(self):
+        values = [("t",), 3, "x", frozenset()]
+        sorted(values, key=sort_key)  # must not raise
