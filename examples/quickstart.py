@@ -1,4 +1,4 @@
-"""Quickstart: incomplete databases, naive evaluation, certain answers.
+"""Quickstart: incomplete databases, certain answers, the session API.
 
 Reproduces the paper's running examples end-to-end through the public
 API.  Run with::
@@ -6,33 +6,37 @@ API.  Run with::
     python examples/quickstart.py
 """
 
-from repro import Instance, Null, Query, analyze, evaluate, parse
+from repro import Database, Instance, Null, Query, analyze, evaluate, parse
 
 # ----------------------------------------------------------------------
 # 1. An incomplete database with marked nulls (the paper's introduction)
 # ----------------------------------------------------------------------
 
 k1, k2, k3 = Null("1"), Null("2"), Null("3")
-db = Instance(
+db = Database(
     {
         "R": [(1, k1), (k2, k3)],  # R(A, B)
         "S": [(k1, 4), (k3, 5)],  # S(B, C)
-    }
+    },
+    semantics="owa",
 )
 print("The incomplete database:")
-print(db.pretty())
+print(db.instance.pretty())
 
 # ----------------------------------------------------------------------
-# 2. A conjunctive query: π_AC(R ⋈ S)
+# 2. A conjunctive query: π_AC(R ⋈ S), prepared once
 # ----------------------------------------------------------------------
 
-join = Query(parse("exists z (R(x, z) & S(z, y))"), ("x", "y"), name="join")
-print(f"\nQuery {join!r}")
+join = db.query("exists z (R(x, z) & S(z, y))", vars=("x", "y"), name="join")
+print(f"\nPrepared {join.query!r}")
 
-# The engine routes to naive evaluation because UCQs are sound under OWA:
-result = evaluate(join, db, semantics="owa")
+# The planner routes to naive evaluation because UCQs are sound under OWA:
+result = join.evaluate()
 print(f"certain answers under OWA: {set(result.answers)}  (method={result.method})")
 assert result.answers == frozenset({(1, 4)})
+
+# The plan is a first-class, inspectable value:
+print("\n" + db.explain(join).render())
 
 # ----------------------------------------------------------------------
 # 3. The analyzer: Figure 1 as a planning decision

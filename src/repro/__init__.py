@@ -7,27 +7,40 @@ marked nulls, six semantics of incompleteness, homomorphism machinery
 and an evaluation engine that uses naive evaluation exactly when the
 paper proves it computes certain answers.
 
-Quickstart::
+Quickstart (the session API)::
 
-    from repro import Instance, Null, Query, parse, evaluate
+    from repro import Database, Null
 
     x = Null("1")
-    db = Instance({"R": [(1, x)], "S": [(x, 4)]})
-    q = Query(parse("exists z (R(x, z) & S(z, y))"), ("x", "y"))
-    print(evaluate(q, db, semantics="owa").answers)   # {(1, 4)}
+    db = Database({"R": [(1, x)], "S": [(x, 4)]}, semantics="owa")
+    q = db.query("exists z (R(x, z) & S(z, y))", vars=("x", "y"))
+    print(q.evaluate().answers)        # frozenset({(1, 4)})
+    print(db.explain(q).render())      # why: backend, verdict, exactness
+
+Preparing a query caches the Figure-1 analysis, the parse and the
+constant pool, so repeated evaluation pays only for execution; plans
+route through pluggable backends (``naive``, ``enumeration``,
+``ctable``).  The free functions (``evaluate``, ``certain_answers``,
+``naive_eval``) remain as one-shot legacy wrappers.
 """
 
 from repro.core import (
+    Backend,
     EvalResult,
+    Plan,
     Verdict,
     analyze,
+    available_backends,
     certain_answers,
     certain_holds,
     evaluate,
+    get_backend,
+    make_plan,
     naive_eval,
     naive_holds,
     possible_answers,
     possible_holds,
+    register_backend,
 )
 from repro.data import Instance, Null, NullFactory, Schema
 from repro.homs import core, find_homomorphism, has_homomorphism, is_core
@@ -42,20 +55,29 @@ from repro.semantics import (
     PowersetCWA,
     get_semantics,
 )
+from repro.session import Database, PreparedQuery
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Backend",
     "EvalResult",
+    "Plan",
     "Verdict",
     "analyze",
+    "available_backends",
     "certain_answers",
     "certain_holds",
     "evaluate",
+    "get_backend",
+    "make_plan",
     "naive_eval",
     "naive_holds",
     "possible_answers",
     "possible_holds",
+    "register_backend",
+    "Database",
+    "PreparedQuery",
     "Instance",
     "Null",
     "NullFactory",

@@ -1,8 +1,9 @@
-"""Command-line interface: analyze and evaluate queries over JSON instances.
+"""Command-line interface: analyze, evaluate and explain queries over JSON instances.
 
 Instance files are JSON objects mapping relation names to lists of rows;
 a string cell starting with ``"?"`` denotes a marked null (``"?x"`` is
-the null ⊥x, repeatable across facts)::
+the null ⊥x, repeatable across facts); a doubled marker escapes a
+literal leading question mark (``"??x"`` is the constant ``"?x"``)::
 
     {"R": [[1, "?x"], ["?y", "?z"]], "S": [["?x", 4]]}
 
@@ -10,7 +11,12 @@ Usage::
 
     python -m repro analyze  "exists z (R(x,z) & S(z,y))" --semantics owa
     python -m repro evaluate "exists z (R(x,z) & S(z,y))" db.json --semantics cwa
+    python -m repro explain  "forall x . exists y . D(x,y)" db.json --semantics owa
     python -m repro fragments "forall x . exists y . D(x,y)"
+
+``explain`` prints the evaluation plan (chosen backend, Figure-1
+verdict, exactness, cost hints) without running the query; ``--json``
+renders it as machine-readable JSON.
 """
 
 from __future__ import annotations
@@ -22,22 +28,42 @@ from typing import Hashable
 
 from repro.core import analyze, evaluate
 from repro.core.analyzer import FIGURE_1
+from repro.core.backends import available_backends
 from repro.data.instance import Instance
 from repro.data.values import Null
 from repro.logic.classes import classify
-from repro.logic.parser import parse
 from repro.logic.queries import Query
-from repro.logic.transform import free_vars
+from repro.semantics.base import ExpansionLimitError
+from repro.session import Database, as_query
 
 __all__ = ["main", "instance_from_json", "instance_to_json"]
 
 
 def _decode_cell(cell) -> Hashable:
     if isinstance(cell, str) and cell.startswith("?"):
+        if cell.startswith("??"):
+            return cell[1:]  # escaped literal: "??x" is the constant "?x"
         return Null(cell[1:])
-    if isinstance(cell, list):
-        raise ValueError("nested lists are not valid cells")
+    if isinstance(cell, (list, dict)):
+        raise ValueError(f"{cell!r} is not a valid cell (must be a scalar)")
     return cell
+
+
+def _encode_cell(relation: str, value: Hashable):
+    if isinstance(value, Null):
+        if value.label.startswith("?"):
+            raise ValueError(
+                f"relation {relation!r}: null label {value.label!r} starts with "
+                f"'?' and cannot be represented in the JSON format"
+            )
+        return "?" + value.label
+    if isinstance(value, str):
+        return "?" + value if value.startswith("?") else value
+    if value is None or isinstance(value, (bool, int, float)):
+        return value
+    raise ValueError(
+        f"relation {relation!r}: cell {value!r} is not representable as a JSON scalar"
+    )
 
 
 def instance_from_json(text: str) -> Instance:
@@ -45,29 +71,56 @@ def instance_from_json(text: str) -> Instance:
     data = json.loads(text)
     if not isinstance(data, dict):
         raise ValueError("instance JSON must be an object of relation → rows")
-    rels = {
-        name: [tuple(_decode_cell(c) for c in row) for row in rows]
-        for name, rows in data.items()
-    }
+    rels: dict[str, list[tuple]] = {}
+    for name, rows in data.items():
+        if not isinstance(rows, list):
+            raise ValueError(
+                f"relation {name!r}: expected a list of rows, got {rows!r}"
+            )
+        decoded: list[tuple] = []
+        for row in rows:
+            if not isinstance(row, list):
+                raise ValueError(
+                    f"relation {name!r}: row {row!r} is not a list — each row "
+                    f"must be a JSON array of cells"
+                )
+            try:
+                decoded.append(tuple(_decode_cell(c) for c in row))
+            except ValueError as err:
+                raise ValueError(f"relation {name!r}, row {row!r}: {err}") from None
+        rels[name] = decoded
     return Instance(rels)
 
 
 def instance_to_json(instance: Instance) -> str:
-    """Render an instance back into the JSON format."""
+    """Render an instance back into the JSON format (round-trip safe).
+
+    String constants beginning with ``?`` are escaped by doubling the
+    marker (``"?x"`` → ``"??x"``) so decoding cannot mistake them for
+    nulls; cells that are not JSON scalars raise :class:`ValueError`
+    instead of being silently stringified.
+    """
     data = {
         name: [
-            ["?" + v.label if isinstance(v, Null) else v for v in row]
+            [_encode_cell(name, v) for v in row]
             for row in sorted(instance.tuples(name), key=repr)
         ]
         for name in instance.relations
     }
-    return json.dumps(data, default=str)
+    return json.dumps(data)
 
 
 def _build_query(text: str) -> Query:
-    formula = parse(text)
-    head = tuple(sorted(free_vars(formula), key=lambda v: v.name))
-    return Query(formula, head, name="cli")
+    # one source of truth for the "answer columns = free variables in
+    # name order" convention: the session layer's normaliser
+    return as_query(text, name="cli")
+
+
+def _load_instance(path: str | None) -> Instance:
+    if path is None:
+        return Instance.empty()
+    with open(path, encoding="utf-8") as handle:
+        return instance_from_json(handle.read())
 
 
 def _cmd_analyze(args) -> int:
@@ -92,8 +145,7 @@ def _cmd_fragments(args) -> int:
 
 def _cmd_evaluate(args) -> int:
     query = _build_query(args.query)
-    with open(args.instance, encoding="utf-8") as handle:
-        instance = instance_from_json(handle.read())
+    instance = _load_instance(args.instance)
     result = evaluate(query, instance, semantics=args.semantics, mode=args.mode)
     if query.is_boolean:
         print(f"certain answer: {result.holds}")
@@ -109,12 +161,25 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_explain(args) -> int:
+    query = _build_query(args.query)
+    instance = _load_instance(args.instance)
+    db = Database(instance, semantics=args.semantics)
+    plan = db.explain(query, mode=args.mode)
+    if args.as_json:
+        print(plan.to_json(indent=2, default=str))
+    else:
+        print(plan.render())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Naive evaluation and certain answers over incomplete databases",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    modes = ["auto", *available_backends()]
 
     p_analyze = sub.add_parser("analyze", help="is naive evaluation sound for this query?")
     p_analyze.add_argument("query", help="FO query text")
@@ -129,13 +194,30 @@ def main(argv: list[str] | None = None) -> int:
     p_eval.add_argument("query")
     p_eval.add_argument("instance", help="path to the JSON instance file")
     p_eval.add_argument("--semantics", choices=sorted(FIGURE_1), default="cwa")
-    p_eval.add_argument("--mode", choices=["auto", "naive", "enumeration"], default="auto")
+    p_eval.add_argument("--mode", choices=modes, default="auto")
     p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_explain = sub.add_parser(
+        "explain", help="show the evaluation plan (backend, verdict, cost) without running"
+    )
+    p_explain.add_argument("query")
+    p_explain.add_argument(
+        "instance",
+        nargs="?",
+        default=None,
+        help="optional JSON instance file (default: the empty instance)",
+    )
+    p_explain.add_argument("--semantics", choices=sorted(FIGURE_1), default="cwa")
+    p_explain.add_argument("--mode", choices=modes, default="auto")
+    p_explain.add_argument(
+        "--json", dest="as_json", action="store_true", help="emit the plan as JSON"
+    )
+    p_explain.set_defaults(func=_cmd_explain)
 
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (ValueError, OSError) as err:
+    except (ValueError, OSError, ExpansionLimitError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
 

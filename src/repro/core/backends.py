@@ -1,0 +1,209 @@
+"""Pluggable evaluation backends and their registry.
+
+A :class:`Backend` is one strategy for computing (an approximation of)
+certain answers.  The engine ships three:
+
+* ``naive``       — two-step naive evaluation (Section 2.4), sound and
+  complete exactly in the cases charted by Figure 1;
+* ``enumeration`` — the bounded certain-answer oracle: intersect
+  ``Q(E)`` over the members of ``[[D]]`` drawn from a finite pool;
+* ``ctable``      — lift the naive database into a conditional table
+  (Imielinski & Lipski 1984) and intersect over its worlds; the CWA
+  semantics of c-tables, so only valid under ``cwa``.
+
+Backends are looked up by name through a registry so deployments can
+plug in their own (sharded, remote, approximate…) strategies without
+touching the planner: implement :class:`Backend`, call
+:func:`register_backend`, and the name becomes available to
+``Database``, the legacy ``evaluate(mode=...)`` wrapper and the CLI.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable, Sequence
+
+from repro.ctables.table import CInstance
+from repro.core import certain as _certain
+from repro.core import naive as _naive
+from repro.core.analyzer import Verdict
+from repro.data.instance import Instance
+from repro.logic.queries import Query
+from repro.semantics.base import Semantics, guard_limit
+
+__all__ = [
+    "Backend",
+    "NaiveBackend",
+    "EnumerationBackend",
+    "CTableBackend",
+    "naive_is_certain",
+    "register_backend",
+    "unregister_backend",
+    "get_backend",
+    "available_backends",
+]
+
+
+def naive_is_certain(verdict: Verdict, instance_is_core: bool | None) -> bool:
+    """The Figure-1 predicate, in one place: does naive evaluation provably
+    compute the certain answers?  (Sound fragment, plus the core condition
+    when the verdict only holds over cores.)"""
+    return verdict.sound and (not verdict.over_cores_only or bool(instance_is_core))
+
+
+class Backend(ABC):
+    """One evaluation strategy, selectable by name through the planner."""
+
+    #: registry key; also the ``method`` reported in :class:`EvalResult`
+    name: str = ""
+    #: one-line description used by ``Plan.render()`` and the CLI
+    summary: str = ""
+    #: does :meth:`execute` read the constant pool?  The session layer
+    #: skips pool construction entirely for backends that don't.
+    uses_pool: bool = True
+
+    def validate(self, semantics: Semantics) -> None:
+        """Raise :class:`ValueError` when this backend cannot serve ``semantics``."""
+
+    def needs_core_check(self, verdict: Verdict) -> bool:
+        """Does exactness accounting require knowing whether the instance is a core?"""
+        return False
+
+    @abstractmethod
+    def exactness(
+        self,
+        semantics: Semantics,
+        verdict: Verdict,
+        instance_is_core: bool | None,
+        extra_facts: int | None,
+    ) -> tuple[bool, str]:
+        """``(exact, direction)`` for a run of this backend.
+
+        ``direction`` follows :class:`~repro.core.engine.EvalResult`:
+        ``""`` when exact, else ``"subset"``/``"superset"``/``"unknown"``.
+        """
+
+    @abstractmethod
+    def execute(
+        self,
+        query: Query,
+        instance: Instance,
+        semantics: Semantics,
+        *,
+        pool: Sequence[Hashable] | None = None,
+        extra_facts: int | None = None,
+        limit: int = 500_000,
+    ) -> frozenset[tuple[Hashable, ...]]:
+        """Compute the answer set (null-free tuples; ``{()}`` = Boolean true)."""
+
+    def __repr__(self) -> str:
+        return f"<backend {self.name!r}>"
+
+
+class NaiveBackend(Backend):
+    """Two-step naive evaluation: evaluate with nulls as values, drop null rows."""
+
+    name = "naive"
+    summary = "naive evaluation (polynomial; certain answers exactly when Figure 1 says so)"
+    uses_pool = False
+
+    def needs_core_check(self, verdict: Verdict) -> bool:
+        return verdict.over_cores_only
+
+    def exactness(self, semantics, verdict, instance_is_core, extra_facts):
+        if naive_is_certain(verdict, instance_is_core):
+            return True, ""
+        return False, ("subset" if verdict.approximation else "unknown")
+
+    def execute(self, query, instance, semantics, *, pool=None, extra_facts=None, limit=500_000):
+        return _naive.naive_eval(query, instance)
+
+
+class EnumerationBackend(Backend):
+    """Bounded enumeration of ``[[D]]`` over a constant pool (the oracle)."""
+
+    name = "enumeration"
+    summary = "bounded certain-answer oracle (intersect Q(E) over [[D]] on a pool)"
+
+    def exactness(self, semantics, verdict, instance_is_core, extra_facts):
+        if semantics.enumeration_exact(extra_facts):
+            return True, ""
+        return False, "superset"
+
+    def execute(self, query, instance, semantics, *, pool=None, extra_facts=None, limit=500_000):
+        return _certain.certain_answers(
+            query, instance, semantics, pool=pool, extra_facts=extra_facts, limit=limit
+        )
+
+
+class CTableBackend(Backend):
+    """Lift the instance into a conditional table and intersect over its worlds.
+
+    Naive databases are the ``⊤``-condition special case of c-tables,
+    whose possible-world semantics is CWA — so this backend is exact for
+    ``cwa`` and refuses every other semantics.  It exists as the bridge
+    to the strong-representation machinery in :mod:`repro.ctables`
+    (query results that *stay* conditional instead of collapsing to
+    certain answers).
+    """
+
+    name = "ctable"
+    summary = "conditional-table worlds (Imielinski–Lipski CWA; exact under cwa)"
+
+    def validate(self, semantics: Semantics) -> None:
+        if semantics.key != "cwa":
+            raise ValueError(
+                f"the ctable backend implements the CWA possible-world semantics "
+                f"of conditional tables and cannot serve {semantics.key!r}; "
+                f"use semantics='cwa' or another backend"
+            )
+
+    def exactness(self, semantics, verdict, instance_is_core, extra_facts):
+        return True, ""
+
+    def execute(self, query, instance, semantics, *, pool=None, extra_facts=None, limit=500_000):
+        if pool is None:
+            pool = _certain.default_pool(instance, query)
+        lifted = CInstance.from_instance(instance)
+        guard_limit(
+            len(pool) ** len(lifted.nulls()), limit, "ctable world enumeration"
+        )
+        return lifted.certain_answers(query, pool=pool)
+
+
+_REGISTRY: dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend, *, replace: bool = False) -> Backend:
+    """Add ``backend`` to the registry under ``backend.name``."""
+    if not backend.name:
+        raise ValueError("backend must declare a non-empty name")
+    if backend.name in _REGISTRY and not replace:
+        raise ValueError(f"backend {backend.name!r} is already registered (pass replace=True)")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (mainly for tests and plug-in teardown)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a backend by name; raises :class:`ValueError` when unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def available_backends() -> tuple[str, ...]:
+    """The registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+register_backend(NaiveBackend())
+register_backend(EnumerationBackend())
+register_backend(CTableBackend())

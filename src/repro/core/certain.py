@@ -23,10 +23,12 @@ This is exactly the direction needed to validate Figure 1 empirically.
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from functools import lru_cache
+from typing import Hashable, Iterable, Sequence
 
 from repro.data.instance import Instance
 from repro.data.schema import Schema
+from repro.data.values import sort_key
 from repro.logic.ast import RelAtom
 from repro.logic.eval import evaluate
 from repro.logic.queries import Query
@@ -40,11 +42,22 @@ def default_pool(
     instance: Instance,
     query: Query | None = None,
     n_fresh: int | None = None,
+    extra_constants: Iterable[Hashable] = (),
 ) -> list[Hashable]:
-    """The constant pool making bounded enumeration exact (see module doc)."""
+    """The constant pool making bounded enumeration exact (see module doc).
+
+    The pool is ordered deterministically and *type-stably* — constants
+    are grouped by type name before value (via
+    :func:`repro.data.values.sort_key`), never by raw ``repr``, so
+    instances mixing ``int`` and ``str`` cells always enumerate in the
+    same order regardless of construction order, and limit truncation
+    is reproducible.  ``extra_constants`` widens the pool (e.g. with
+    the constants of a whole query batch) without changing the scheme.
+    """
     base: set[Hashable] = set(instance.constants())
     if query is not None:
         base |= set(query.constants())
+    base.update(extra_constants)
     if n_fresh is None:
         n_fresh = len(instance.nulls()) + 1
     fresh: list[str] = []
@@ -54,11 +67,17 @@ def default_pool(
         if candidate not in base:
             fresh.append(candidate)
         index += 1
-    return sorted(base, key=repr) + fresh
+    return sorted(base, key=sort_key) + fresh
 
 
+@lru_cache(maxsize=1024)
 def query_schema(query: Query) -> Schema:
-    """The schema mentioned by the query's relational atoms."""
+    """The schema mentioned by the query's relational atoms.
+
+    Memoised: queries are immutable values and the oracle consults the
+    schema on every call, so repeated evaluation of a prepared query
+    walks the formula once, not once per evaluation.
+    """
     arities: dict[str, int] = {}
     for sub in subformulas(query.formula):
         if isinstance(sub, RelAtom):

@@ -1,27 +1,33 @@
-"""The evaluation engine: naive when provably sound, enumeration otherwise.
+"""The evaluation engine: plan, route to a backend, account for exactness.
 
-This is the library's front door.  :func:`evaluate` consults the
-analyzer (Figure 1), runs naive evaluation when the paper guarantees it
-computes certain answers, and otherwise falls back to the bounded
-certain-answer oracle — reporting which route was taken and how reliable
-the result is.
+Historically this module *was* the library's front door — a free
+:func:`evaluate` that re-ran the Figure-1 analyzer on every call.  The
+session layer (:class:`repro.session.Database`) is now the preferred
+entry point: it prepares queries once and reuses the plan.  The free
+function remains as a thin, fully-working wrapper over the same
+planner/backend machinery for scripts and backwards compatibility.
+
+.. deprecated:: 1.1
+   Prefer ``repro.session.Database`` for anything that evaluates more
+   than once; ``evaluate`` re-plans (analyzer + core check + pool) on
+   every call.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Hashable, Sequence
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Hashable, Mapping, Sequence
 
+from repro.core.analyzer import Verdict
+from repro.core.backends import get_backend
+from repro.core.plan import Plan, make_plan
 from repro.data.instance import Instance
-from repro.homs.core import is_core
 from repro.logic.queries import Query
-from repro.core.analyzer import Verdict, analyze
-from repro.core.certain import certain_answers
-from repro.core.naive import naive_eval
 from repro.semantics import get_semantics
 from repro.semantics.base import Semantics
 
-__all__ = ["EvalResult", "evaluate"]
+__all__ = ["EvalResult", "evaluate", "execute_plan"]
 
 
 @dataclass(frozen=True)
@@ -30,7 +36,7 @@ class EvalResult:
 
     #: the computed answers (null-free tuples; ``{()}`` = Boolean true)
     answers: frozenset[tuple[Hashable, ...]]
-    #: how they were computed: "naive" or "enumeration"
+    #: the backend that computed them: "naive", "enumeration", "ctable", …
     method: str
     #: True when the result provably equals the certain answers
     exact: bool
@@ -39,6 +45,9 @@ class EvalResult:
     direction: str
     #: the analyzer's verdict that routed the evaluation
     verdict: Verdict
+    #: execution metadata: backend, timings in seconds, pool size, …
+    #: (excluded from equality/hashing)
+    stats: Mapping[str, object] = field(default_factory=dict, compare=False)
 
     @property
     def holds(self) -> bool:
@@ -48,6 +57,45 @@ class EvalResult:
     def __repr__(self) -> str:
         status = "exact" if self.exact else f"approx({self.direction})"
         return f"EvalResult({set(self.answers)!r}, method={self.method}, {status})"
+
+
+def execute_plan(
+    plan: Plan,
+    query: Query,
+    instance: Instance,
+    semantics: Semantics | None = None,
+    *,
+    pool: Sequence[Hashable] | None = None,
+    extra_facts: int | None = None,
+    limit: int = 500_000,
+    stats: Mapping[str, object] | None = None,
+) -> EvalResult:
+    """Run a :class:`~repro.core.plan.Plan` and package the result.
+
+    ``stats`` entries (e.g. planning time, cache provenance from the
+    session layer) are merged into the result's ``stats`` alongside the
+    measured execution time.
+    """
+    sem = semantics if semantics is not None else get_semantics(plan.semantics)
+    if sem.key != plan.semantics:
+        raise ValueError(
+            f"plan was made for semantics {plan.semantics!r} but is being "
+            f"executed under {sem.key!r}; re-plan for the right semantics"
+        )
+    backend = get_backend(plan.backend)
+    start = perf_counter()
+    answers = backend.execute(
+        query, instance, sem, pool=pool, extra_facts=extra_facts, limit=limit
+    )
+    elapsed = perf_counter() - start
+    info: dict[str, object] = {
+        "backend": plan.backend,
+        "mode": plan.mode,
+        "execution_s": elapsed,
+    }
+    if stats:
+        info.update(stats)
+    return EvalResult(answers, plan.backend, plan.exact, plan.direction, plan.verdict, info)
 
 
 def evaluate(
@@ -61,14 +109,17 @@ def evaluate(
 ) -> EvalResult:
     """Compute certain answers to ``query`` on ``instance`` under ``semantics``.
 
+    Thin legacy wrapper: plans and executes in one shot, re-running the
+    analyzer (and core check / pool construction where needed) every
+    call.  Prefer :class:`repro.session.Database` for repeated work.
+
     ``mode``:
 
     * ``"auto"`` — naive evaluation when the analyzer proves it sound
       (checking the core condition for the minimal semantics),
       otherwise bounded enumeration;
-    * ``"naive"`` — force naive evaluation (the result is then certain
-      only when the verdict says so);
-    * ``"enumeration"`` — force the bounded certain-answer oracle.
+    * any registered backend name (``"naive"``, ``"enumeration"``,
+      ``"ctable"``, …) — force that backend.
 
     Exactness accounting: naive evaluation under a positive verdict is
     exact; enumeration is exact for all CWA-flavoured semantics and an
@@ -78,30 +129,16 @@ def evaluate(
     semantics off-core, Prop. 10.13) is a subset of the certain answers.
     """
     sem = get_semantics(semantics) if isinstance(semantics, str) else semantics
-    verdict = analyze(query, sem)
-
-    if mode not in ("auto", "naive", "enumeration"):
-        raise ValueError(f"unknown mode {mode!r}")
-
-    use_naive: bool
-    if mode == "naive":
-        use_naive = True
-    elif mode == "enumeration":
-        use_naive = False
-    else:
-        use_naive = verdict.sound and (
-            not verdict.over_cores_only or is_core(instance)
-        )
-
-    if use_naive:
-        answers = naive_eval(query, instance)
-        exact = verdict.sound and (not verdict.over_cores_only or is_core(instance))
-        direction = "" if exact else ("subset" if verdict.approximation else "unknown")
-        return EvalResult(answers, "naive", exact, direction, verdict)
-
-    answers = certain_answers(
-        query, instance, sem, pool=pool, extra_facts=extra_facts, limit=limit
+    start = perf_counter()
+    plan = make_plan(query, instance, sem, mode, pool=pool, extra_facts=extra_facts)
+    planning = perf_counter() - start
+    return execute_plan(
+        plan,
+        query,
+        instance,
+        sem,
+        pool=pool,
+        extra_facts=extra_facts,
+        limit=limit,
+        stats={"planning_s": planning},
     )
-    exact = sem.enumeration_exact(extra_facts)
-    direction = "" if exact else "superset"
-    return EvalResult(answers, "enumeration", exact, direction, verdict)

@@ -133,18 +133,13 @@ class CInstance:
         constants and ``|nulls|+1`` fresh constants (same genericity
         argument as :mod:`repro.core.certain`).
         """
+        from repro.core.certain import default_pool
         from repro.logic.eval import evaluate
 
         if pool is None:
-            base = set(self.constants()) | set(query.constants())
-            fresh: list[str] = []
-            index = 1
-            while len(fresh) < len(self.nulls()) + 1:
-                candidate = f"_f{index}"
-                if candidate not in base:
-                    fresh.append(candidate)
-                index += 1
-            pool = sorted(base, key=repr) + fresh
+            # default_pool only needs .constants()/.nulls(), which
+            # CInstance provides (including condition values)
+            pool = default_pool(self, query)
         result: frozenset[tuple[Hashable, ...]] | None = None
         for world in self.worlds(pool):
             if result is None:

@@ -1,0 +1,480 @@
+"""Session-oriented public API: the :class:`Database` facade.
+
+A :class:`Database` wraps one incomplete :class:`~repro.data.instance.Instance`
+together with a default semantics and turns the paper's
+analyze-then-route insight into a *prepared-query* workflow:
+
+>>> from repro.session import Database
+>>> from repro.data.values import Null
+>>> db = Database({"R": [(1, Null("x"))], "S": [(Null("x"), 4)]}, semantics="owa")
+>>> q = db.query("exists z (R(x, z) & S(z, y))", vars=("x", "y"))
+>>> sorted(q.evaluate().answers)
+[(1, 4)]
+>>> db.explain(q).backend
+'naive'
+
+Preparing a query pays for the Figure-1 analyzer, the parse, the query
+schema and the constant pool exactly once; subsequent evaluations reuse
+the cached :class:`~repro.core.plan.Plan`.  The instance-dependent
+caches (pool, core check, plans) are keyed by a generation counter that
+mutation methods bump, so ``db.add_fact(...)`` transparently
+invalidates every prepared query.  Evaluation itself is delegated to
+the pluggable backend registry (:mod:`repro.core.backends`).
+
+Module-level functions are called through their module objects
+(``_certain.default_pool`` and friends) so tests and instrumentation
+can monkeypatch the defining module and observe every call.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.core import analyzer as _analyzer
+from repro.core import backends as _backends
+from repro.core import certain as _certain
+from repro.core import engine as _engine
+from repro.core import plan as _plan
+from repro.core.engine import EvalResult
+from repro.core.plan import Plan
+from importlib import import_module
+
+from repro.data.instance import Instance
+from repro.data.schema import Schema
+
+# repro.homs re-exports a `core` *function* that shadows the submodule
+# attribute, so the module object must come from the import system.
+_homs_core = import_module("repro.homs.core")
+from repro.logic.ast import Formula
+from repro.logic.parser import parse
+from repro.logic.queries import Query
+from repro.logic.transform import free_vars
+from repro.semantics import get_semantics
+from repro.semantics.base import Semantics
+
+__all__ = ["Database", "PreparedQuery", "as_query"]
+
+
+def as_query(source, vars=None, name: str | None = None) -> Query:
+    """Normalise a query source (text, formula, or Query) into a Query.
+
+    The single source of truth for the default answer-column convention
+    (free variables in name order) shared by the session API and the CLI.
+    """
+    if isinstance(source, Query):
+        if vars is not None:
+            raise ValueError("vars cannot be overridden for an already-built Query")
+        if name is not None:
+            raise ValueError("name cannot be overridden for an already-built Query")
+        return source
+    formula = parse(source) if isinstance(source, str) else source
+    if not isinstance(formula, Formula):
+        raise TypeError(
+            f"cannot prepare {source!r}: expected query text, a Formula, or a Query"
+        )
+    if vars is None:
+        head = tuple(sorted(free_vars(formula), key=lambda v: v.name))
+    else:
+        head = tuple(vars)
+    return Query(formula, head, name=name or "Q")
+
+
+class PreparedQuery:
+    """A query bound to a :class:`Database`, with its analysis cached.
+
+    Caches, computed at most once per (query, semantics):
+
+    * the parsed :class:`~repro.logic.queries.Query` (AST + answer tuple),
+    * the analyzer verdict (Figure 1),
+    * the query schema (relations/arities the query mentions);
+
+    and at most once per *instance generation*:
+
+    * the constant pool for bounded enumeration,
+    * the :class:`~repro.core.plan.Plan` per requested mode.
+    """
+
+    __slots__ = (
+        "_db",
+        "query",
+        "semantics",
+        "_verdict",
+        "_schema",
+        "_pool",
+        "_pool_generation",
+        "_plans",
+        "_plans_generation",
+    )
+
+    def __init__(self, db: "Database", query: Query, semantics: Semantics):
+        self._db = db
+        self.query = query
+        self.semantics = semantics
+        self._verdict = None
+        self._schema: Schema | None = None
+        self._pool: tuple[Hashable, ...] | None = None
+        self._pool_generation = -1
+        self._plans: dict[str, Plan] = {}
+        self._plans_generation = -1
+
+    # ------------------------------------------------------------------
+    # cached analysis
+    # ------------------------------------------------------------------
+
+    @property
+    def database(self) -> "Database":
+        return self._db
+
+    @property
+    def verdict(self):
+        """The Figure-1 verdict for this (query, semantics) pair (cached)."""
+        if self._verdict is None:
+            self._verdict = _analyzer.analyze(self.query, self.semantics)
+        return self._verdict
+
+    @property
+    def schema(self) -> Schema:
+        """The schema mentioned by the query (cached)."""
+        if self._schema is None:
+            self._schema = _certain.query_schema(self.query)
+        return self._schema
+
+    @property
+    def pool(self) -> tuple[Hashable, ...]:
+        """The enumeration pool for the current instance (cached per generation).
+
+        Returned as a tuple: the cache is shared across evaluations, so
+        handing out a mutable alias would let callers corrupt it.
+        """
+        if self._pool_generation != self._db.generation:
+            self._pool = tuple(_certain.default_pool(self._db.instance, self.query))
+            self._pool_generation = self._db.generation
+        return self._pool
+
+    def plan(self, mode: str = "auto") -> Plan:
+        """The evaluation plan (cached per instance generation and mode)."""
+        if self._plans_generation != self._db.generation:
+            self._plans.clear()
+            self._plans_generation = self._db.generation
+        cached = self._plans.get(mode)
+        if cached is None:
+            # no pool is passed: make_plan derives the cost hint
+            # arithmetically, and the pool is only materialised at
+            # evaluation time for backends that actually read it
+            cached = _plan.make_plan(
+                self.query,
+                self._db.instance,
+                self.semantics,
+                mode,
+                verdict=self.verdict,
+                core_check=self._db.instance_is_core,
+                extra_facts=self._db.extra_facts,
+            )
+            self._plans[mode] = cached
+        return cached
+
+    explain = plan
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, mode: str = "auto") -> EvalResult:
+        """Evaluate against the session's current instance via the cached plan."""
+        start = perf_counter()
+        plan = self.plan(mode)
+        pool = self.pool if _backends.get_backend(plan.backend).uses_pool else None
+        planning = perf_counter() - start
+        return _engine.execute_plan(
+            plan,
+            self.query,
+            self._db.instance,
+            self.semantics,
+            pool=pool,
+            extra_facts=self._db.extra_facts,
+            limit=self._db.limit,
+            stats={
+                "planning_s": planning,
+                # the pool actually materialised for this run (0 = none:
+                # the backend does not enumerate)
+                "pool_size": len(pool) if pool is not None else 0,
+                "generation": self._db.generation,
+            },
+        )
+
+    def __call__(self, mode: str = "auto") -> EvalResult:
+        return self.evaluate(mode)
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedQuery({self.query!r}, semantics={self.semantics.key!r}, "
+            f"db_generation={self._db.generation})"
+        )
+
+
+class Database:
+    """A stateful session over one incomplete instance.
+
+    Parameters
+    ----------
+    instance:
+        the incomplete database — an :class:`Instance` or a plain
+        ``{relation: rows}`` mapping (defaults to the empty instance);
+    semantics:
+        default semantics for prepared queries (key or object);
+    extra_facts / limit:
+        enumeration knobs forwarded to the oracle backends;
+    prepared_cache_size:
+        bound on the LRU intern table for textual queries.
+
+    The instance is an immutable value; "mutations" (:meth:`add_fact`,
+    :meth:`remove_fact`, :meth:`replace`) swap it for a new value and
+    bump :attr:`generation`, which lazily invalidates the pools, plans
+    and core-check verdicts cached by prepared queries.
+    """
+
+    def __init__(
+        self,
+        instance: Instance | Mapping[str, Iterable[tuple]] | None = None,
+        semantics: Semantics | str = "cwa",
+        *,
+        extra_facts: int | None = None,
+        limit: int = 500_000,
+        prepared_cache_size: int = 256,
+    ):
+        if instance is None:
+            instance = Instance.empty()
+        elif not isinstance(instance, Instance):
+            instance = Instance(instance)
+        self._instance = instance
+        self._semantics = (
+            get_semantics(semantics) if isinstance(semantics, str) else semantics
+        )
+        self._extra_facts = extra_facts
+        self.limit = limit
+        self._generation = 0
+        self._core_flag: bool | None = None
+        # LRU intern table for textual queries, bounded so a long-lived
+        # session serving ad-hoc query texts cannot grow without limit
+        self._prepared: dict[tuple, PreparedQuery] = {}
+        self._prepared_max = max(1, prepared_cache_size)
+        # memo for the batch pool: (generation, extra constants) → pool
+        # (a tuple, so backends cannot corrupt the cache in place)
+        self._batch_pool_key: tuple | None = None
+        self._batch_pool: tuple[Hashable, ...] | None = None
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+
+    @property
+    def instance(self) -> Instance:
+        """The current incomplete instance."""
+        return self._instance
+
+    @property
+    def semantics(self) -> Semantics:
+        """The session's default semantics."""
+        return self._semantics
+
+    @property
+    def generation(self) -> int:
+        """Bumped whenever cached plans could go stale; keys the prepared-query caches."""
+        return self._generation
+
+    @property
+    def extra_facts(self) -> int | None:
+        """Bound on extension facts for the oracle backends.
+
+        Plans depend on this knob (it decides whether OWA/WCWA
+        enumeration is exact), so assigning a new value invalidates
+        the cached plans.
+        """
+        return self._extra_facts
+
+    @extra_facts.setter
+    def extra_facts(self, value: int | None) -> None:
+        if value != self._extra_facts:
+            self._extra_facts = value
+            self._generation += 1
+
+    def instance_is_core(self) -> bool:
+        """Is the current instance a core?  Cached until the next mutation."""
+        if self._core_flag is None:
+            self._core_flag = _homs_core.is_core(self._instance)
+        return self._core_flag
+
+    def _set_instance(self, new: Instance) -> None:
+        if new != self._instance:
+            self._instance = new
+            self._generation += 1
+            self._core_flag = None
+
+    def replace(self, instance: Instance | Mapping[str, Iterable[tuple]]) -> None:
+        """Swap in a whole new instance (invalidates cached plans/pools)."""
+        if not isinstance(instance, Instance):
+            instance = Instance(instance)
+        self._set_instance(instance)
+
+    def add_fact(self, relation: str, row: Sequence[Hashable]) -> None:
+        """Add one fact (no-op when already present)."""
+        self._set_instance(self._instance.add_fact(relation, tuple(row)))
+
+    def remove_fact(self, relation: str, row: Sequence[Hashable]) -> None:
+        """Remove one fact (no-op when absent)."""
+        self._set_instance(self._instance.remove_fact(relation, tuple(row)))
+
+    # ------------------------------------------------------------------
+    # preparing queries
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        source,
+        vars: Sequence | None = None,
+        *,
+        semantics: Semantics | str | None = None,
+        name: str | None = None,
+    ) -> PreparedQuery:
+        """Prepare a query for repeated evaluation against this session.
+
+        ``source`` may be query text, a parsed ``Formula``, an
+        already-built :class:`~repro.logic.queries.Query`, or a
+        :class:`PreparedQuery` from this session (returned unchanged).
+        ``vars`` fixes the answer-column order for text/formula sources;
+        omitted, the free variables are used in name order.  Sources are
+        interned in a bounded LRU table (size ``prepared_cache_size``):
+        preparing the same text — or the same ``Query``/``Formula``
+        value — twice returns the *same* prepared query, so its caches
+        are shared.
+        """
+        if isinstance(source, PreparedQuery):
+            if source.database is not self:
+                raise ValueError("prepared query belongs to a different Database")
+            if vars is not None:
+                raise ValueError(
+                    "vars cannot be overridden for an already-prepared query"
+                )
+            if name is not None:
+                raise ValueError(
+                    "name cannot be overridden for an already-prepared query"
+                )
+            if semantics is not None:
+                wanted = (
+                    get_semantics(semantics) if isinstance(semantics, str) else semantics
+                )
+                # identity, not key: two Semantics objects may share a key
+                # yet expand differently
+                if wanted is not source.semantics:
+                    raise ValueError(
+                        f"prepared query is bound to semantics "
+                        f"{source.semantics.key!r}; re-prepare it for {wanted.key!r}"
+                    )
+            return source
+        sem = self._semantics if semantics is None else (
+            get_semantics(semantics) if isinstance(semantics, str) else semantics
+        )
+        # vars/name overrides on a Query source are rejected by as_query
+        # below, before anything is inserted into the cache.
+        # the semantics *object* (identity-hashed) keys the cache — a
+        # custom Semantics sharing a registry key must not collide
+        key = (source, tuple(vars) if vars is not None else None, name, sem)
+        if not isinstance(source, str):
+            try:
+                hash(key)  # Query/Formula are usually hashable values
+            except TypeError:
+                return PreparedQuery(self, as_query(source, vars, name), sem)
+        cached = self._prepared.pop(key, None)
+        if cached is None:
+            cached = PreparedQuery(self, as_query(source, vars, name), sem)
+        self._prepared[key] = cached  # (re-)insert at the LRU tail
+        while len(self._prepared) > self._prepared_max:
+            self._prepared.pop(next(iter(self._prepared)))
+        return cached
+
+    prepare = query
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, source, vars: Sequence | None = None, *, mode: str = "auto",
+                 semantics: Semantics | str | None = None) -> EvalResult:
+        """One-shot convenience: prepare (or reuse) and evaluate."""
+        return self.query(source, vars, semantics=semantics).evaluate(mode)
+
+    def explain(self, source, vars: Sequence | None = None, *, mode: str = "auto",
+                semantics: Semantics | str | None = None) -> Plan:
+        """The structured :class:`Plan` for a query, without running it."""
+        return self.query(source, vars, semantics=semantics).plan(mode)
+
+    def evaluate_many(self, sources: Iterable, *, mode: str = "auto") -> list[EvalResult]:
+        """Evaluate a batch, sharing pool construction and the core check.
+
+        One constant pool is built covering the instance plus *every*
+        query's constants (a superset pool keeps enumeration exact —
+        it only enumerates more worlds), and the core check is computed
+        at most once for the whole batch via the session cache.  Each
+        result's ``stats`` reports its own planning/execution time plus
+        ``batch=True`` and the shared pool size.
+        """
+        prepared = [self.query(s) for s in sources]
+        if not prepared:
+            return []
+        planned: list[tuple[PreparedQuery, Plan, float]] = []
+        for p in prepared:
+            start = perf_counter()
+            plan = p.plan(mode)  # cached per (generation, mode)
+            planned.append((p, plan, perf_counter() - start))
+        # one superset pool for the whole batch — but only when some
+        # plan actually routes to a pool-reading backend
+        shared_pool: tuple[Hashable, ...] | None = None
+        pool_build = 0.0
+        if any(_backends.get_backend(plan.backend).uses_pool for _, plan, _ in planned):
+            extra: set[Hashable] = set()
+            for p in prepared:
+                extra |= set(p.query.constants())
+            key = (self._generation, frozenset(extra))
+            if self._batch_pool_key != key:
+                start = perf_counter()
+                self._batch_pool = tuple(
+                    _certain.default_pool(self._instance, extra_constants=extra)
+                )
+                pool_build = perf_counter() - start
+                self._batch_pool_key = key
+            shared_pool = self._batch_pool
+        results: list[EvalResult] = []
+        for p, plan, planning in planned:
+            results.append(
+                _engine.execute_plan(
+                    plan,
+                    p.query,
+                    self._instance,
+                    p.semantics,
+                    pool=shared_pool,
+                    extra_facts=self.extra_facts,
+                    limit=self.limit,
+                    stats={
+                        "planning_s": planning,
+                        # one-off cost of building the shared pool, reported
+                        # on every result of the batch that paid it
+                        "pool_build_s": pool_build,
+                        "pool_size": (
+                            len(shared_pool)
+                            if shared_pool is not None
+                            and _backends.get_backend(plan.backend).uses_pool
+                            else 0
+                        ),
+                        "generation": self._generation,
+                        "batch": True,
+                    },
+                )
+            )
+        return results
+
+    def __repr__(self) -> str:
+        return (
+            f"Database({self._instance!r}, semantics={self._semantics.key!r}, "
+            f"generation={self._generation})"
+        )

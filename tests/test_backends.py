@@ -1,0 +1,178 @@
+"""Tests for repro.core.backends: the strategy registry and the three backends."""
+
+import pytest
+
+from repro.core import analyze, certain_answers, naive_eval
+from repro.core.backends import (
+    Backend,
+    CTableBackend,
+    EnumerationBackend,
+    NaiveBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.data.instance import Instance
+from repro.data.values import Null
+from repro.logic.parser import parse
+from repro.logic.queries import Query
+from repro.semantics import get_semantics
+
+X, Y = Null("x"), Null("y")
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"naive", "enumeration", "ctable"} <= set(available_backends())
+
+    def test_get_backend_by_name(self):
+        assert isinstance(get_backend("naive"), NaiveBackend)
+        assert isinstance(get_backend("enumeration"), EnumerationBackend)
+        assert isinstance(get_backend("ctable"), CTableBackend)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("quantum")
+
+    def test_register_and_unregister_custom_backend(self):
+        class EmptyBackend(Backend):
+            name = "always-empty"
+            summary = "returns no answers"
+
+            def exactness(self, semantics, verdict, instance_is_core, extra_facts):
+                return False, "subset"
+
+            def execute(self, query, instance, semantics, *, pool=None,
+                        extra_facts=None, limit=500_000):
+                return frozenset()
+
+        try:
+            register_backend(EmptyBackend())
+            assert "always-empty" in available_backends()
+            assert get_backend("always-empty").execute(None, None, None) == frozenset()
+        finally:
+            unregister_backend("always-empty")
+        assert "always-empty" not in available_backends()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(NaiveBackend())
+
+    def test_duplicate_registration_with_replace(self):
+        register_backend(NaiveBackend(), replace=True)
+        assert isinstance(get_backend("naive"), NaiveBackend)
+
+    def test_unnamed_backend_rejected(self):
+        class Anonymous(Backend):
+            def exactness(self, semantics, verdict, instance_is_core, extra_facts):
+                return True, ""
+
+            def execute(self, query, instance, semantics, *, pool=None,
+                        extra_facts=None, limit=500_000):
+                return frozenset()
+
+        with pytest.raises(ValueError, match="non-empty name"):
+            register_backend(Anonymous())
+
+
+class TestNaiveBackend:
+    def test_matches_naive_eval(self, intro_db, join_query):
+        got = get_backend("naive").execute(join_query, intro_db, get_semantics("owa"))
+        assert got == naive_eval(join_query, intro_db)
+
+    def test_core_check_needed_only_for_minimal(self):
+        q = Query.boolean(parse("exists v . D(v, v)"))
+        backend = get_backend("naive")
+        assert backend.needs_core_check(analyze(q, "mincwa"))
+        assert not backend.needs_core_check(analyze(q, "cwa"))
+
+    def test_exactness_accounting(self):
+        backend = get_backend("naive")
+        sound = analyze(Query.boolean(parse("exists v . D(v, v)")), "cwa")
+        assert backend.exactness(get_semantics("cwa"), sound, None, None) == (True, "")
+        unsound = analyze(Query.boolean(parse("forall x . exists y . D(x, y)")), "owa")
+        exact, direction = backend.exactness(get_semantics("owa"), unsound, None, None)
+        assert not exact and direction == "unknown"
+
+    def test_exactness_off_core_is_subset(self):
+        backend = get_backend("naive")
+        verdict = analyze(Query.boolean(parse("exists v . D(v, v)")), "mincwa")
+        assert backend.exactness(get_semantics("mincwa"), verdict, False, None) == (
+            False,
+            "subset",
+        )
+        assert backend.exactness(get_semantics("mincwa"), verdict, True, None) == (
+            True,
+            "",
+        )
+
+
+class TestEnumerationBackend:
+    def test_matches_certain_answers(self, d0):
+        q = Query.boolean(parse("forall x . exists y . D(x, y)"))
+        sem = get_semantics("cwa")
+        got = get_backend("enumeration").execute(q, d0, sem)
+        assert got == certain_answers(q, d0, sem)
+
+    def test_owa_flagged_superset(self):
+        backend = get_backend("enumeration")
+        verdict = analyze(Query.boolean(parse("exists v . D(v, v)")), "owa")
+        assert backend.exactness(get_semantics("owa"), verdict, None, 2) == (
+            False,
+            "superset",
+        )
+        assert backend.exactness(get_semantics("cwa"), verdict, None, None) == (True, "")
+
+
+class TestCTableBackend:
+    def test_refuses_non_cwa(self):
+        backend = get_backend("ctable")
+        for key in ("owa", "wcwa", "pcwa", "mincwa", "minpcwa"):
+            with pytest.raises(ValueError, match="ctable"):
+                backend.validate(get_semantics(key))
+        backend.validate(get_semantics("cwa"))  # no raise
+
+    def test_boolean_agreement_with_enumeration(self, d0):
+        q = Query.boolean(parse("exists x, y . D(x, y) & D(y, x)"))
+        sem = get_semantics("cwa")
+        assert get_backend("ctable").execute(q, d0, sem) == get_backend(
+            "enumeration"
+        ).execute(q, d0, sem)
+
+    def test_kary_agreement_with_enumeration(self, intro_db, join_query):
+        sem = get_semantics("cwa")
+        assert get_backend("ctable").execute(join_query, intro_db, sem) == get_backend(
+            "enumeration"
+        ).execute(join_query, intro_db, sem)
+
+    def test_universal_query_agreement(self, d0, forall_exists_query):
+        sem = get_semantics("cwa")
+        assert get_backend("ctable").execute(forall_exists_query, d0, sem) == get_backend(
+            "enumeration"
+        ).execute(forall_exists_query, d0, sem)
+
+    def test_always_exact_under_cwa(self):
+        backend = get_backend("ctable")
+        verdict = analyze(Query.boolean(parse("forall x . exists y . D(x, y)")), "cwa")
+        assert backend.exactness(get_semantics("cwa"), verdict, None, None) == (True, "")
+
+    def test_respects_explicit_pool(self):
+        d = Instance({"D": [(X, 1)]})
+        q = Query(parse("D(x, y)"), ("x", "y"))
+        sem = get_semantics("cwa")
+        got = get_backend("ctable").execute(q, d, sem, pool=[1, 2])
+        assert got == certain_answers(q, d, sem, pool=[1, 2])
+
+    def test_limit_guards_world_explosion(self):
+        # regression: the limit knob must bound ctable world enumeration
+        # instead of being silently ignored
+        from repro.semantics.base import ExpansionLimitError
+
+        d = Instance({"D": [(X, Y), (Y, X)]})
+        q = Query.boolean(parse("exists v . D(v, v)"))
+        sem = get_semantics("cwa")
+        with pytest.raises(ExpansionLimitError, match="ctable"):
+            get_backend("ctable").execute(q, d, sem, limit=3)
+        # a generous limit still evaluates
+        assert get_backend("ctable").execute(q, d, sem, limit=10**6) == frozenset()

@@ -30,6 +30,154 @@ class TestJsonFormat:
         with pytest.raises(ValueError):
             instance_from_json('{"R": [[[1]]]}')
 
+    def test_non_list_rows_rejected_naming_relation(self):
+        with pytest.raises(ValueError, match="'R'"):
+            instance_from_json('{"R": 7}')
+
+    def test_non_list_row_rejected_naming_relation_and_row(self):
+        # the regression case: a bare row instead of a list of rows
+        with pytest.raises(ValueError, match=r"'R'.*\b1\b") as exc:
+            instance_from_json('{"R": [1, 2]}')
+        assert "not a list" in str(exc.value)
+
+    def test_object_cell_rejected(self):
+        with pytest.raises(ValueError, match="'S'"):
+            instance_from_json('{"S": [[{"a": 1}]]}')
+
+    def test_bad_rows_reported_through_cli(self, tmp_path, capsys):
+        db = tmp_path / "db.json"
+        db.write_text('{"R": [1, 2]}')
+        code = main(["evaluate", "exists x, y . R(x, y)", str(db)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "'R'" in err
+
+
+class TestRoundTrips:
+    """instance_from_json → instance_to_json → parse again is the identity."""
+
+    def round_trip(self, instance: Instance) -> Instance:
+        return instance_from_json(instance_to_json(instance))
+
+    def test_null_shared_across_relations(self):
+        x = Null("x")
+        d = Instance({"R": [(1, x)], "S": [(x, 2)], "T": [(x, x)]})
+        back = self.round_trip(d)
+        assert back == d
+        assert len(back.nulls()) == 1
+
+    def test_many_nulls_many_relations(self):
+        x, y, z = Null("x"), Null("y"), Null("z")
+        d = Instance(
+            {
+                "R": [(x, y), (y, z), (1, 2)],
+                "S": [(z, x), ("alice", y)],
+                "U": [(x,), (z,), (3,)],
+            }
+        )
+        assert self.round_trip(d) == d
+
+    def test_mixed_constant_types_survive(self):
+        d = Instance({"R": [(1, "1"), ("bob", 2)]})
+        back = self.round_trip(d)
+        assert back == d
+        assert {1, "1", "bob", 2} == set(back.constants())
+
+    def test_textual_round_trip_from_json_side(self):
+        text = '{"R": [[1, "?x"]], "S": [["?x", 4], ["?y", "?y"]]}'
+        first = instance_from_json(text)
+        again = instance_from_json(instance_to_json(first))
+        assert again == first
+
+    def test_question_mark_constant_round_trips(self):
+        # regression: "?x" the *constant* must not come back as a null
+        d = Instance({"R": [("?x", "??y", 1)]})
+        back = self.round_trip(d)
+        assert back == d
+        assert back.is_complete()
+
+    def test_escaped_marker_decodes_to_constant(self):
+        d = instance_from_json('{"R": [["??x", "?x"]]}')
+        assert d.tuples("R") == frozenset({("?x", Null("x"))})
+
+    def test_non_scalar_constant_rejected_on_encode(self):
+        d = Instance({"R": [((1, 2),)]})  # a tuple-valued cell
+        with pytest.raises(ValueError, match="'R'"):
+            instance_to_json(d)
+
+    def test_question_mark_null_label_rejected_on_encode(self):
+        d = Instance({"R": [(Null("?weird"),)]})
+        with pytest.raises(ValueError, match="'R'"):
+            instance_to_json(d)
+
+
+class TestExplainCommand:
+    def test_explain_owa_routes_enumeration(self, capsys):
+        assert main(["explain", "forall x . exists y . D(x,y)", "--semantics", "owa"]) == 0
+        out = capsys.readouterr().out
+        assert "enumeration" in out and "not sound" in out
+
+    def test_explain_cwa_routes_naive(self, capsys):
+        assert main(["explain", "forall x . exists y . D(x,y)", "--semantics", "cwa"]) == 0
+        out = capsys.readouterr().out
+        assert "backend     : naive" in out and "SOUND" in out
+
+    def test_explain_with_instance_reports_cost(self, tmp_path, capsys):
+        db = tmp_path / "db.json"
+        db.write_text(json.dumps({"D": [["?a", "?b"], ["?b", "?a"]]}))
+        assert main(["explain", "exists x . D(x, x)", str(db), "--semantics", "cwa"]) == 0
+        out = capsys.readouterr().out
+        assert "2 facts, 2 nulls" in out
+
+    def test_explain_json_output(self, tmp_path, capsys):
+        db = tmp_path / "db.json"
+        db.write_text(json.dumps({"D": [["?a", "?b"]]}))
+        code = main(
+            ["explain", "forall x . exists y . D(x,y)", str(db), "--semantics", "owa", "--json"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["backend"] == "enumeration"
+        assert data["semantics"] == "owa"
+        assert data["verdict"]["sound"] is False
+        assert data["cost"]["fact_count"] == 1
+        assert data["cost"]["null_count"] == 2
+
+    def test_explain_json_naive_case(self, capsys):
+        code = main(["explain", "exists z (R(x,z) & S(z,y))", "--semantics", "owa", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["backend"] == "naive"
+        assert data["verdict"]["sound"] is True and data["exact"] is True
+
+    def test_explain_forced_mode(self, capsys):
+        code = main(
+            ["explain", "exists x . D(x, x)", "--semantics", "cwa", "--mode", "ctable"]
+        )
+        assert code == 0
+        assert "ctable" in capsys.readouterr().out
+
+    def test_explain_ctable_refused_under_owa(self, capsys):
+        code = main(
+            ["explain", "exists x . D(x, x)", "--semantics", "owa", "--mode", "ctable"]
+        )
+        assert code == 2
+        assert "ctable" in capsys.readouterr().err
+
+    def test_expansion_limit_reported_cleanly(self, tmp_path, capsys):
+        # many nulls → world enumeration exceeds the limit; the CLI must
+        # report it as error:+exit 2, not a raw traceback
+        db = tmp_path / "big.json"
+        rows = [[f"?n{i}", f"?n{i+1}"] for i in range(8)]
+        db.write_text(json.dumps({"D": rows}))
+        code = main(
+            ["evaluate", "exists x . D(x, x)", str(db), "--semantics", "cwa",
+             "--mode", "ctable"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "limit" in err
+
 
 class TestCommands:
     def test_analyze_all_semantics(self, capsys):
@@ -79,3 +227,13 @@ class TestCommands:
         )
         assert code == 0
         assert "enumeration" in capsys.readouterr().out
+
+    def test_ctable_mode(self, tmp_path, capsys):
+        db = tmp_path / "db.json"
+        db.write_text(json.dumps({"D": [["?a", "?b"], ["?b", "?a"]]}))
+        code = main(
+            ["evaluate", "exists x, y . D(x,y) & D(y,x)", str(db), "--mode", "ctable"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "certain answer: True" in out and "ctable" in out

@@ -35,12 +35,53 @@ class TestDefaultPool:
         d = Instance({"R": [(X, Y)]})
         assert len(default_pool(d, n_fresh=0)) == 0
 
+    def test_extra_constants_widen_the_pool(self):
+        d = Instance({"R": [(1, X)]})
+        pool = default_pool(d, extra_constants={41, 42})
+        assert 41 in pool and 42 in pool
+
+    # ------------------------------------------------------------------
+    # regression: pool order must be deterministic and type-stable
+    # (sorting by repr interleaved int and str constants — repr("0") is
+    # "'0'" which sorts before repr(1) == "1" — so enumeration order and
+    # limit truncation depended on the cell types)
+    # ------------------------------------------------------------------
+
+    def test_pool_order_is_type_stable(self):
+        d = Instance({"R": [(2, "0"), ("10", 1)]})
+        pool = default_pool(d, n_fresh=0)
+        # all ints come before all strs: grouped by type, never interleaved
+        assert pool == [1, 2, "0", "10"]
+
+    def test_pool_order_independent_of_construction_order(self):
+        rows = [(2, "0"), ("10", 1), (X, "b"), ("a", Y)]
+        d1 = Instance({"R": rows})
+        d2 = Instance({"R": list(reversed(rows))})
+        assert d1 == d2
+        assert default_pool(d1) == default_pool(d2)
+
+    def test_pool_is_repeatable(self):
+        d = Instance({"R": [(1, "one"), (2, X), ("two", Y)]})
+        q = Query.boolean(parse("exists v . R(v, 3)"))
+        assert default_pool(d, q) == default_pool(d, q)
+
+    def test_mixed_type_enumeration_answers_unchanged(self):
+        # sanity: the reordering does not change what is certain
+        d = Instance({"R": [(1, X), ("a", X)]})
+        q = Query.boolean(parse("exists v . R(1, v) & R('a', v)"))
+        assert certain_holds(q, d, get_semantics("cwa"))
+
 
 class TestQuerySchema:
     def test_collects_arities(self):
         q = Query.boolean(parse("exists v . R(v, v) & S(v)"))
         s = query_schema(q)
         assert s.arity("R") == 2 and s.arity("S") == 1
+
+    def test_memoised_per_query_value(self):
+        q = Query.boolean(parse("exists v . R(v, v) & S(v)"))
+        same = Query.boolean(parse("exists v . R(v, v) & S(v)"))
+        assert query_schema(q) is query_schema(same)
 
     def test_conflicting_arity_raises(self):
         q = Query.boolean(parse("exists v . R(v) & R(v, v)"))
