@@ -63,7 +63,7 @@ def test_naive_vs_enumeration_same_answer_cwa(benchmark):
 
     fast_method, slow_method = benchmark(run)
     benchmark.extra_info["routes"] = f"{fast_method} vs {slow_method}"
-    assert fast_method == "naive" and slow_method == "enumeration"
+    assert fast_method == "compiled" and slow_method == "enumeration"
 
 
 @pytest.mark.parametrize("key", ["cwa", "mincwa", "pcwa"])
@@ -79,4 +79,4 @@ def test_engine_naive_route_cost(benchmark):
     """End-to-end engine cost when the analyzer approves naive evaluation."""
     instance = make_instance(16, n_nulls=3)
     result = benchmark(evaluate, JOIN, instance, "owa")
-    assert result.method == "naive"
+    assert result.method == "compiled"

@@ -13,11 +13,19 @@ Run with::
 
     python benchmarks/harness.py            # full run (~1 minute)
     python benchmarks/harness.py --quick    # fewer trials
+    python benchmarks/harness.py --json BENCH.json   # also dump numbers
+
+``--json`` writes the measured numbers (figure-1 row timings, the
+naive-vs-oracle table, and the compiled-vs-interpreted engine
+comparison) to a machine-readable file so CI can track the performance
+trajectory PR over PR.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import platform
 import random
 import sys
 import time
@@ -72,10 +80,11 @@ def certain_kwargs(key):
 # Figure 1
 # ----------------------------------------------------------------------
 
-def figure_1(n_queries: int, n_instances: int) -> None:
+def figure_1(n_queries: int, n_instances: int) -> list[dict]:
     heading("Figure 1 — naive evaluation per semantics (paper's summary table)")
     print(f"{'semantics':<22} {'fragment':<18} {'restriction':<12} {'agreement':>10} {'time':>8}")
     rule()
+    rows: list[dict] = []
     for key in ("owa", "wcwa", "cwa", "pcwa", "mincwa", "minpcwa"):
         fragment, restriction, _ = FIGURE_1[key]
         sem = get_semantics(key)
@@ -99,6 +108,16 @@ def figure_1(n_queries: int, n_instances: int) -> None:
             f"{sem.notation:<22} {fragment:<18} {restriction or '—':<12} "
             f"{agreements:>4}/{trials:<5} {elapsed:>7.1f}s"
         )
+        rows.append(
+            {
+                "semantics": key,
+                "fragment": fragment,
+                "agreements": agreements,
+                "trials": trials,
+                "seconds": round(elapsed, 4),
+            }
+        )
+    return rows
 
 
 def strictness() -> None:
@@ -239,11 +258,12 @@ def orderings() -> None:
 # performance
 # ----------------------------------------------------------------------
 
-def performance() -> None:
+def performance() -> list[dict]:
     heading("PERF — naive evaluation vs certain-answer oracle (wall clock)")
     join = Query(parse("exists z (R(x, z) & R(z, y))"), ("x", "y"))
     print(f"{'n_facts':>8} {'n_nulls':>8} {'naive':>12} {'oracle(CWA)':>14} {'speedup':>9}")
     rule()
+    rows: list[dict] = []
     for n_facts, n_nulls in ((4, 1), (4, 2), (6, 3), (8, 4), (10, 5)):
         rng = random.Random(1000 + n_facts * 10 + n_nulls)
         # resample until the instance really carries n_nulls distinct nulls,
@@ -266,21 +286,174 @@ def performance() -> None:
             f"{n_facts:>8} {len(instance.nulls()):>8} {naive_t * 1e6:>10.0f}µs "
             f"{oracle_t * 1e6:>12.0f}µs {oracle_t / max(naive_t, 1e-9):>8.0f}x"
         )
+        rows.append(
+            {
+                "n_facts": n_facts,
+                "n_nulls": n_nulls,
+                "naive_us": round(naive_t * 1e6, 2),
+                "oracle_cwa_us": round(oracle_t * 1e6, 2),
+            }
+        )
+    return rows
+
+
+def _timed(thunk) -> float:
+    start = time.perf_counter()
+    thunk()
+    return time.perf_counter() - start
+
+
+def _legacy_certain_cwa(query: Query, instance: Instance) -> frozenset:
+    """The seed's oracle loop: materialise each valuation image as an
+    :class:`Instance` and intersect interpreted evaluations — the
+    'before' column of the engine comparison."""
+    from repro.core.certain import default_pool, query_schema
+    from repro.logic.eval import evaluate
+
+    from repro.logic.eval import answers as interp_answers
+
+    sem = get_semantics("cwa")
+    pool = default_pool(instance, query)
+    schema = instance.schema().union(query_schema(query))
+    result = None
+    for complete in sem.expand(instance, list(pool), schema=schema):
+        if result is None:
+            if query.is_boolean:
+                result = (
+                    frozenset([()]) if evaluate(query.formula, complete) else frozenset()
+                )
+            else:
+                result = interp_answers(query.formula, complete, query.answer_vars)
+        elif query.is_boolean:
+            if not evaluate(query.formula, complete):
+                result = frozenset()
+        else:
+            adom = complete.adom()
+            result = frozenset(
+                row
+                for row in result
+                if all(v in adom for v in row)
+                and evaluate(query.formula, complete, dict(zip(query.answer_vars, row)))
+            )
+        if not result:
+            break
+    return result if result is not None else frozenset()
+
+
+def engine_comparison(quick: bool) -> list[dict]:
+    """PR 2's headline numbers: set-at-a-time compilation vs tree walking."""
+    heading("ENGINE — compiled set-at-a-time vs tuple-at-a-time interpreter")
+    join = Query(parse("exists z (R(x, z) & R(z, y))"), ("x", "y"))
+    rows: list[dict] = []
+
+    print("naive evaluation of the join query (best of 3):")
+    print(f"{'n_facts':>8} {'adom':>6} {'interp':>12} {'compiled':>12} {'speedup':>9}")
+    rule()
+    sizes = (8, 16, 32) if quick else (8, 16, 32, 64, 128)
+    for n_facts in sizes:
+        rng = random.Random(99)
+        instance = random_instance(
+            SCHEMA, rng, n_facts=n_facts,
+            constants=tuple(range(max(4, n_facts // 2))), n_nulls=3,
+        )
+        reps = 1 if n_facts > 32 else 3
+        interp_t = min(
+            _timed(lambda: naive_eval(join, instance, engine="interp"))
+            for _ in range(reps)
+        )
+        compiled_t = min(
+            _timed(lambda: naive_eval(join, instance, engine="compiled"))
+            for _ in range(3)
+        )
+        assert naive_eval(join, instance, engine="interp") == naive_eval(
+            join, instance, engine="compiled"
+        )
+        print(
+            f"{n_facts:>8} {len(instance.adom()):>6} {interp_t * 1e3:>10.2f}ms "
+            f"{compiled_t * 1e3:>10.3f}ms {interp_t / max(compiled_t, 1e-9):>8.0f}x"
+        )
+        rows.append(
+            {
+                "workload": "naive_join",
+                "n_facts": n_facts,
+                "interp_ms": round(interp_t * 1e3, 4),
+                "compiled_ms": round(compiled_t * 1e3, 4),
+            }
+        )
+
+    print("\nCWA certain answers (incremental worlds vs per-world instances):")
+    print(f"{'n_facts':>8} {'nulls':>6} {'pool':>6} {'seed':>12} {'incremental':>12} {'speedup':>9}")
+    rule()
+    from repro.core.certain import default_pool
+
+    cases = ((6, 3), (8, 4)) if quick else ((6, 3), (8, 4), (10, 5))
+    for n_facts, n_nulls in cases:
+        rng = random.Random(1000 + n_facts * 10 + n_nulls)
+        while True:
+            instance = random_instance(
+                SCHEMA, rng, n_facts=n_facts, constants=(1, 2, 3, 4),
+                n_nulls=n_nulls, null_probability=0.7,
+            )
+            if len(instance.nulls()) == n_nulls:
+                break
+        pool_size = len(default_pool(instance, join))
+        legacy_t = _timed(lambda: _legacy_certain_cwa(join, instance))
+        new_t = _timed(lambda: certain_answers(join, instance, get_semantics("cwa")))
+        assert _legacy_certain_cwa(join, instance) == certain_answers(
+            join, instance, get_semantics("cwa")
+        )
+        print(
+            f"{n_facts:>8} {n_nulls:>6} {pool_size:>6} {legacy_t * 1e3:>10.1f}ms "
+            f"{new_t * 1e3:>10.1f}ms {legacy_t / max(new_t, 1e-9):>8.0f}x"
+        )
+        rows.append(
+            {
+                "workload": "certain_cwa",
+                "n_facts": n_facts,
+                "n_nulls": n_nulls,
+                "pool_size": pool_size,
+                "legacy_ms": round(legacy_t * 1e3, 4),
+                "incremental_ms": round(new_t * 1e3, 4),
+            }
+        )
+    return rows
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="fewer trials")
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the measured numbers to PATH as JSON (perf tracking)",
+    )
     args = parser.parse_args()
     n_queries = 3 if args.quick else 6
     n_instances = 3 if args.quick else 5
 
     print("Reproduction harness — Gheerbrant, Libkin & Sirangelo, PODS 2013")
-    figure_1(n_queries, n_instances)
+    figure1_rows = figure_1(n_queries, n_instances)
     strictness()
     worked_examples()
     orderings()
-    performance()
+    perf_rows = performance()
+    engine_rows = engine_comparison(args.quick)
+    if args.json:
+        payload = {
+            "meta": {
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+                "quick": args.quick,
+            },
+            "figure1": figure1_rows,
+            "performance": perf_rows,
+            "engine": engine_rows,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"\nNumbers written to {args.json}")
     print("\nAll experiment tables regenerated.")
     return 0
 

@@ -19,7 +19,7 @@ Quickstart (the session API)::
 
 Preparing a query caches the Figure-1 analysis, the parse and the
 constant pool, so repeated evaluation pays only for execution; plans
-route through pluggable backends (``naive``, ``enumeration``,
+route through pluggable backends (``compiled``, ``naive``, ``enumeration``,
 ``ctable``).  The free functions (``evaluate``, ``certain_answers``,
 ``naive_eval``) remain as one-shot legacy wrappers.
 """

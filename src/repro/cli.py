@@ -166,10 +166,26 @@ def _cmd_explain(args) -> int:
     instance = _load_instance(args.instance)
     db = Database(instance, semantics=args.semantics)
     plan = db.explain(query, mode=args.mode)
+    operators: str | None = None
+    if args.operators:
+        from repro.core.backends import get_backend
+        from repro.logic.compile import compiled_query
+
+        if getattr(get_backend(plan.backend), "engine", None) == "compiled":
+            operators = compiled_query(query).describe()
+        else:
+            operators = f"(backend {plan.backend!r} does not run the compiled engine)"
     if args.as_json:
-        print(plan.to_json(indent=2, default=str))
+        data = plan.to_dict()
+        if operators is not None:
+            data["operators"] = operators.splitlines()
+        print(json.dumps(data, indent=2, default=str))
     else:
         print(plan.render())
+        if operators is not None:
+            print("  operators   :")
+            for line in operators.splitlines():
+                print("    " + line)
     return 0
 
 
@@ -211,6 +227,11 @@ def main(argv: list[str] | None = None) -> int:
     p_explain.add_argument("--mode", choices=modes, default="auto")
     p_explain.add_argument(
         "--json", dest="as_json", action="store_true", help="emit the plan as JSON"
+    )
+    p_explain.add_argument(
+        "--operators",
+        action="store_true",
+        help="also show the compiled relational operator tree (joins, scans, …)",
     )
     p_explain.set_defaults(func=_cmd_explain)
 

@@ -5,9 +5,11 @@ from repro.core.certain import certain_answers, certain_holds, default_pool, que
 from repro.core.naive import drop_null_tuples, naive_eval, naive_holds
 from repro.core.backends import (
     Backend,
+    CompiledBackend,
     CTableBackend,
     EnumerationBackend,
     NaiveBackend,
+    NaiveInterpBackend,
     available_backends,
     get_backend,
     register_backend,
@@ -33,6 +35,8 @@ __all__ = [
     "query_schema",
     "Backend",
     "NaiveBackend",
+    "CompiledBackend",
+    "NaiveInterpBackend",
     "EnumerationBackend",
     "CTableBackend",
     "available_backends",

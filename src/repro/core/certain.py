@@ -19,23 +19,68 @@ intersect over fewer instances), so:
 * computed ⊆ naive genuinely establishes ``certain ⊆ naive``.
 
 This is exactly the direction needed to validate Figure 1 empirically.
+
+Execution is **incremental**: the query is compiled once per batch
+(:func:`repro.logic.compile.compiled_query`, memoised on the query
+value) and the same set-at-a-time plan is re-executed across all worlds.
+For substitution-only semantics (CWA) the oracle never materialises an
+:class:`~repro.data.instance.Instance` per world — it substitutes pool
+values into the null positions of pre-split row templates, executes over
+lightweight :class:`~repro.data.indexes.TableContext` layers that share
+the hash indexes of the null-free relations across every world, stops as
+soon as the running intersection is empty, and enumerates only one
+valuation per orbit of the interchangeable fresh-constant tail
+(restricted-growth canonical form).  Orbit skipping is sound because the
+skipped worlds are permutation images of enumerated ones: a genuine
+certain answer contains no fresh constant (some enumerated world's
+active domain avoids it), and fresh-free answers survive a world iff
+they survive its permutation images, by genericity.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Hashable, Iterable, Sequence
+from typing import Hashable, Iterable, Iterator, Sequence
 
+from repro.data.indexes import TableContext
 from repro.data.instance import Instance
 from repro.data.schema import Schema
-from repro.data.values import sort_key
+from repro.data.values import Null, sort_key
 from repro.logic.ast import RelAtom
-from repro.logic.eval import evaluate
+from repro.logic.compile import CompiledQuery, compiled_query
 from repro.logic.queries import Query
 from repro.logic.transform import subformulas
-from repro.semantics.base import Semantics
+from repro.semantics.base import Semantics, guard_limit
 
 __all__ = ["default_pool", "query_schema", "certain_answers", "certain_holds"]
+
+
+def _pool_parts(
+    instance: Instance,
+    query: Query | None = None,
+    n_fresh: int | None = None,
+    extra_constants: Iterable[Hashable] = (),
+) -> tuple[list[Hashable], list[str]]:
+    """``(sorted base constants, fresh tail)`` of the default pool.
+
+    Split out of :func:`default_pool` so the oracle knows which suffix
+    of the pool is the interchangeable fresh-constant tail (the orbit
+    structure its incremental enumerator exploits).
+    """
+    base: set[Hashable] = set(instance.constants())
+    if query is not None:
+        base |= set(query.constants())
+    base.update(extra_constants)
+    if n_fresh is None:
+        n_fresh = len(instance.nulls()) + 1
+    fresh: list[str] = []
+    index = 1
+    while len(fresh) < n_fresh:
+        candidate = f"_f{index}"
+        if candidate not in base:
+            fresh.append(candidate)
+        index += 1
+    return sorted(base, key=sort_key), fresh
 
 
 def default_pool(
@@ -54,20 +99,8 @@ def default_pool(
     is reproducible.  ``extra_constants`` widens the pool (e.g. with
     the constants of a whole query batch) without changing the scheme.
     """
-    base: set[Hashable] = set(instance.constants())
-    if query is not None:
-        base |= set(query.constants())
-    base.update(extra_constants)
-    if n_fresh is None:
-        n_fresh = len(instance.nulls()) + 1
-    fresh: list[str] = []
-    index = 1
-    while len(fresh) < n_fresh:
-        candidate = f"_f{index}"
-        if candidate not in base:
-            fresh.append(candidate)
-        index += 1
-    return sorted(base, key=sort_key) + fresh
+    base, fresh = _pool_parts(instance, query, n_fresh, extra_constants)
+    return base + fresh
 
 
 @lru_cache(maxsize=1024)
@@ -89,6 +122,128 @@ def query_schema(query: Query) -> Schema:
     return Schema(arities)
 
 
+# ----------------------------------------------------------------------
+# incremental world enumeration (substitution-only semantics)
+# ----------------------------------------------------------------------
+
+def _canonical_valuations(
+    n_nulls: int, base_choices: Sequence[Hashable], fresh_tail: Sequence[Hashable]
+) -> Iterator[tuple[Hashable, ...]]:
+    """One valuation per orbit of the fresh-tail permutation group.
+
+    Values are drawn from ``base_choices`` freely; fresh constants enter
+    in restricted-growth order (the i-th *distinct* fresh value used is
+    ``fresh_tail[i]``), the standard transversal of the action of
+    ``Sym(fresh_tail)`` on valuation tuples.  With an empty tail this
+    degenerates to the full product — no skipping.
+    """
+    vals: list[Hashable] = [None] * n_nulls
+
+    def rec(i: int, n_used: int) -> Iterator[tuple[Hashable, ...]]:
+        if i == n_nulls:
+            yield tuple(vals)
+            return
+        for v in base_choices:
+            vals[i] = v
+            yield from rec(i + 1, n_used)
+        for j in range(n_used):
+            vals[i] = fresh_tail[j]
+            yield from rec(i + 1, n_used)
+        if n_used < len(fresh_tail):
+            vals[i] = fresh_tail[n_used]
+            yield from rec(i + 1, n_used + 1)
+
+    return rec(0, 0)
+
+
+def _certain_by_valuations(
+    cq: CompiledQuery,
+    instance: Instance,
+    semantics: Semantics,
+    pool: Sequence[Hashable],
+    fresh_tail: Sequence[Hashable],
+    limit: int,
+) -> frozenset[tuple[Hashable, ...]]:
+    """``⋂ Q(v(D))`` over valuations, without building an Instance per world.
+
+    The relations are split once: null-free relations live in a shared
+    base context (their hash indexes are built at most once for the
+    whole enumeration); null-carrying relations are pre-compiled into
+    row templates and substituted per valuation.  ``fresh_tail`` lists
+    the interchangeable pool values — those mentioned by neither the
+    instance nor the query (empty = enumerate the full product).
+    """
+    nulls = sorted(instance.nulls(), key=sort_key)
+    guard_limit(len(pool) ** len(nulls), limit, f"{semantics.name} expansion")
+    fresh_set = frozenset(fresh_tail)
+    base_choices = [v for v in pool if v not in fresh_set]
+    if nulls and not base_choices and len(fresh_set) == 1:
+        # a single interchangeable value that every valuation must use is
+        # not a skippable tail: no world's active domain avoids it, so
+        # rows mentioning it can be genuinely certain — enumerate plainly
+        fresh_tail, fresh_set = (), frozenset()
+        base_choices = list(pool)
+    null_index = {n: i for i, n in enumerate(nulls)}
+
+    static: dict[str, frozenset[tuple]] = {}
+    # per relation: rows as ((is_null, payload), ...) — payload is the
+    # null's valuation slot when is_null, the constant cell otherwise
+    templates: dict[str, list[tuple[tuple[bool, object], ...]]] = {}
+    base_constants: set[Hashable] = set()
+    for name in instance.relations:
+        rows = instance.tuples(name)
+        if any(isinstance(v, Null) for row in rows for v in row):
+            templates[name] = [
+                tuple(
+                    (True, null_index[v]) if isinstance(v, Null) else (False, v)
+                    for v in row
+                )
+                for row in rows
+            ]
+            base_constants.update(
+                v for row in rows for v in row if not isinstance(v, Null)
+            )
+        else:
+            static[name] = rows
+            for row in rows:
+                base_constants.update(row)
+    base_ctx = TableContext(static) if static else None
+    base_adom = frozenset(base_constants)
+
+    dyn_names = sorted(templates)
+    seen: set[tuple] = set()
+    result: frozenset[tuple[Hashable, ...]] | None = None
+    for vals in _canonical_valuations(len(nulls), base_choices, tuple(fresh_tail)):
+        rels = {
+            name: frozenset(
+                tuple(vals[payload] if is_null else payload for is_null, payload in spec)
+                for spec in specs
+            )
+            for name, specs in templates.items()
+        }
+        key = tuple(rels[name] for name in dyn_names)
+        if key in seen:
+            continue
+        seen.add(key)
+        # every null occurs in some row, so the world's active domain is
+        # exactly the static/constant part plus the valuation's image
+        ctx = TableContext(rels, adom=base_adom | frozenset(vals), base=base_ctx)
+        rows = cq.answers(ctx)
+        result = rows if result is None else result & rows
+        if not result:
+            break
+    if result is None:
+        raise RuntimeError(
+            f"[[D]] came out empty over the pool — {semantics!r} violated totality"
+        )
+    if result and fresh_set:
+        # a certain answer never mentions a fresh constant (some world's
+        # active domain avoids it); dropping such rows here replays what
+        # the skipped permutation-image worlds would have done
+        result = frozenset(row for row in result if fresh_set.isdisjoint(row))
+    return result
+
+
 def certain_answers(
     query: Query,
     instance: Instance,
@@ -100,31 +255,35 @@ def certain_answers(
     """``⋂ { Q(E) : E ∈ [[instance]] }`` over the (defaulted) pool.
 
     Boolean queries yield ``{()}`` for certainly-true and ``frozenset()``
-    otherwise, matching :meth:`Query.eval_raw`.
+    otherwise, matching :meth:`Query.eval_raw`.  The query is compiled
+    once (memoised across calls) and the same set-at-a-time plan runs on
+    every world; enumeration stops as soon as the running intersection
+    is empty.
     """
     if pool is None:
-        pool = default_pool(instance, query)
+        base, fresh = _pool_parts(instance, query)
+        pool = base + fresh
+    cq = compiled_query(query)
+    if semantics.substitution_only:
+        # the interchangeable tail of *any* pool: values mentioned by
+        # neither the instance nor the query are anonymous to both, so
+        # permuting them fixes D and Q while permuting worlds — exactly
+        # the genericity the orbit transversal needs.  (For the default
+        # pool this recovers the |Null(D)|+1 fresh constants; for a
+        # session's batch pool it also covers the other queries'
+        # constants, which are fresh with respect to *this* query.)
+        known = instance.constants() | set(query.constants())
+        fresh_tail = tuple(v for v in pool if v not in known)
+        return _certain_by_valuations(
+            cq, instance, semantics, list(pool), fresh_tail, limit
+        )
     schema = instance.schema().union(query_schema(query))
     result: frozenset[tuple[Hashable, ...]] | None = None
     for complete in semantics.expand(
         instance, list(pool), schema=schema, extra_facts=extra_facts, limit=limit
     ):
-        if result is None:
-            # First member: compute the full answer set once.
-            result = query.eval_raw(complete)
-        elif query.is_boolean:
-            if not evaluate(query.formula, complete):
-                result = frozenset()
-        else:
-            # Only surviving candidates can stay in the intersection, so
-            # re-check them pointwise instead of re-enumerating Q(E).
-            adom = complete.adom()
-            result = frozenset(
-                row
-                for row in result
-                if all(v in adom for v in row)
-                and evaluate(query.formula, complete, dict(zip(query.answer_vars, row)))
-            )
+        rows = cq.answers(complete)
+        result = rows if result is None else result & rows
         if not result:
             break
     if result is None:

@@ -36,7 +36,7 @@ class EvalResult:
 
     #: the computed answers (null-free tuples; ``{()}`` = Boolean true)
     answers: frozenset[tuple[Hashable, ...]]
-    #: the backend that computed them: "naive", "enumeration", "ctable", …
+    #: the backend that computed them: "compiled", "enumeration", "ctable", …
     method: str
     #: True when the result provably equals the certain answers
     exact: bool
@@ -115,11 +115,12 @@ def evaluate(
 
     ``mode``:
 
-    * ``"auto"`` — naive evaluation when the analyzer proves it sound
-      (checking the core condition for the minimal semantics),
+    * ``"auto"`` — compiled naive evaluation when the analyzer proves
+      it sound (checking the core condition for the minimal semantics),
       otherwise bounded enumeration;
-    * any registered backend name (``"naive"``, ``"enumeration"``,
-      ``"ctable"``, …) — force that backend.
+    * any registered backend name (``"compiled"``, ``"naive"``,
+      ``"naive-interp"``, ``"enumeration"``, ``"ctable"``, …) — force
+      that backend.
 
     Exactness accounting: naive evaluation under a positive verdict is
     exact; enumeration is exact for all CWA-flavoured semantics and an

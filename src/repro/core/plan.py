@@ -191,7 +191,8 @@ def make_plan(
     if mode == "auto":
         core_needed = verdict.sound and verdict.over_cores_only
         if naive_is_certain(verdict, ensure_core() if core_needed else True):
-            name = "naive"
+            # naive evaluation is provably exact — run it set-at-a-time
+            name = "compiled"
         else:
             name = "enumeration"
             if core_needed:
@@ -217,7 +218,7 @@ def make_plan(
                 f"the core check (not run)"
             )
         else:
-            auto_name = "naive" if naive_is_certain(verdict, core_flag) else "enumeration"
+            auto_name = "compiled" if naive_is_certain(verdict, core_flag) else "enumeration"
             if auto_name != name:
                 notes.append(f"forced backend {name!r}; auto would choose {auto_name!r}")
     if name == "enumeration" and not sem.enumeration_exact(extra_facts):

@@ -38,7 +38,7 @@ class Instance:
     False
     """
 
-    __slots__ = ("_relations", "_hash")
+    __slots__ = ("_relations", "_hash", "_adom", "_sorted_adom", "_ctx")
 
     def __init__(self, relations: Mapping[str, Iterable[tuple]] | None = None):
         rels: dict[str, frozenset[tuple]] = {}
@@ -55,6 +55,12 @@ class Instance:
                 rels[name] = frozen
         self._relations = rels
         self._hash: int | None = None
+        # Lazily computed derived views.  Instances are immutable value
+        # objects, so caching them on the instance is always sound: a
+        # "mutation" builds a new Instance with fresh (empty) caches.
+        self._adom: frozenset[Hashable] | None = None
+        self._sorted_adom: tuple[Hashable, ...] | None = None
+        self._ctx = None  # execution context (repro.data.indexes)
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -112,12 +118,25 @@ class Instance:
     # ------------------------------------------------------------------
 
     def adom(self) -> frozenset[Hashable]:
-        """Active domain: all values occurring in some tuple."""
-        values: set[Hashable] = set()
-        for tuples in self._relations.values():
-            for row in tuples:
-                values.update(row)
-        return frozenset(values)
+        """Active domain: all values occurring in some tuple (cached)."""
+        if self._adom is None:
+            values: set[Hashable] = set()
+            for tuples in self._relations.values():
+                for row in tuples:
+                    values.update(row)
+            self._adom = frozenset(values)
+        return self._adom
+
+    def sorted_adom(self) -> tuple[Hashable, ...]:
+        """The active domain in :func:`~repro.data.values.sort_key` order.
+
+        Cached: the evaluator quantifies over this sequence on every
+        (sub)formula, so sorting once per instance instead of once per
+        call is a measurable win for quantifier-heavy workloads.
+        """
+        if self._sorted_adom is None:
+            self._sorted_adom = tuple(sorted(self.adom(), key=sort_key))
+        return self._sorted_adom
 
     def nulls(self) -> frozenset[Null]:
         """The nulls occurring in the instance (``Null(D)``)."""

@@ -5,25 +5,74 @@ i.e., *naive evaluation* in the paper's sense, for datalog.  Because
 datalog programs are monotone and generic, naive evaluation computes
 certain answers under both OWA and CWA (the observation of Section 12,
 validated in the tests against the brute-force oracle).
+
+Rule bodies are matched **set-at-a-time**: each body (with the delta
+atom of semi-naive evaluation renamed to a shadow relation) is compiled
+once into the hash-join plan of :mod:`repro.logic.compile` and executed
+against a per-round :class:`~repro.data.indexes.TableContext`, so every
+rule of the round shares the hash indexes it probes.  The
+tuple-at-a-time matcher (:func:`_match_atom` / :func:`_apply_rule_interp`)
+is retained as the differential baseline; it, too, probes the
+per-relation hash index on the positions its binding determines instead
+of scanning every tuple.  Atoms whose declared arity disagrees with the
+stored relation match nothing in either engine.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Hashable, Iterator
 
+from repro.data.indexes import TableContext
 from repro.data.instance import Instance
 from repro.data.values import Null
 from repro.datalog.program import Atom, Program, Rule
-from repro.logic.ast import Var
+from repro.logic.ast import And, Exists, RelAtom, Var
+from repro.logic.compile import CompiledQuery, compile_formula
 
 __all__ = ["evaluate_program", "datalog_naive_answers", "datalog_certain_answers"]
 
+#: shadow-relation prefix for the semi-naive delta copy of a relation
+#: (relation names are arbitrary, so pick one no sane schema uses)
+_DELTA = "Δ∂·"
+
 
 def _match_atom(
-    atom: Atom, facts: frozenset[tuple], binding: dict[Var, Hashable]
+    atom: Atom,
+    facts: frozenset[tuple],
+    binding: dict[Var, Hashable],
+    ctx: TableContext | None = None,
+    name: str | None = None,
 ) -> Iterator[dict[Var, Hashable]]:
-    """Extensions of ``binding`` matching ``atom`` against ``facts``."""
+    """Extensions of ``binding`` matching ``atom`` against ``facts``.
+
+    When a context is supplied, the candidate rows are narrowed by
+    probing its hash index on the positions the binding already
+    determines (constants and bound variables) instead of scanning the
+    whole relation.
+    """
+    if ctx is not None:
+        stored = ctx.rows(name or atom.name)
+        # probe only when the stored arity matches the atom's — an index
+        # keyed on positions a shorter row lacks cannot even be built
+        if stored and len(next(iter(stored))) == len(atom.terms):
+            bound_positions: list[int] = []
+            bound_key: list[Hashable] = []
+            for i, term in enumerate(atom.terms):
+                if isinstance(term, Var):
+                    if term in binding:
+                        bound_positions.append(i)
+                        bound_key.append(binding[term])
+                else:
+                    bound_positions.append(i)
+                    bound_key.append(term)
+            if bound_positions:
+                facts = ctx.index(name or atom.name, tuple(bound_positions)).get(
+                    tuple(bound_key), ()
+                )
     for row in facts:
+        if len(row) != len(atom.terms):
+            continue
         extension: dict[Var, Hashable] = {}
         ok = True
         for term, value in zip(atom.terms, row):
@@ -41,31 +90,84 @@ def _match_atom(
             yield {**binding, **extension}
 
 
-def _apply_rule(
+@lru_cache(maxsize=4096)
+def _rule_plan(
+    rule: Rule, delta_position: int
+) -> tuple[CompiledQuery, tuple[tuple[bool, object], ...]]:
+    """``(plan, head spec)`` for one rule body as a compiled join.
+
+    ``delta_position`` names the body atom redirected to the shadow
+    delta relation (``-1`` = none; plain naive evaluation).  The head
+    spec rebuilds the head row from an answer tuple: ``(True, i)`` takes
+    answer column ``i``, ``(False, c)`` the constant ``c``.
+    """
+    atoms = []
+    for i, atom in enumerate(rule.body):
+        name = _DELTA + atom.name if i == delta_position else atom.name
+        atoms.append(RelAtom(name, atom.terms))
+    head_vars: list[Var] = []
+    for term in rule.head.terms:
+        if isinstance(term, Var) and term not in head_vars:
+            head_vars.append(term)
+    body = atoms[0] if len(atoms) == 1 else And(tuple(atoms))
+    bound = frozenset(v for atom in rule.body for v in atom.variables())
+    inner = tuple(sorted(bound - set(head_vars), key=lambda v: v.name))
+    if inner:
+        body = Exists(inner, body)
+    plan = compile_formula(body, tuple(head_vars))
+    head_spec = tuple(
+        (True, head_vars.index(term)) if isinstance(term, Var) else (False, term)
+        for term in rule.head.terms
+    )
+    return plan, head_spec
+
+
+def _round_context(
+    total: Instance,
+    delta: Instance | None,
+    base: TableContext | None = None,
+    base_names: frozenset[str] = frozenset(),
+) -> TableContext:
+    """One execution context per fixpoint round, shared by every rule.
+
+    Holds the full ``total`` relations plus shadow ``Δ`` copies of the
+    delta, so all (rule, delta-position) plans of the round probe the
+    same lazily built hash indexes.  ``base`` layers a persistent
+    context underneath: relations in ``base_names`` (EDB relations no
+    rule ever derives into, identical in every round) are served — rows
+    and hash indexes — by the base, so their indexes are built once per
+    fixpoint instead of once per round.
+    """
+    rels: dict[str, frozenset[tuple]] = {
+        name: total.tuples(name)
+        for name in total.relations
+        if name not in base_names
+    }
+    if delta is not None:
+        for name in delta.relations:
+            rels[_DELTA + name] = delta.tuples(name)
+    return TableContext(rels, adom=total.adom(), base=base)
+
+
+def _apply_rule_interp(
     rule: Rule,
     total: Instance,
     delta: Instance | None,
+    ctx: TableContext | None = None,
 ) -> set[tuple[str, tuple]]:
-    """Join the rule body against ``total``.
-
-    Semi-naive mode: when ``delta`` is given, at least one body atom
-    must match a delta fact (classic differential evaluation); joins
-    still read the full ``total`` for the remaining atoms.
-    """
+    """Tuple-at-a-time fallback matcher (index-probing, but row-by-row)."""
     derived: set[tuple[str, tuple]] = set()
     positions = range(len(rule.body)) if delta is not None else [None]
     for delta_position in positions:
         bindings: list[dict[Var, Hashable]] = [{}]
         dead = False
         for index, atom in enumerate(rule.body):
-            source = (
-                delta.tuples(atom.name)
-                if delta is not None and index == delta_position
-                else total.tuples(atom.name)
-            )
+            is_delta = delta is not None and index == delta_position
+            source = delta.tuples(atom.name) if is_delta else total.tuples(atom.name)
+            name = (_DELTA + atom.name) if is_delta else atom.name
             next_bindings: list[dict[Var, Hashable]] = []
             for binding in bindings:
-                next_bindings.extend(_match_atom(atom, source, binding))
+                next_bindings.extend(_match_atom(atom, source, binding, ctx, name))
             bindings = next_bindings
             if not bindings:
                 dead = True
@@ -77,6 +179,40 @@ def _apply_rule(
                 binding[t] if isinstance(t, Var) else t for t in rule.head.terms
             )
             derived.add((rule.head.name, row))
+    return derived
+
+
+def _apply_rule(
+    rule: Rule,
+    total: Instance,
+    delta: Instance | None,
+    ctx: TableContext | None = None,
+) -> set[tuple[str, tuple]]:
+    """Join the rule body against ``total`` via the compiled join plan.
+
+    Semi-naive mode: when ``delta`` is given, at least one body atom
+    must match a delta fact (classic differential evaluation); joins
+    still read the full ``total`` for the remaining atoms.  ``ctx`` lets
+    the fixpoint driver share one per-round context (and its hash
+    indexes) across all rules; omitted, a private one is built.
+    """
+    if ctx is None:
+        ctx = _round_context(total, delta)
+    derived: set[tuple[str, tuple]] = set()
+    positions = range(len(rule.body)) if delta is not None else [-1]
+    head_name = rule.head.name
+    for delta_position in positions:
+        plan, head_spec = _rule_plan(rule, delta_position)
+        for answer in plan.answers(ctx):
+            derived.add(
+                (
+                    head_name,
+                    tuple(
+                        answer[payload] if is_var else payload
+                        for is_var, payload in head_spec
+                    ),
+                )
+            )
     return derived
 
 
@@ -92,10 +228,22 @@ def evaluate_program(program: Program, edb: Instance, semi_naive: bool = True) -
     """
     total = edb
     delta = edb
+    # relations no rule head derives into never change across rounds:
+    # pin them (and their lazily built hash indexes) in a base context
+    # layered under every round's context
+    static_names = frozenset(edb.relations) - program.idb
+    static_ctx = (
+        TableContext({name: edb.tuples(name) for name in static_names})
+        if static_names
+        else None
+    )
     while True:
+        ctx = _round_context(
+            total, delta if semi_naive else None, static_ctx, static_names
+        )
         new_facts: set[tuple[str, tuple]] = set()
         for rule in program.rules:
-            derived = _apply_rule(rule, total, delta if semi_naive else None)
+            derived = _apply_rule(rule, total, delta if semi_naive else None, ctx)
             for name, row in derived:
                 if row not in total.tuples(name):
                     new_facts.add((name, row))

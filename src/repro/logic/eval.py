@@ -12,7 +12,6 @@ from __future__ import annotations
 from typing import Hashable, Iterator, Mapping
 
 from repro.data.instance import Instance
-from repro.data.values import sort_key
 from repro.logic.ast import (
     And,
     EqAtom,
@@ -52,7 +51,6 @@ def evaluate(formula: Formula, instance: Instance, binding: Binding | None = Non
     incomplete instances this computes the naive truth value.
     """
     binding = dict(binding or {})
-    domain = sorted(instance.adom(), key=sort_key)
 
     def rec(phi: Formula, env: dict[Var, Hashable]) -> bool:
         match phi:
@@ -80,6 +78,10 @@ def evaluate(formula: Formula, instance: Instance, binding: Binding | None = Non
         raise TypeError(f"not a formula: {phi!r}")
 
     def _quantify(vs: tuple[Var, ...], sub: Formula, env: dict[Var, Hashable], any_mode: bool) -> bool:
+        # cached on the instance, and only touched when a quantifier is
+        # actually reached — quantifier-free formulas never sort the domain
+        domain = instance.sorted_adom()
+
         def assign(index: int) -> bool:
             if index == len(vs):
                 return rec(sub, env)
@@ -132,7 +134,7 @@ def iter_answers(
     if missing:
         names = ", ".join(sorted(v.name for v in missing))
         raise ValueError(f"answer variables do not cover free variables: {names}")
-    domain = sorted(instance.adom(), key=sort_key)
+    domain = instance.sorted_adom()
 
     def assign(index: int, env: dict[Var, Hashable]) -> Iterator[tuple[Hashable, ...]]:
         if index == len(answer_vars):

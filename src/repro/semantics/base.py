@@ -84,6 +84,13 @@ class Semantics(ABC):
     #: ``None`` = enumerate all extensions (exact), an int = truncate.
     #: Only meaningful for semantics that add facts (OWA, WCWA).
     default_extra_facts: int | None = None
+    #: True when ``expand`` enumerates exactly the valuation images
+    #: ``{v(D) | v : Null(D) → pool}`` — nothing added, nothing filtered.
+    #: The certain-answer oracle uses this to switch to its incremental
+    #: world enumerator (substitute null positions in place, share
+    #: indexes of null-free relations, skip fresh-constant orbits)
+    #: instead of materialising an :class:`Instance` per world.
+    substitution_only: bool = False
 
     def enumeration_exact(self, extra_facts: int | None) -> bool:
         """Does :meth:`expand` with this bound cover all of ``[[D]]`` over the pool?

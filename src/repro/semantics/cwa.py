@@ -27,6 +27,7 @@ class CWA(Semantics):
     saturated = True
     hom_class = "strong onto homomorphisms"
     sound_fragment = "PosForallG"
+    substitution_only = True  # [[D]]_CWA is exactly the valuation images
 
     def expand(
         self,

@@ -11,7 +11,7 @@ analyze-then-route insight into a *prepared-query* workflow:
 >>> sorted(q.evaluate().answers)
 [(1, 4)]
 >>> db.explain(q).backend
-'naive'
+'compiled'
 
 Preparing a query pays for the Figure-1 analyzer, the parse, the query
 schema and the constant pool exactly once; subsequent evaluations reuse
