@@ -1,0 +1,117 @@
+"""CI regression gate: fail when any benchmark workload regresses >N×.
+
+Compares a freshly measured harness JSON against the checked-in baseline
+(``BENCH_pr3.json``) and exits non-zero when any timing metric of a
+matching workload row exceeds ``tolerance`` times its baseline value.
+
+Rows are matched by their *identity fields* (everything that is not a
+timing metric); timing metrics are the keys ending in ``_ms``/``_us``/
+``seconds``.  Rows present on only one side are reported but do not
+fail the gate — workloads are allowed to be added or retired.
+
+Usage::
+
+    python benchmarks/harness.py --json BENCH_fresh.json
+    python benchmarks/check_regression.py BENCH_pr3.json BENCH_fresh.json
+    python benchmarks/check_regression.py baseline.json fresh.json --tolerance 2.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: sections whose rows carry timing metrics worth gating
+GATED_SECTIONS = ("performance", "engine", "oracle_parallel", "homs")
+
+#: a timing metric is any numeric field with one of these suffixes
+TIMING_SUFFIXES = ("_ms", "_us", "seconds")
+
+#: metrics below this are noise-dominated on shared CI runners; skip them
+MIN_GATED_MS = 0.5
+
+
+def _is_timing(key: str) -> bool:
+    return any(key.endswith(suffix) for suffix in TIMING_SUFFIXES)
+
+
+def _identity(row: dict) -> tuple:
+    return tuple(
+        sorted((k, repr(v)) for k, v in row.items() if not _is_timing(k))
+    )
+
+
+def _to_ms(key: str, value: float) -> float:
+    if key.endswith("_us"):
+        return value / 1000.0
+    if key.endswith("seconds"):
+        return value * 1000.0
+    return value
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Human-readable regression reports; empty = gate passes."""
+    failures: list[str] = []
+    base_quick = baseline.get("meta", {}).get("quick")
+    fresh_quick = fresh.get("meta", {}).get("quick")
+    if base_quick != fresh_quick:
+        # quick and full runs measure different instance sizes under the
+        # same row identity — comparing them would gate on noise
+        print(
+            f"note: baseline quick={base_quick} vs fresh quick={fresh_quick}; "
+            "runs are not comparable, skipping the gate"
+        )
+        return failures
+    for section in GATED_SECTIONS:
+        base_rows = {_identity(r): r for r in baseline.get(section, [])}
+        fresh_rows = {_identity(r): r for r in fresh.get(section, [])}
+        for ident, fresh_row in fresh_rows.items():
+            base_row = base_rows.get(ident)
+            if base_row is None:
+                print(f"note: [{section}] new workload row (no baseline): {dict(ident)}")
+                continue
+            for key, fresh_value in fresh_row.items():
+                if not _is_timing(key) or not isinstance(fresh_value, (int, float)):
+                    continue
+                base_value = base_row.get(key)
+                if not isinstance(base_value, (int, float)) or base_value <= 0:
+                    continue
+                if _to_ms(key, base_value) < MIN_GATED_MS:
+                    continue  # sub-half-millisecond rows are timer noise
+                ratio = fresh_value / base_value
+                if ratio > tolerance:
+                    failures.append(
+                        f"[{section}] {dict(ident)} {key}: "
+                        f"{base_value:.3f} → {fresh_value:.3f} ({ratio:.2f}× > {tolerance}×)"
+                    )
+        for ident in base_rows.keys() - fresh_rows.keys():
+            print(f"note: [{section}] baseline row not measured this run: {dict(ident)}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="checked-in baseline JSON (e.g. BENCH_pr3.json)")
+    parser.add_argument("fresh", help="freshly measured JSON")
+    parser.add_argument(
+        "--tolerance", type=float, default=2.0,
+        help="fail when fresh > tolerance × baseline (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(args.fresh, encoding="utf-8") as handle:
+        fresh = json.load(handle)
+    failures = compare(baseline, fresh, args.tolerance)
+    if failures:
+        print(f"\nREGRESSION GATE FAILED ({len(failures)} metric(s) over {args.tolerance}×):")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print(f"regression gate passed (tolerance {args.tolerance}×)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -419,6 +419,234 @@ def engine_comparison(quick: bool) -> list[dict]:
     return rows
 
 
+# ----------------------------------------------------------------------
+# PR 3: parallel/pruned oracle and the CSP homomorphism engine
+# ----------------------------------------------------------------------
+
+def _pr2_certain_cwa(query: Query, instance: Instance) -> frozenset:
+    """PR 2's oracle loop, replicated as the 'before' column: orbit-canonical
+    valuations over *all* nulls, shared static indexes, running-intersection
+    early exit — but no plan-relevance restriction, no seed worlds, no
+    residual probing, no sharding."""
+    from repro.core.certain import _canonical_valuations, _pool_parts, query_schema
+    from repro.data.indexes import TableContext
+    from repro.data.values import Null, sort_key
+    from repro.logic.compile import compiled_query
+
+    base, fresh = _pool_parts(instance, query)
+    pool = base + fresh
+    cq = compiled_query(query)
+    known = instance.constants() | set(query.constants())
+    fresh_tail = tuple(v for v in pool if v not in known)
+    nulls = sorted(instance.nulls(), key=sort_key)
+    fresh_set = frozenset(fresh_tail)
+    base_choices = [v for v in pool if v not in fresh_set]
+    null_index = {n: i for i, n in enumerate(nulls)}
+    static, templates, base_constants = {}, {}, set()
+    for name in instance.relations:
+        rows = instance.tuples(name)
+        if any(isinstance(v, Null) for row in rows for v in row):
+            templates[name] = [
+                tuple((True, null_index[v]) if isinstance(v, Null) else (False, v) for v in row)
+                for row in rows
+            ]
+            base_constants.update(v for row in rows for v in row if not isinstance(v, Null))
+        else:
+            static[name] = rows
+            for row in rows:
+                base_constants.update(row)
+    base_ctx = TableContext(static) if static else None
+    base_adom = frozenset(base_constants)
+    dyn_names = sorted(templates)
+    seen, result = set(), None
+    for vals in _canonical_valuations(len(nulls), base_choices, fresh_tail):
+        rels = {
+            name: frozenset(
+                tuple(vals[p] if is_null else p for is_null, p in spec) for spec in specs
+            )
+            for name, specs in templates.items()
+        }
+        key = tuple(rels[name] for name in dyn_names)
+        if key in seen:
+            continue
+        seen.add(key)
+        ctx = TableContext(rels, adom=base_adom | frozenset(vals), base=base_ctx)
+        rows = cq.answers(ctx)
+        result = rows if result is None else result & rows
+        if not result:
+            break
+    result = result if result is not None else frozenset()
+    if result and fresh_set:
+        result = frozenset(row for row in result if fresh_set.isdisjoint(row))
+    return result
+
+
+def oracle_parallel(quick: bool) -> list[dict]:
+    """PR 3's oracle numbers: plan-relevant pruning + residual probing +
+    optional world sharding, against the PR 2 incremental enumerator."""
+    heading("ORACLE — pruned/sharded world enumeration vs PR 2 incremental")
+    from repro.core import certain_answers
+
+    join = Query(parse("exists z (R(x, z) & R(z, y))"), ("x", "y"))
+    sem = get_semantics("cwa")
+    print(f"{'n_facts':>8} {'nulls':>6} {'pr2':>12} {'serial':>12} {'4 workers':>12} {'speedup':>9}")
+    rule()
+    rows: list[dict] = []
+    cases = ((8, 4), (10, 5)) if quick else ((6, 3), (8, 4), (10, 5), (12, 6))
+    for n_facts, n_nulls in cases:
+        rng = random.Random(1000 + n_facts * 10 + n_nulls)
+        while True:
+            instance = random_instance(
+                SCHEMA, rng, n_facts=n_facts, constants=(1, 2, 3, 4),
+                n_nulls=n_nulls, null_probability=0.7,
+            )
+            if len(instance.nulls()) == n_nulls:
+                break
+        assert _pr2_certain_cwa(join, instance) == certain_answers(join, instance, sem)
+        pr2_t = min(_timed(lambda: _pr2_certain_cwa(join, instance)) for _ in range(3))
+        serial_t = min(
+            _timed(lambda: certain_answers(join, instance, sem)) for _ in range(3)
+        )
+        stats: dict = {}
+        workers_t = min(
+            _timed(lambda: certain_answers(join, instance, sem, workers=4, stats_out=stats))
+            for _ in range(3)
+        )
+        best = min(serial_t, workers_t)
+        print(
+            f"{n_facts:>8} {n_nulls:>6} {pr2_t * 1e3:>10.1f}ms {serial_t * 1e3:>10.1f}ms "
+            f"{workers_t * 1e3:>10.1f}ms {pr2_t / max(best, 1e-9):>8.1f}x"
+        )
+        rows.append(
+            {
+                "workload": "oracle_cwa_pr3",
+                "n_facts": n_facts,
+                "n_nulls": n_nulls,
+                "pr2_ms": round(pr2_t * 1e3, 4),
+                "serial_ms": round(serial_t * 1e3, 4),
+                "workers4_ms": round(workers_t * 1e3, 4),
+                "oracle_mode": stats.get("mode"),
+            }
+        )
+    return rows
+
+
+def _seed_backtracker(source, target, fix_constants=True):
+    """The seed repo's homomorphism search, replicated as the 'before'
+    column: facts ordered by target relation size, candidates re-sorted at
+    every node, no candidate tables, no forward checking."""
+    from repro.data.values import Null, sort_key
+
+    facts = list(source.facts())
+    facts.sort(key=lambda f: (len(target.tuples(f[0])), f[0], tuple(map(sort_key, f[1]))))
+
+    def extend(index, assignment):
+        if index == len(facts):
+            yield dict(assignment)
+            return
+        name, row = facts[index]
+        for candidate in sorted(target.tuples(name), key=lambda t: tuple(map(sort_key, t))):
+            extension = {}
+            ok = True
+            for value, image in zip(row, candidate):
+                if fix_constants and not isinstance(value, Null) and value != image:
+                    ok = False
+                    break
+                bound = assignment.get(value, extension.get(value))
+                if bound is None:
+                    extension[value] = image
+                elif bound != image:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            assignment.update(extension)
+            yield from extend(index + 1, assignment)
+            for k in extension:
+                del assignment[k]
+
+    if not source.adom():
+        yield {}
+        return
+    yield from extend(0, {})
+
+
+def hom_engine_comparison(quick: bool) -> list[dict]:
+    """PR 3's homomorphism numbers: CSP candidate tables + forward checking
+    against the seed backtracker."""
+    heading("HOMS — CSP engine (candidate tables + forward checking) vs legacy")
+    from repro.data.values import Null
+    from repro.homs.engine import clear_candidate_cache
+    from repro.homs.search import has_homomorphism, iter_homomorphisms
+
+    rng = random.Random(0x7053)
+    X = [Null(f"x{i}") for i in range(10)]
+
+    big_target = random_instance(
+        SCHEMA, rng, n_facts=150 if quick else 600,
+        constants=tuple(range(40)), n_nulls=0,
+    )
+    pattern = Instance({
+        "R": [(X[0], X[1]), (X[1], X[2]), (X[2], X[3]), (X[3], 5),
+              (X[4], X[5]), (X[5], X[0])],
+        "S": [(X[0],), (X[3],)],
+    })
+
+    def bipartite(n):
+        rows = []
+        for a in range(n):
+            for b in range(n):
+                rows.append((f"l{a}", f"r{b}"))
+                rows.append((f"r{b}", f"l{a}"))
+        return Instance({"E": rows})
+
+    c7 = cycle(7, values=[Null(f"c{i}") for i in range(7)])
+    k_bip = bipartite(3 if quick else 4)
+
+    p5 = Instance({"E": [(Null(f"p{i}"), Null(f"p{i+1}")) for i in range(5)]})
+    graph = random_instance(
+        Schema({"E": 2}), rng, n_facts=40 if quick else 120,
+        constants=tuple(range(18)), n_nulls=0,
+    )
+
+    workloads = [
+        ("find: pattern+constants → big target", pattern, big_target, True, "has"),
+        ("refute: C7 → bipartite (no hom)", c7, k_bip, False, "has"),
+        ("enumerate: all homs P5 → graph", p5, graph, False, "count"),
+    ]
+    print(f"{'workload':<40} {'legacy':>12} {'csp':>12} {'speedup':>9}")
+    rule()
+    rows: list[dict] = []
+    for label, src, tgt, fix, mode in workloads:
+        def run_seed():
+            if mode == "has":
+                return next(iter(_seed_backtracker(src, tgt, fix)), None) is not None
+            return sum(1 for _ in _seed_backtracker(src, tgt, fix))
+
+        def run_csp():
+            clear_candidate_cache()
+            if mode == "has":
+                return has_homomorphism(src, tgt, fix_constants=fix, engine="csp")
+            return sum(1 for _ in iter_homomorphisms(src, tgt, fix_constants=fix, engine="csp"))
+
+        assert run_seed() == run_csp()
+        seed_t = min(_timed(run_seed) for _ in range(3))
+        csp_t = min(_timed(run_csp) for _ in range(3))
+        print(
+            f"{label:<40} {seed_t * 1e3:>10.1f}ms {csp_t * 1e3:>10.2f}ms "
+            f"{seed_t / max(csp_t, 1e-9):>8.1f}x"
+        )
+        rows.append(
+            {
+                "workload": "homs",
+                "case": label,
+                "legacy_ms": round(seed_t * 1e3, 4),
+                "csp_ms": round(csp_t * 1e3, 4),
+            }
+        )
+    return rows
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="fewer trials")
@@ -439,6 +667,8 @@ def main() -> int:
     orderings()
     perf_rows = performance()
     engine_rows = engine_comparison(args.quick)
+    oracle_rows = oracle_parallel(args.quick)
+    hom_rows = hom_engine_comparison(args.quick)
     if args.json:
         payload = {
             "meta": {
@@ -449,6 +679,8 @@ def main() -> int:
             "figure1": figure1_rows,
             "performance": perf_rows,
             "engine": engine_rows,
+            "oracle_parallel": oracle_rows,
+            "homs": hom_rows,
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)

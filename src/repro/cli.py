@@ -143,10 +143,7 @@ def _cmd_fragments(args) -> int:
     return 0
 
 
-def _cmd_evaluate(args) -> int:
-    query = _build_query(args.query)
-    instance = _load_instance(args.instance)
-    result = evaluate(query, instance, semantics=args.semantics, mode=args.mode)
+def _print_result(query: Query, result) -> None:
     if query.is_boolean:
         print(f"certain answer: {result.holds}")
     else:
@@ -158,13 +155,45 @@ def _cmd_evaluate(args) -> int:
             print("  (none)")
     status = "exact" if result.exact else f"approximate ({result.direction})"
     print(f"method: {result.method}  [{status}]")
+
+
+def _cmd_evaluate(args) -> int:
+    query = _build_query(args.query)
+    instance = _load_instance(args.instance)
+    result = evaluate(
+        query, instance, semantics=args.semantics, mode=args.mode,
+        workers=args.workers,
+    )
+    _print_result(query, result)
+    return 0
+
+
+def _cmd_certain(args) -> int:
+    """The oracle, explicitly: bounded enumeration with optional sharding."""
+    query = _build_query(args.query)
+    instance = _load_instance(args.instance)
+    result = evaluate(
+        query, instance, semantics=args.semantics, mode="enumeration",
+        workers=args.workers,
+    )
+    _print_result(query, result)
+    oracle = result.stats.get("oracle")
+    if oracle:
+        worlds = oracle.get("worlds", "?")
+        mode = oracle.get("mode", "?")
+        line = f"oracle: {worlds} worlds ({mode}"
+        if oracle.get("workers"):
+            line += f", {oracle['workers']} workers, {oracle.get('shards', 0)} shards"
+        if oracle.get("cancelled"):
+            line += ", cancelled early"
+        print(line + ")")
     return 0
 
 
 def _cmd_explain(args) -> int:
     query = _build_query(args.query)
     instance = _load_instance(args.instance)
-    db = Database(instance, semantics=args.semantics)
+    db = Database(instance, semantics=args.semantics, workers=args.workers)
     plan = db.explain(query, mode=args.mode)
     operators: str | None = None
     if args.operators:
@@ -206,12 +235,29 @@ def main(argv: list[str] | None = None) -> int:
     p_frag.add_argument("query")
     p_frag.set_defaults(func=_cmd_fragments)
 
+    workers_help = (
+        "max worker processes for the oracle's parallel world sharding "
+        "(default: serial; small valuation spaces run serially regardless)"
+    )
+
     p_eval = sub.add_parser("evaluate", help="compute certain answers over a JSON instance")
     p_eval.add_argument("query")
     p_eval.add_argument("instance", help="path to the JSON instance file")
     p_eval.add_argument("--semantics", choices=sorted(FIGURE_1), default="cwa")
     p_eval.add_argument("--mode", choices=modes, default="auto")
+    p_eval.add_argument("--workers", type=int, default=None, help=workers_help)
     p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_certain = sub.add_parser(
+        "certain",
+        help="force the certain-answer oracle (bounded [[D]] enumeration), "
+        "with per-shard stats",
+    )
+    p_certain.add_argument("query")
+    p_certain.add_argument("instance", help="path to the JSON instance file")
+    p_certain.add_argument("--semantics", choices=sorted(FIGURE_1), default="cwa")
+    p_certain.add_argument("--workers", type=int, default=None, help=workers_help)
+    p_certain.set_defaults(func=_cmd_certain)
 
     p_explain = sub.add_parser(
         "explain", help="show the evaluation plan (backend, verdict, cost) without running"
@@ -225,6 +271,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_explain.add_argument("--semantics", choices=sorted(FIGURE_1), default="cwa")
     p_explain.add_argument("--mode", choices=modes, default="auto")
+    p_explain.add_argument("--workers", type=int, default=None, help=workers_help)
     p_explain.add_argument(
         "--json", dest="as_json", action="store_true", help="emit the plan as JSON"
     )

@@ -69,6 +69,11 @@ class Backend(ABC):
     #: does :meth:`execute` read the constant pool?  The session layer
     #: skips pool construction entirely for backends that don't.
     uses_pool: bool = True
+    #: does :meth:`execute` accept ``workers``/``stats_out`` keyword
+    #: arguments (parallel world sharding + execution metadata)?  The
+    #: engine only forwards them to backends that opt in, so plug-in
+    #: backends with the historical signature keep working.
+    supports_workers: bool = False
 
     def validate(self, semantics: Semantics) -> None:
         """Raise :class:`ValueError` when this backend cannot serve ``semantics``."""
@@ -164,19 +169,28 @@ class NaiveInterpBackend(NaiveBackend):
 
 
 class EnumerationBackend(Backend):
-    """Bounded enumeration of ``[[D]]`` over a constant pool (the oracle)."""
+    """Bounded enumeration of ``[[D]]`` over a constant pool (the oracle).
+
+    Accepts ``workers`` (world sharding across a process pool for
+    substitution-only semantics) and fills ``stats_out`` with the
+    oracle's enumeration metadata (worlds evaluated, shards,
+    cancellation) for :class:`~repro.core.engine.EvalResult.stats`.
+    """
 
     name = "enumeration"
     summary = "bounded certain-answer oracle (intersect Q(E) over [[D]] on a pool)"
+    supports_workers = True
 
     def exactness(self, semantics, verdict, instance_is_core, extra_facts):
         if semantics.enumeration_exact(extra_facts):
             return True, ""
         return False, "superset"
 
-    def execute(self, query, instance, semantics, *, pool=None, extra_facts=None, limit=500_000):
+    def execute(self, query, instance, semantics, *, pool=None, extra_facts=None,
+                limit=500_000, workers=None, stats_out=None):
         return _certain.certain_answers(
-            query, instance, semantics, pool=pool, extra_facts=extra_facts, limit=limit
+            query, instance, semantics, pool=pool, extra_facts=extra_facts,
+            limit=limit, workers=workers, stats_out=stats_out,
         )
 
 

@@ -20,21 +20,39 @@ intersect over fewer instances), so:
 
 This is exactly the direction needed to validate Figure 1 empirically.
 
-Execution is **incremental**: the query is compiled once per batch
+Execution is **incremental** and, for large valuation spaces,
+**parallel**.  The query is compiled once per batch
 (:func:`repro.logic.compile.compiled_query`, memoised on the query
 value) and the same set-at-a-time plan is re-executed across all worlds.
 For substitution-only semantics (CWA) the oracle never materialises an
-:class:`~repro.data.instance.Instance` per world — it substitutes pool
-values into the null positions of pre-split row templates, executes over
-lightweight :class:`~repro.data.indexes.TableContext` layers that share
-the hash indexes of the null-free relations across every world, stops as
-soon as the running intersection is empty, and enumerates only one
-valuation per orbit of the interchangeable fresh-constant tail
-(restricted-growth canonical form).  Orbit skipping is sound because the
-skipped worlds are permutation images of enumerated ones: a genuine
-certain answer contains no fresh constant (some enumerated world's
-active domain avoids it), and fresh-free answers survive a world iff
-they survive its permutation images, by genericity.
+:class:`~repro.data.instance.Instance` per world; instead it
+
+* substitutes pool values into the null positions of pre-split row
+  templates over lightweight :class:`~repro.data.indexes.TableContext`
+  layers that share the hash indexes of the null-free relations,
+* enumerates only one valuation per orbit of the interchangeable
+  fresh-constant tail (restricted-growth canonical form),
+* restricts enumeration to the *plan-relevant* nulls — those occurring
+  in relations the compiled plan actually reads — whenever the plan is
+  domain-independent (``CompiledQuery.adom_dependent`` is false), since
+  two worlds agreeing on the read relations then yield identical
+  answers,
+* evaluates a handful of *seed worlds* first (the all-fresh valuation
+  and the constant collapses), whose extremes tend to empty the running
+  intersection immediately, and stops as soon as it is empty,
+* and, when :func:`repro.core.plan.choose_workers` decides the world
+  count justifies it, shards the canonical-valuation space across a
+  ``multiprocessing`` pool (:mod:`repro.core.parallel`): each worker
+  receives the picklable compiled-plan + row-template payload once,
+  reuses its static indexes across its shards, stops a shard as soon as
+  its running intersection is empty, and an empty shard result cancels
+  every other worker.
+
+Orbit skipping is sound because the skipped worlds are permutation
+images of enumerated ones: a genuine certain answer contains no fresh
+constant (some enumerated world's active domain avoids it), and
+fresh-free answers survive a world iff they survive its permutation
+images, by genericity.
 """
 
 from __future__ import annotations
@@ -49,10 +67,16 @@ from repro.data.values import Null, sort_key
 from repro.logic.ast import RelAtom
 from repro.logic.compile import CompiledQuery, compiled_query
 from repro.logic.queries import Query
-from repro.logic.transform import subformulas
+from repro.logic.transform import subformulas, substitute
 from repro.semantics.base import Semantics, guard_limit
 
-__all__ = ["default_pool", "query_schema", "certain_answers", "certain_holds"]
+__all__ = [
+    "default_pool",
+    "query_schema",
+    "certain_answers",
+    "certain_holds",
+    "WorldSpec",
+]
 
 
 def _pool_parts(
@@ -127,7 +151,10 @@ def query_schema(query: Query) -> Schema:
 # ----------------------------------------------------------------------
 
 def _canonical_valuations(
-    n_nulls: int, base_choices: Sequence[Hashable], fresh_tail: Sequence[Hashable]
+    n_nulls: int,
+    base_choices: Sequence[Hashable],
+    fresh_tail: Sequence[Hashable],
+    prefix: tuple[Hashable, ...] = (),
 ) -> Iterator[tuple[Hashable, ...]]:
     """One valuation per orbit of the fresh-tail permutation group.
 
@@ -136,8 +163,14 @@ def _canonical_valuations(
     ``fresh_tail[i]``), the standard transversal of the action of
     ``Sym(fresh_tail)`` on valuation tuples.  With an empty tail this
     degenerates to the full product — no skipping.
+
+    ``prefix`` fixes the first ``len(prefix)`` positions; it must itself
+    be a canonical prefix (i.e. produced by this generator for a shorter
+    ``n_nulls``).  The parallel oracle shards the valuation space by
+    distributing canonical prefixes across workers.
     """
-    vals: list[Hashable] = [None] * n_nulls
+    vals: list[Hashable] = list(prefix) + [None] * (n_nulls - len(prefix))
+    fresh_in_prefix = {v for v in prefix if v in set(fresh_tail)}
 
     def rec(i: int, n_used: int) -> Iterator[tuple[Hashable, ...]]:
         if i == n_nulls:
@@ -153,7 +186,328 @@ def _canonical_valuations(
             vals[i] = fresh_tail[n_used]
             yield from rec(i + 1, n_used + 1)
 
-    return rec(0, 0)
+    return rec(len(prefix), len(fresh_in_prefix))
+
+
+#: above this many surviving candidate rows, per-row residual probing
+#: costs more than one full set-at-a-time execution per world
+_RESIDUAL_MAX = 8
+
+
+@lru_cache(maxsize=8192)
+def _residual_query(formula, answer_vars, row) -> CompiledQuery | None:
+    """``φ(ā)`` compiled as a Boolean probe, or ``None`` when unusable.
+
+    Substituting the answer constants turns the output join into an
+    index-probing sentence check — the oracle's fast path once the
+    running intersection is down to a handful of candidate rows.  Only
+    domain-independent residuals qualify: their truth is a pure function
+    of the relations read, so it transfers between a restricted world
+    context and the full world.
+    """
+    cq = CompiledQuery(substitute(formula, dict(zip(answer_vars, row))), ())
+    return None if cq.adom_dependent else cq
+
+
+class WorldSpec:
+    """The picklable payload of one incremental world enumeration.
+
+    Everything a shard needs to enumerate and evaluate its slice of the
+    valuation space: the compiled plan, the pre-split row templates of
+    the null-carrying relations the plan reads, the shared null-free
+    relations, and the orbit structure (base choices vs fresh tail).
+    Workers receive one ``WorldSpec`` at pool initialisation and reuse
+    its static hash indexes across all their shards.
+    """
+
+    __slots__ = (
+        "cq",
+        "templates",
+        "dyn_names",
+        "static",
+        "base_adom",
+        "read_base_cells",
+        "n_slots",
+        "base_choices",
+        "fresh_tail",
+        "seed",
+        "seed_keys",
+    )
+
+    def __init__(self, cq, templates, dyn_names, static, base_adom,
+                 read_base_cells, n_slots, base_choices, fresh_tail,
+                 seed=None, seed_keys=frozenset()):
+        self.cq = cq
+        self.templates = templates
+        self.dyn_names = dyn_names
+        self.static = static
+        self.base_adom = base_adom
+        #: cells of the plan-read relations that every world shares
+        #: (static rows + template constants) — the valuation image is
+        #: the only world-varying part of the read cells
+        self.read_base_cells = read_base_cells
+        self.n_slots = n_slots
+        self.base_choices = base_choices
+        self.fresh_tail = fresh_tail
+        #: running intersection carried over from the seed worlds
+        self.seed = seed
+        #: content keys of the already-evaluated seed worlds — shards
+        #: skip them instead of re-evaluating
+        self.seed_keys = seed_keys
+
+    def __getstate__(self):
+        return tuple(getattr(self, s) for s in self.__slots__)
+
+    def __setstate__(self, state):
+        for slot, value in zip(self.__slots__, state):
+            setattr(self, slot, value)
+
+    def base_context(self) -> TableContext | None:
+        return TableContext(self.static) if self.static else None
+
+    def seed_valuations(self) -> Iterator[tuple[Hashable, ...]]:
+        """Extreme worlds whose evaluation tends to kill the intersection.
+
+        The all-distinct-fresh valuation (the "most generic" world) and
+        the per-constant total collapses are canonical valuations, so
+        re-encountering them during the main sweep is caught by the
+        content dedup.
+        """
+        n = self.n_slots
+        if n == 0:
+            return
+        if len(self.fresh_tail) >= n:
+            yield tuple(self.fresh_tail[:n])
+        for c in self.base_choices:
+            yield (c,) * n
+
+    def _residual_candidates(self, running: frozenset):
+        """Per-candidate Boolean probes, or ``None`` when ineligible.
+
+        Eligible when the plan is domain-independent, the query is
+        non-Boolean, the running intersection is small, and every
+        residual compiles domain-independent.  Each entry is
+        ``(row, probe, needed)`` where ``needed`` lists the row's values
+        that only a valuation image can put among the read cells.
+        """
+        if self.cq.adom_dependent or not self.cq.answer_vars:
+            return None
+        if not running or len(running) > _RESIDUAL_MAX:
+            return None
+        out = []
+        for row in running:
+            probe = _residual_query(self.cq.formula, self.cq.answer_vars, row)
+            if probe is None:
+                return None
+            needed = tuple(v for v in set(row) if v not in self.read_base_cells)
+            out.append((row, probe, needed))
+        return out
+
+    def _verify(
+        self,
+        candidates: list,
+        valuations: Iterable[tuple[Hashable, ...]],
+        base_ctx: TableContext | None,
+        seen: set | None = None,
+    ) -> tuple[frozenset, int, bool]:
+        """Drop candidates falsified by some world (the residual fast path).
+
+        ``row ∈ Q(world)`` iff the residual ``φ(row)`` holds *and* every
+        value of ``row`` is among the world's read cells — which differ
+        from :attr:`read_base_cells` only by the valuation's image.
+        """
+        templates, dyn_names = self.templates, self.dyn_names
+        base_adom = self.base_adom
+        if seen is None:
+            seen = set()
+        alive = list(candidates)
+        worlds = 0
+        for vals in valuations:
+            rels = {
+                name: frozenset(
+                    tuple(vals[payload] if is_null else payload
+                          for is_null, payload in spec)
+                    for spec in specs
+                )
+                for name, specs in templates.items()
+            }
+            key = tuple(rels[name] for name in dyn_names)
+            if key in seen:
+                continue
+            seen.add(key)
+            worlds += 1
+            ctx = TableContext(rels, adom=base_adom | frozenset(vals), base=base_ctx)
+            vset: set | None = None
+            survivors = []
+            for row, probe, needed in alive:
+                if needed:
+                    if vset is None:
+                        vset = set(vals)
+                    if not all(v in vset for v in needed):
+                        continue
+                if probe.answers(ctx):
+                    survivors.append((row, probe, needed))
+            alive = survivors
+            if not alive:
+                return frozenset(), worlds, True
+        return frozenset(row for row, _, _ in alive), worlds, False
+
+    def run(
+        self,
+        valuations: Iterable[tuple[Hashable, ...]],
+        running: frozenset | None = None,
+        base_ctx: TableContext | None = None,
+        seen: set | None = None,
+    ) -> tuple[frozenset | None, int, bool]:
+        """``running ∩ ⋂ Q(v(D))`` over ``valuations``.
+
+        Returns ``(intersection, worlds_evaluated, stopped_early)``;
+        the intersection is ``None`` only when it never started (no
+        worlds and ``running is None``).  Stops as soon as the running
+        intersection is empty — the caller uses ``stopped_early`` to
+        cancel sibling shards.  When the running intersection is already
+        down to a few rows, switches to per-candidate residual probing
+        (:meth:`_verify`) instead of full set-at-a-time evaluation.
+
+        ``seen`` (world content keys) dedups across calls: passing the
+        set mutated by the seed-world run makes the main sweep skip the
+        seeds instead of re-evaluating them.
+        """
+        if base_ctx is None:
+            base_ctx = self.base_context()
+        if running is not None:
+            candidates = self._residual_candidates(running)
+            if candidates is not None:
+                return self._verify(candidates, valuations, base_ctx, seen)
+        templates, dyn_names = self.templates, self.dyn_names
+        base_adom, cq = self.base_adom, self.cq
+        if seen is None:
+            seen = set()
+        result = running
+        worlds = 0
+        for vals in valuations:
+            rels = {
+                name: frozenset(
+                    tuple(vals[payload] if is_null else payload
+                          for is_null, payload in spec)
+                    for spec in specs
+                )
+                for name, specs in templates.items()
+            }
+            key = tuple(rels[name] for name in dyn_names)
+            if key in seen:
+                continue
+            seen.add(key)
+            # every relevant null occurs in some template row, so the
+            # world's query-visible domain is the static/constant part
+            # plus the valuation's image
+            ctx = TableContext(rels, adom=base_adom | frozenset(vals), base=base_ctx)
+            rows = cq.answers(ctx)
+            worlds += 1
+            result = rows if result is None else result & rows
+            if result is not None and not result:
+                return result, worlds, True
+        return result, worlds, False
+
+
+def _build_spec(
+    cq: CompiledQuery,
+    instance: Instance,
+    semantics: Semantics,
+    pool: Sequence[Hashable],
+    fresh_tail: Sequence[Hashable],
+    limit: int,
+) -> tuple[WorldSpec, frozenset, dict]:
+    """Split the instance into a :class:`WorldSpec` plus oracle metadata.
+
+    Performs the plan-relevance restriction: when the compiled plan is
+    domain-independent, only nulls occurring in relations the plan reads
+    are enumerated (worlds agreeing on those relations answer alike, so
+    the intersection over the full valuation space equals the one over
+    the restricted space).
+    """
+    nulls = sorted(instance.nulls(), key=sort_key)
+    read = cq.relations
+    restrict = not cq.adom_dependent
+    null_rows: dict[str, frozenset] = {}
+    static: dict[str, frozenset] = {}
+    for name in instance.relations:
+        rows = instance.tuples(name)
+        if any(isinstance(v, Null) for row in rows for v in row):
+            null_rows[name] = rows
+        else:
+            static[name] = rows
+
+    if restrict:
+        relevant_set = {
+            v
+            for name in null_rows
+            if name in read
+            for row in null_rows[name]
+            for v in row
+            if isinstance(v, Null)
+        }
+        relevant = [n for n in nulls if n in relevant_set]
+        template_names = [name for name in null_rows if name in read]
+    else:
+        relevant = list(nulls)
+        template_names = list(null_rows)
+
+    guard_limit(len(pool) ** len(relevant), limit, f"{semantics.name} expansion")
+
+    fresh_set = frozenset(fresh_tail)
+    base_choices = [v for v in pool if v not in fresh_set]
+    if relevant and not base_choices and len(fresh_set) == 1:
+        # a single interchangeable value that every valuation must use is
+        # not a skippable tail: no world's active domain avoids it, so
+        # rows mentioning it can be genuinely certain — enumerate plainly
+        fresh_tail, fresh_set = (), frozenset()
+        base_choices = list(pool)
+
+    null_index = {n: i for i, n in enumerate(relevant)}
+    # per relation: rows as ((is_null, payload), ...) — payload is the
+    # null's valuation slot when is_null, the constant cell otherwise
+    base_constants: set[Hashable] = set()
+    read_cells: set[Hashable] = set()
+    templates: dict[str, list[tuple[tuple[bool, object], ...]]] = {
+        name: [
+            tuple(
+                (True, null_index[v]) if isinstance(v, Null) else (False, v)
+                for v in row
+            )
+            for row in null_rows[name]
+        ]
+        for name in template_names
+    }
+    for name in template_names:
+        cells = {
+            v for row in null_rows[name] for v in row if not isinstance(v, Null)
+        }
+        base_constants |= cells
+        read_cells |= cells
+    for name, rows in static.items():
+        for row in rows:
+            base_constants.update(row)
+            if name in read:
+                read_cells.update(row)
+
+    spec = WorldSpec(
+        cq=cq,
+        templates=templates,
+        dyn_names=tuple(sorted(templates)),
+        static=static,
+        base_adom=frozenset(base_constants),
+        read_base_cells=frozenset(read_cells),
+        n_slots=len(relevant),
+        base_choices=tuple(base_choices),
+        fresh_tail=tuple(fresh_tail),
+    )
+    info = {
+        "total_nulls": len(nulls),
+        "relevant_nulls": len(relevant),
+        "restricted": restrict and len(relevant) < len(nulls),
+    }
+    return spec, fresh_set, info
 
 
 def _certain_by_valuations(
@@ -163,6 +517,8 @@ def _certain_by_valuations(
     pool: Sequence[Hashable],
     fresh_tail: Sequence[Hashable],
     limit: int,
+    workers: int = 0,
+    stats_out: dict | None = None,
 ) -> frozenset[tuple[Hashable, ...]]:
     """``⋂ Q(v(D))`` over valuations, without building an Instance per world.
 
@@ -172,66 +528,54 @@ def _certain_by_valuations(
     row templates and substituted per valuation.  ``fresh_tail`` lists
     the interchangeable pool values — those mentioned by neither the
     instance nor the query (empty = enumerate the full product).
+    ``workers`` > 0 shards the valuation space across a process pool
+    (:mod:`repro.core.parallel`); the cost model may still fall back to
+    the serial path for small spaces.
     """
-    nulls = sorted(instance.nulls(), key=sort_key)
-    guard_limit(len(pool) ** len(nulls), limit, f"{semantics.name} expansion")
-    fresh_set = frozenset(fresh_tail)
-    base_choices = [v for v in pool if v not in fresh_set]
-    if nulls and not base_choices and len(fresh_set) == 1:
-        # a single interchangeable value that every valuation must use is
-        # not a skippable tail: no world's active domain avoids it, so
-        # rows mentioning it can be genuinely certain — enumerate plainly
-        fresh_tail, fresh_set = (), frozenset()
-        base_choices = list(pool)
-    null_index = {n: i for i, n in enumerate(nulls)}
+    spec, fresh_set, info = _build_spec(cq, instance, semantics, pool, fresh_tail, limit)
 
-    static: dict[str, frozenset[tuple]] = {}
-    # per relation: rows as ((is_null, payload), ...) — payload is the
-    # null's valuation slot when is_null, the constant cell otherwise
-    templates: dict[str, list[tuple[tuple[bool, object], ...]]] = {}
-    base_constants: set[Hashable] = set()
-    for name in instance.relations:
-        rows = instance.tuples(name)
-        if any(isinstance(v, Null) for row in rows for v in row):
-            templates[name] = [
-                tuple(
-                    (True, null_index[v]) if isinstance(v, Null) else (False, v)
-                    for v in row
-                )
-                for row in rows
-            ]
-            base_constants.update(
-                v for row in rows for v in row if not isinstance(v, Null)
-            )
-        else:
-            static[name] = rows
-            for row in rows:
-                base_constants.update(row)
-    base_ctx = TableContext(static) if static else None
-    base_adom = frozenset(base_constants)
+    if stats_out is not None:
+        stats_out.update(info)
 
-    dyn_names = sorted(templates)
+    if workers:
+        # re-apply the cost model on the *restricted* valuation space:
+        # the planner's estimate uses all nulls, but plan-relevance may
+        # have shrunk the space below the parallel threshold
+        from repro.core import plan as _plan
+
+        workers = _plan.choose_workers(workers, len(pool) ** spec.n_slots)
+
+    base_ctx = spec.base_context()
     seen: set[tuple] = set()
-    result: frozenset[tuple[Hashable, ...]] | None = None
-    for vals in _canonical_valuations(len(nulls), base_choices, tuple(fresh_tail)):
-        rels = {
-            name: frozenset(
-                tuple(vals[payload] if is_null else payload for is_null, payload in spec)
-                for spec in specs
-            )
-            for name, specs in templates.items()
-        }
-        key = tuple(rels[name] for name in dyn_names)
-        if key in seen:
-            continue
-        seen.add(key)
-        # every null occurs in some row, so the world's active domain is
-        # exactly the static/constant part plus the valuation's image
-        ctx = TableContext(rels, adom=base_adom | frozenset(vals), base=base_ctx)
-        rows = cq.answers(ctx)
-        result = rows if result is None else result & rows
-        if not result:
-            break
+    # seed worlds: evaluated serially even in parallel mode — extreme
+    # worlds often empty the intersection before any worker spawns
+    seed_result, seed_worlds, stopped = spec.run(
+        spec.seed_valuations(), None, base_ctx, seen=seen
+    )
+    if stats_out is not None:
+        stats_out["seed_worlds"] = seed_worlds
+
+    result: frozenset | None
+    if stopped:
+        result = seed_result
+        if stats_out is not None:
+            stats_out.update(mode="seed", workers=0, worlds=seed_worlds)
+    elif workers and workers > 1 and spec.n_slots > 0:
+        from repro.core.parallel import parallel_intersection
+
+        spec.seed = seed_result
+        spec.seed_keys = frozenset(seen)
+        result = parallel_intersection(spec, workers, stats_out=stats_out)
+    else:
+        result, worlds, _ = spec.run(
+            _canonical_valuations(spec.n_slots, spec.base_choices, spec.fresh_tail),
+            seed_result,
+            base_ctx,
+            seen=seen,  # seed worlds are not re-evaluated by the sweep
+        )
+        if stats_out is not None:
+            stats_out.update(mode="serial", workers=0, worlds=seed_worlds + worlds)
+
     if result is None:
         raise RuntimeError(
             f"[[D]] came out empty over the pool — {semantics!r} violated totality"
@@ -251,6 +595,8 @@ def certain_answers(
     pool: Sequence[Hashable] | None = None,
     extra_facts: int | None = None,
     limit: int = 500_000,
+    workers: int | None = None,
+    stats_out: dict | None = None,
 ) -> frozenset[tuple[Hashable, ...]]:
     """``⋂ { Q(E) : E ∈ [[instance]] }`` over the (defaulted) pool.
 
@@ -259,6 +605,12 @@ def certain_answers(
     once (memoised across calls) and the same set-at-a-time plan runs on
     every world; enumeration stops as soon as the running intersection
     is empty.
+
+    ``workers`` requests parallel world sharding for substitution-only
+    semantics (CWA); :func:`repro.core.plan.choose_workers` routes small
+    valuation spaces back to the serial path.  ``stats_out``, when given,
+    is filled in place with enumeration metadata (worlds evaluated,
+    sharding, cancellation).
     """
     if pool is None:
         base, fresh = _pool_parts(instance, query)
@@ -274,18 +626,29 @@ def certain_answers(
         # constants, which are fresh with respect to *this* query.)
         known = instance.constants() | set(query.constants())
         fresh_tail = tuple(v for v in pool if v not in known)
+        if workers:
+            from repro.core import plan as _plan
+
+            workers = _plan.choose_workers(
+                workers, len(pool) ** len(instance.nulls())
+            )
         return _certain_by_valuations(
-            cq, instance, semantics, list(pool), fresh_tail, limit
+            cq, instance, semantics, list(pool), fresh_tail, limit,
+            workers=workers or 0, stats_out=stats_out,
         )
     schema = instance.schema().union(query_schema(query))
     result: frozenset[tuple[Hashable, ...]] | None = None
+    worlds = 0
     for complete in semantics.expand(
         instance, list(pool), schema=schema, extra_facts=extra_facts, limit=limit
     ):
         rows = cq.answers(complete)
+        worlds += 1
         result = rows if result is None else result & rows
         if not result:
             break
+    if stats_out is not None:
+        stats_out.update(mode="expand", workers=0, worlds=worlds)
     if result is None:
         raise RuntimeError(
             f"[[D]] came out empty over the pool — {semantics!r} violated totality"
@@ -300,10 +663,11 @@ def certain_holds(
     pool: Sequence[Hashable] | None = None,
     extra_facts: int | None = None,
     limit: int = 500_000,
+    workers: int | None = None,
 ) -> bool:
     """Certain truth of a Boolean query."""
     if not query.is_boolean:
         raise ValueError(f"query {query.name!r} is {query.arity}-ary; use certain_answers()")
     return bool(
-        certain_answers(query, instance, semantics, pool, extra_facts, limit)
+        certain_answers(query, instance, semantics, pool, extra_facts, limit, workers)
     )

@@ -68,13 +68,17 @@ def execute_plan(
     pool: Sequence[Hashable] | None = None,
     extra_facts: int | None = None,
     limit: int = 500_000,
+    workers: int | None = None,
     stats: Mapping[str, object] | None = None,
 ) -> EvalResult:
     """Run a :class:`~repro.core.plan.Plan` and package the result.
 
     ``stats`` entries (e.g. planning time, cache provenance from the
     session layer) are merged into the result's ``stats`` alongside the
-    measured execution time.
+    measured execution time.  ``workers`` (the oracle's sharding cap)
+    and the per-shard metadata are forwarded to / collected from
+    backends that declare ``supports_workers``; the oracle's metadata
+    lands under ``stats["oracle"]``.
     """
     sem = semantics if semantics is not None else get_semantics(plan.semantics)
     if sem.key != plan.semantics:
@@ -83,9 +87,14 @@ def execute_plan(
             f"executed under {sem.key!r}; re-plan for the right semantics"
         )
     backend = get_backend(plan.backend)
+    extra_kwargs: dict[str, object] = {}
+    oracle_stats: dict[str, object] = {}
+    if getattr(backend, "supports_workers", False):
+        extra_kwargs = {"workers": workers, "stats_out": oracle_stats}
     start = perf_counter()
     answers = backend.execute(
-        query, instance, sem, pool=pool, extra_facts=extra_facts, limit=limit
+        query, instance, sem, pool=pool, extra_facts=extra_facts, limit=limit,
+        **extra_kwargs,
     )
     elapsed = perf_counter() - start
     info: dict[str, object] = {
@@ -93,6 +102,8 @@ def execute_plan(
         "mode": plan.mode,
         "execution_s": elapsed,
     }
+    if oracle_stats:
+        info["oracle"] = oracle_stats
     if stats:
         info.update(stats)
     return EvalResult(answers, plan.backend, plan.exact, plan.direction, plan.verdict, info)
@@ -106,6 +117,7 @@ def evaluate(
     pool: Sequence[Hashable] | None = None,
     extra_facts: int | None = None,
     limit: int = 500_000,
+    workers: int | None = None,
 ) -> EvalResult:
     """Compute certain answers to ``query`` on ``instance`` under ``semantics``.
 
@@ -131,7 +143,9 @@ def evaluate(
     """
     sem = get_semantics(semantics) if isinstance(semantics, str) else semantics
     start = perf_counter()
-    plan = make_plan(query, instance, sem, mode, pool=pool, extra_facts=extra_facts)
+    plan = make_plan(
+        query, instance, sem, mode, pool=pool, extra_facts=extra_facts, workers=workers
+    )
     planning = perf_counter() - start
     return execute_plan(
         plan,
@@ -141,5 +155,6 @@ def evaluate(
         pool=pool,
         extra_facts=extra_facts,
         limit=limit,
+        workers=workers,
         stats={"planning_s": planning},
     )

@@ -1,0 +1,165 @@
+"""Parallel world sharding for the certain-answer oracle.
+
+The CWA oracle intersects ``Q(v(D))`` over the canonical valuations of
+the null slots (:mod:`repro.core.certain`).  The intersection is
+associative and commutative, so the valuation space can be partitioned
+into shards, each shard intersected independently, and the shard
+results intersected at the end — with one powerful twist: **any** shard
+whose running intersection becomes empty makes the global answer empty,
+so an empty shard result cancels every other worker.
+
+Sharding works on *canonical prefixes*: the restricted-growth
+enumeration of ``certain._canonical_valuations`` is a tree whose level-d
+nodes are the canonical prefixes of length d, and each worker expands a
+set of disjoint subtrees.  The picklable
+:class:`~repro.core.certain.WorldSpec` payload (compiled plan, row
+templates, shared static relations) is shipped to each worker exactly
+once via the pool initializer; the worker builds the static-relation
+hash indexes once and reuses them across all its shards, mirroring the
+per-instance index reuse of the serial path.
+
+The pool start method prefers ``fork`` (cheap, shares the already-built
+compiled-plan caches) and falls back to the platform default where fork
+is unavailable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from time import perf_counter
+from typing import Hashable, Sequence
+
+from repro.core.certain import WorldSpec, _canonical_valuations
+
+__all__ = ["shard_prefixes", "parallel_intersection"]
+
+#: target number of shards per worker — small enough to keep payload
+#: dispatch cheap, large enough that an early-cancelling shard frees its
+#: worker for useful work instead of leaving it on one huge subtree
+SHARDS_PER_WORKER = 4
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def shard_prefixes(
+    n_slots: int,
+    base_choices: Sequence[Hashable],
+    fresh_tail: Sequence[Hashable],
+    target: int,
+) -> list[tuple[Hashable, ...]]:
+    """Disjoint canonical prefixes covering the whole valuation space.
+
+    Deepens one level at a time until at least ``target`` prefixes exist
+    (or the prefixes are full valuations).  Level d prefixes are exactly
+    the canonical valuations of d slots, so expanding each prefix with
+    the restricted-growth generator partitions the space.
+    """
+    depth = 0
+    prefixes: list[tuple[Hashable, ...]] = [()]
+    while len(prefixes) < target and depth < n_slots:
+        depth += 1
+        prefixes = list(_canonical_valuations(depth, base_choices, fresh_tail))
+    return prefixes
+
+
+_WORKER_SPEC: WorldSpec | None = None
+_WORKER_CTX = None
+
+
+def _init_worker(spec: WorldSpec) -> None:
+    """Receive the payload once per worker; pre-build the shared indexes."""
+    global _WORKER_SPEC, _WORKER_CTX
+    _WORKER_SPEC = spec
+    _WORKER_CTX = spec.base_context()
+
+
+def _run_chunk(chunk: tuple[int, list[tuple[Hashable, ...]]]):
+    """Intersect one chunk of canonical-prefix subtrees.
+
+    Starts from the seed intersection shipped in the spec, so a world
+    disagreeing with the seed worlds empties the running intersection
+    (and thereby cancels the whole computation) as early as possible.
+    """
+    chunk_id, prefixes = chunk
+    spec, base_ctx = _WORKER_SPEC, _WORKER_CTX
+    start = perf_counter()
+    result, worlds, stopped = spec.run(
+        (
+            vals
+            for prefix in prefixes
+            for vals in _canonical_valuations(
+                spec.n_slots, spec.base_choices, spec.fresh_tail, prefix=prefix
+            )
+        ),
+        spec.seed,
+        base_ctx,
+        seen=set(spec.seed_keys),  # seed worlds were evaluated up front
+    )
+    return chunk_id, result, worlds, perf_counter() - start, stopped
+
+
+def parallel_intersection(
+    spec: WorldSpec,
+    workers: int,
+    stats_out: dict | None = None,
+) -> frozenset | None:
+    """``seed ∩ ⋂ Q(v(D))`` over all canonical valuations, sharded.
+
+    Shard results stream back unordered; the first empty one terminates
+    the pool (cancelling in-flight shards), which is sound because an
+    empty shard intersection already determines the global answer.
+    """
+    prefixes = shard_prefixes(
+        spec.n_slots, spec.base_choices, spec.fresh_tail, workers * SHARDS_PER_WORKER
+    )
+    n_chunks = min(len(prefixes), workers * SHARDS_PER_WORKER)
+    chunks: list[tuple[int, list]] = [(i, []) for i in range(n_chunks)]
+    for i, prefix in enumerate(prefixes):
+        chunks[i % n_chunks][1].append(prefix)
+
+    result = spec.seed
+    worlds = 0
+    cancelled = False
+    per_shard: list[dict] = []
+    ctx = _mp_context()
+    with ctx.Pool(
+        processes=min(workers, n_chunks),
+        initializer=_init_worker,
+        initargs=(spec,),
+    ) as pool:
+        for chunk_id, rows, shard_worlds, seconds, stopped in pool.imap_unordered(
+            _run_chunk, chunks
+        ):
+            worlds += shard_worlds
+            per_shard.append(
+                {
+                    "shard": chunk_id,
+                    "worlds": shard_worlds,
+                    "seconds": round(seconds, 6),
+                    "empty": bool(stopped),
+                }
+            )
+            if rows is not None:
+                result = rows if result is None else result & rows
+            if result is not None and not result:
+                # running-intersection exchange: this shard's emptiness
+                # decides the global answer — cancel every other worker
+                cancelled = True
+                pool.terminate()
+                break
+
+    if stats_out is not None:
+        stats_out.update(
+            mode="parallel",
+            workers=min(workers, n_chunks),
+            shards=n_chunks,
+            worlds=worlds + stats_out.get("seed_worlds", 0),
+            cancelled=cancelled,
+            per_shard=sorted(per_shard, key=lambda s: s["shard"]),
+        )
+    return result

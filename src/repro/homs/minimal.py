@@ -73,9 +73,20 @@ def iter_minimal_valuations(
     Valuations assign pool constants to the nulls of ``source`` (and
     are the identity on its constants).  Yields only those whose image
     cannot be shrunk by another database homomorphism.
+
+    D-minimality depends on the valuation only through its *image*
+    ``v(source)``, and distinct valuations frequently collapse to the
+    same image (any two that disagree only on interchangeable nulls),
+    so the verdict is memoised per image for the whole sweep.
     """
+    verdicts: dict[Instance, bool] = {}
     for valuation in iter_mappings(sorted(source.nulls(), key=lambda n: n.label), pool):
-        if is_d_minimal(source, valuation, mode="database"):
+        image = source.apply(valuation)
+        verdict = verdicts.get(image)
+        if verdict is None:
+            verdict = not _beats(source, image, fix_constants=True, pinned={})
+            verdicts[image] = verdict
+        if verdict:
             yield valuation
 
 

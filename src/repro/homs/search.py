@@ -1,10 +1,10 @@
-"""Backtracking homomorphism search between relational instances.
+"""Homomorphism search between relational instances.
 
 Homomorphisms serve two roles in the paper (Section 2.2): they define
 the semantics of incompleteness (valuations are homomorphisms whose
 image lies in ``Const``) and the preservation conditions under which
-naive evaluation is sound.  This module provides one search engine with
-switches covering every variant the paper needs:
+naive evaluation is sound.  This module provides one search *facade*
+with switches covering every variant the paper needs:
 
 * *database* homomorphisms — identity on constants (``fix_constants``),
 * plain homomorphisms — constants may move (used for the "pure graph"
@@ -13,9 +13,19 @@ switches covering every variant the paper needs:
 * strong onto homomorphisms — ``h(D) = D'`` (CWA, Cor. 4.9),
 * injective maps and full isomorphisms (the ``≈`` relation).
 
-The search assigns values fact by fact with forward checking; instances
-in this library are small (the semantics layer is a brute-force oracle)
-so a clean backtracking search is the right tool.
+Two engines implement the search:
+
+* ``"csp"`` — the candidate-table engine of :mod:`repro.homs.engine`:
+  per-fact candidate lists probed from the target's hash indexes,
+  most-constrained-fact ordering, forward checking with conflict-driven
+  early termination.  The default for anything beyond toy sizes.
+* ``"legacy"`` — the original fact-by-fact extender, kept as the
+  differential-testing baseline (and as the cheaper choice for very
+  small inputs, where candidate-table setup outweighs the search).
+
+``engine="auto"`` (the default) picks by instance size; both engines
+yield exactly the same set of homomorphisms, in possibly different
+orders.
 """
 
 from __future__ import annotations
@@ -35,11 +45,54 @@ __all__ = [
 
 Assignment = dict[Hashable, Hashable]
 
+#: below this many combined facts the legacy extender's lower setup cost
+#: wins; above it the CSP engine's pruning dominates
+_CSP_MIN_FACTS = 12
 
-def _ordered_facts(source: Instance, target: Instance) -> list[tuple[str, tuple]]:
-    """Source facts ordered most-constrained-first (fewest target tuples)."""
+
+def _candidate_count(
+    row: Sequence[Hashable],
+    candidates,
+    fix_constants: bool,
+) -> int:
+    """How many target tuples this fact can map onto in isolation."""
+    count = 0
+    for cand in candidates:
+        bound: dict[Hashable, Hashable] = {}
+        for value, image in zip(row, cand):
+            if fix_constants and not isinstance(value, Null):
+                if value != image:
+                    break
+            seen = bound.get(value)
+            if seen is None:
+                bound[value] = image
+            elif seen != image:
+                break
+        else:
+            count += 1
+    return count
+
+
+def _ordered_facts(
+    source: Instance, target: Instance, fix_constants: bool = True
+) -> list[tuple[str, tuple]]:
+    """Source facts ordered most-constrained-first.
+
+    Ordering by the per-fact *candidate-set size* — how many target
+    tuples actually match the fact's constants and repeated-value
+    pattern — rather than by raw target relation size: a fact over a
+    large relation may still be maximally constrained (one candidate)
+    when its constants pin the probe, and deciding it first prunes the
+    search exponentially earlier.
+    """
     facts = list(source.facts())
-    facts.sort(key=lambda fact: (len(target.tuples(fact[0])), fact[0], tuple(map(sort_key, fact[1]))))
+    facts.sort(
+        key=lambda fact: (
+            _candidate_count(fact[1], target.tuples(fact[0]), fix_constants),
+            fact[0],
+            tuple(map(sort_key, fact[1])),
+        )
+    )
     return facts
 
 
@@ -62,7 +115,7 @@ def _match_fact(
     return extension
 
 
-def iter_homomorphisms(
+def _iter_homomorphisms_legacy(
     source: Instance,
     target: Instance,
     fix_constants: bool = True,
@@ -72,26 +125,8 @@ def iter_homomorphisms(
     require_complete_image: bool = False,
     pinned: Mapping[Hashable, Hashable] | None = None,
 ) -> Iterator[Assignment]:
-    """Yield every homomorphism ``h : source → target`` (as a dict on adom).
-
-    Parameters mirror the paper's vocabulary:
-
-    ``fix_constants``
-        database homomorphisms: ``h(c) = c`` for every constant.
-    ``onto``
-        ``h(adom(source)) = adom(target)`` (Rsem-homomorphisms of WCWA).
-    ``strong_onto``
-        ``h(source) = target`` exactly (Rsem-homomorphisms of CWA).
-    ``injective``
-        ``h`` is injective on ``adom(source)``.
-    ``require_complete_image``
-        ``h`` maps every value to a constant — combined with
-        ``fix_constants`` this makes ``h`` a *valuation*.
-    ``pinned``
-        pre-assigned images for selected values (e.g. "identity on the
-        fix set" in the minimality tests of Section 10.2).
-    """
-    facts = _ordered_facts(source, target)
+    """The original fact-by-fact extender (differential baseline)."""
+    facts = _ordered_facts(source, target, fix_constants)
     source_adom = source.adom()
     initial: Assignment = {k: v for k, v in (pinned or {}).items() if k in source_adom}
 
@@ -109,13 +144,19 @@ def iter_homomorphisms(
             return False
         return True
 
+    # candidates sorted once per relation, not once per search node
+    sorted_tuples = {
+        name: sorted(target.tuples(name), key=lambda t: tuple(map(sort_key, t)))
+        for name in {fact[0] for fact in facts}
+    }
+
     def extend(index: int, assignment: Assignment) -> Iterator[Assignment]:
         if index == len(facts):
             if accept(assignment):
                 yield dict(assignment)
             return
         name, row = facts[index]
-        for candidate in sorted(target.tuples(name), key=lambda t: tuple(map(sort_key, t))):
+        for candidate in sorted_tuples[name]:
             extension = _match_fact(row, candidate, assignment, fix_constants)
             if extension is None:
                 continue
@@ -138,6 +179,68 @@ def iter_homomorphisms(
         return
 
     yield from extend(0, dict(initial))
+
+
+def iter_homomorphisms(
+    source: Instance,
+    target: Instance,
+    fix_constants: bool = True,
+    onto: bool = False,
+    strong_onto: bool = False,
+    injective: bool = False,
+    require_complete_image: bool = False,
+    pinned: Mapping[Hashable, Hashable] | None = None,
+    engine: str = "auto",
+) -> Iterator[Assignment]:
+    """Yield every homomorphism ``h : source → target`` (as a dict on adom).
+
+    Parameters mirror the paper's vocabulary:
+
+    ``fix_constants``
+        database homomorphisms: ``h(c) = c`` for every constant.
+    ``onto``
+        ``h(adom(source)) = adom(target)`` (Rsem-homomorphisms of WCWA).
+    ``strong_onto``
+        ``h(source) = target`` exactly (Rsem-homomorphisms of CWA).
+    ``injective``
+        ``h`` is injective on ``adom(source)``.
+    ``require_complete_image``
+        ``h`` maps every value to a constant — combined with
+        ``fix_constants`` this makes ``h`` a *valuation*.
+    ``pinned``
+        pre-assigned images for selected values (e.g. "identity on the
+        fix set" in the minimality tests of Section 10.2).
+    ``engine``
+        ``"csp"`` (candidate tables + forward checking), ``"legacy"``
+        (the original extender), or ``"auto"`` (route by size).  Both
+        engines yield the same set of homomorphisms.
+    """
+    # not a generator: an unknown engine name raises here, at call time,
+    # not at the first next() on the returned iterator
+    if engine == "auto":
+        engine = (
+            "csp"
+            if source.fact_count() + target.fact_count() >= _CSP_MIN_FACTS
+            else "legacy"
+        )
+    if engine == "csp":
+        from repro.homs.engine import iter_homomorphisms_csp
+
+        search = iter_homomorphisms_csp
+    elif engine == "legacy":
+        search = _iter_homomorphisms_legacy
+    else:
+        raise ValueError(f"unknown homomorphism engine {engine!r}; use csp/legacy/auto")
+    return search(
+        source,
+        target,
+        fix_constants=fix_constants,
+        onto=onto,
+        strong_onto=strong_onto,
+        injective=injective,
+        require_complete_image=require_complete_image,
+        pinned=pinned,
+    )
 
 
 def find_homomorphism(

@@ -701,6 +701,31 @@ _NO_CONST = object()
 # the public face
 # ----------------------------------------------------------------------
 
+#: node types whose output depends on the context's *active domain*, not
+#: only on the rows of the relations the plan reads.  Plans free of these
+#: are pure functions of their scanned relations — the certain-answer
+#: oracle uses that to enumerate valuations only over the nulls those
+#: relations mention.
+_ADOM_DEPENDENT_NODES = (
+    DomainNode,
+    DiagonalNode,
+    SingletonNode,
+    DomainGuardNode,
+    ComplementNode,
+)
+
+
+def _walk_nodes(root: Node):
+    stack, seen = [root], set()
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        yield node
+        stack.extend(node.children())
+
+
 class CompiledQuery:
     """An FO formula compiled to a relational operator DAG.
 
@@ -709,7 +734,7 @@ class CompiledQuery:
     compiled once, executable against any instance or raw context.
     """
 
-    __slots__ = ("formula", "answer_vars", "_root")
+    __slots__ = ("formula", "answer_vars", "_root", "_relations", "_adom_dependent")
 
     def __init__(self, formula: Formula, answer_vars: Sequence[Var | str] = ()):
         self.formula = formula
@@ -730,10 +755,39 @@ class CompiledQuery:
         if root.columns != self.answer_vars:
             root = ProjectNode(root, self.answer_vars)
         self._root = root
+        self._relations: frozenset[str] | None = None
+        self._adom_dependent: bool | None = None
 
     @property
     def is_boolean(self) -> bool:
         return not self.answer_vars
+
+    @property
+    def relations(self) -> frozenset[str]:
+        """The relation names the operator DAG reads (scans and probes)."""
+        if self._relations is None:
+            self._relations = frozenset(
+                node.name for node in _walk_nodes(self._root)
+                if isinstance(node, ScanNode)
+            )
+        return self._relations
+
+    @property
+    def adom_dependent(self) -> bool:
+        """Does the result depend on the context's active domain?
+
+        ``False`` means the answers are a pure function of the rows of
+        :attr:`relations` — two contexts agreeing on those relations
+        produce identical answers regardless of their domains.  The
+        oracle's world enumerator uses this to skip valuating nulls the
+        plan can never observe.
+        """
+        if self._adom_dependent is None:
+            self._adom_dependent = any(
+                isinstance(node, _ADOM_DEPENDENT_NODES)
+                for node in _walk_nodes(self._root)
+            )
+        return self._adom_dependent
 
     def answers(self, source) -> frozenset[tuple[Hashable, ...]]:
         """``{ā ∈ adom^k : source ⊨ φ(ā)}`` — set-at-a-time.

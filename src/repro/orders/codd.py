@@ -21,6 +21,7 @@ from typing import Sequence
 
 from repro.data.codd import tuple_leq
 from repro.data.instance import Instance
+from repro.data.values import sort_key
 
 __all__ = ["hoare_leq", "plotkin_leq", "has_refinement_matching", "cwa_codd_leq"]
 
@@ -85,13 +86,23 @@ def has_refinement_matching(left: Instance, right: Instance) -> bool:
     _check_codd(left, right)
     names = set(left.relations) | set(right.relations)
     for name in names:
-        right_rows = sorted(right.tuples(name), key=repr)
-        left_rows = sorted(left.tuples(name), key=repr)
-        adjacency = [
-            [j for j, t in enumerate(left_rows) if tuple_leq(t, s)]
-            for s in right_rows
-        ]
-        if _max_matching(adjacency, len(left_rows)) != len(right_rows):
+        right_rows = right.tuples(name)
+        left_rows = left.tuples(name)
+        if len(right_rows) > len(left_rows):
+            # a perfect matching injects right rows into left rows, so a
+            # larger right side fails before any adjacency is built
+            return False
+        # sort_key, not repr: deterministic across mixed int/str cells
+        right_sorted = sorted(right_rows, key=lambda t: tuple(map(sort_key, t)))
+        left_sorted = sorted(left_rows, key=lambda t: tuple(map(sort_key, t)))
+        adjacency = []
+        for s in right_sorted:
+            row_adj = [j for j, t in enumerate(left_sorted) if tuple_leq(t, s)]
+            if not row_adj:
+                # an unmatched right row can never join a perfect matching
+                return False
+            adjacency.append(row_adj)
+        if _max_matching(adjacency, len(left_sorted)) != len(right_sorted):
             return False
     return True
 

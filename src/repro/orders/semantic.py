@@ -42,16 +42,22 @@ def leq_pcwa(left: Instance, right: Instance) -> bool:
 
     Every candidate image is a subinstance of ``right``, so it suffices
     to union *all* homomorphisms ``left → right`` and test coverage
-    (Theorem 7.1, first item).
+    (Theorem 7.1, first item).  Coverage is tracked as a set of facts —
+    homomorphic images are always subinstances of ``right``, so the
+    union covers ``right`` exactly when the fact count matches — which
+    avoids materialising an :class:`Instance` per homomorphism.
     """
-    covered = Instance.empty()
+    goal = {(name, row) for name in right.relations for row in right.tuples(name)}
+    covered: set = set()
     found_any = False
     for hom in iter_homomorphisms(left, right, fix_constants=True):
         found_any = True
-        covered = covered.union(left.apply(hom))
-        if right.issubinstance(covered):
+        get = hom.get
+        for name, row in left.facts():
+            covered.add((name, tuple(get(v, v) for v in row)))
+        if len(covered) == len(goal):
             return True
-    return found_any and covered == right
+    return found_any and covered == goal
 
 
 #: name → predicate, for parametrised tests and benches

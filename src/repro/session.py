@@ -170,6 +170,7 @@ class PreparedQuery:
                 verdict=self.verdict,
                 core_check=self._db.instance_is_core,
                 extra_facts=self._db.extra_facts,
+                workers=self._db.workers,
             )
             self._plans[mode] = cached
         return cached
@@ -194,6 +195,7 @@ class PreparedQuery:
             pool=pool,
             extra_facts=self._db.extra_facts,
             limit=self._db.limit,
+            workers=self._db.workers,
             stats={
                 "planning_s": planning,
                 # the pool actually materialised for this run (0 = none:
@@ -225,6 +227,10 @@ class Database:
         default semantics for prepared queries (key or object);
     extra_facts / limit:
         enumeration knobs forwarded to the oracle backends;
+    workers:
+        ceiling on worker processes for the oracle's parallel world
+        sharding (0/None = serial; the planner's cost model still
+        routes small valuation spaces to the serial path);
     prepared_cache_size:
         bound on the LRU intern table for textual queries.
 
@@ -241,6 +247,7 @@ class Database:
         *,
         extra_facts: int | None = None,
         limit: int = 500_000,
+        workers: int | None = None,
         prepared_cache_size: int = 256,
     ):
         if instance is None:
@@ -252,6 +259,7 @@ class Database:
             get_semantics(semantics) if isinstance(semantics, str) else semantics
         )
         self._extra_facts = extra_facts
+        self._workers = workers
         self.limit = limit
         self._generation = 0
         self._core_flag: bool | None = None
@@ -297,6 +305,21 @@ class Database:
     def extra_facts(self, value: int | None) -> None:
         if value != self._extra_facts:
             self._extra_facts = value
+            self._generation += 1
+
+    @property
+    def workers(self) -> int | None:
+        """Ceiling on oracle worker processes (0/None = serial).
+
+        Plans record the sharding decision, so assigning a new value
+        invalidates the cached plans.
+        """
+        return self._workers
+
+    @workers.setter
+    def workers(self, value: int | None) -> None:
+        if value != self._workers:
+            self._workers = value
             self._generation += 1
 
     def instance_is_core(self) -> bool:
@@ -455,6 +478,7 @@ class Database:
                     pool=shared_pool,
                     extra_facts=self.extra_facts,
                     limit=self.limit,
+                    workers=self._workers,
                     stats={
                         "planning_s": planning,
                         # one-off cost of building the shared pool, reported

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Hashable, Iterator, Mapping
 
 from repro.data.instance import Instance
-from repro.data.values import Null, sort_key
+from repro.data.values import Null
 from repro.logic.ast import (
     And,
     EqAtom,
@@ -84,7 +84,9 @@ def _atom3(row: tuple, candidates) -> Truth:
 def evaluate3(formula: Formula, instance: Instance, binding: Binding | None = None) -> Truth:
     """The SQL-style three-valued truth value of ``formula`` on ``instance``."""
     binding = dict(binding or {})
-    domain = sorted(instance.adom(), key=sort_key)
+    # cached on the (immutable) instance — answers3 calls this once per
+    # candidate binding, so re-sorting per call would dominate
+    domain = instance.sorted_adom()
 
     def rec(phi: Formula, env: dict[Var, Hashable]) -> Truth:
         match phi:
@@ -161,7 +163,7 @@ def answers3(
     if missing:
         names = ", ".join(sorted(v.name for v in missing))
         raise ValueError(f"answer variables do not cover free variables: {names}")
-    domain = sorted(instance.adom(), key=sort_key)
+    domain = instance.sorted_adom()
     out: set[tuple[Hashable, ...]] = set()
 
     def assign(index: int, env: dict[Var, Hashable]) -> Iterator[None]:

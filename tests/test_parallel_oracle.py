@@ -1,0 +1,259 @@
+"""Parallel vs serial certain-answer oracle: differential + unit tests.
+
+The tentpole contract: ``certain_answers(..., workers=k)`` is bit-for-bit
+equal to the serial oracle for every semantics and worker count, sharding
+only happens when the cost model approves, a shard whose intersection
+empties cancels the enumeration, and the execution stats surface all of
+it.  The planner-facing pieces (:func:`choose_workers`,
+``CostHints.workers``, EXPLAIN notes) are pinned here too.
+"""
+
+import random
+from importlib import import_module
+
+import pytest
+
+from repro.core import certain_answers, evaluate
+from repro.core.certain import WorldSpec, _canonical_valuations, default_pool
+from repro.core.parallel import shard_prefixes
+from repro.data.generate import random_instance
+from repro.data.instance import Instance
+from repro.data.schema import Schema
+from repro.data.values import Null
+from repro.logic.parser import parse
+from repro.logic.queries import Query
+from repro.semantics import get_semantics
+from repro.session import Database
+
+_plan = import_module("repro.core.plan")
+
+SCHEMA = Schema({"R": 2, "S": 1})
+X, Y = Null("x"), Null("y")
+JOIN = Query(parse("exists z (R(x, z) & R(z, y))"), ("x", "y"))
+
+ALL_SEMANTICS = ("owa", "wcwa", "cwa", "pcwa", "mincwa", "minpcwa")
+
+
+def _kwargs(key):
+    if key == "owa":
+        return {"extra_facts": 1}
+    if key in ("wcwa", "pcwa", "minpcwa"):
+        return {"extra_facts": 2}
+    return {}
+
+
+@pytest.fixture
+def force_parallel(monkeypatch):
+    """Drop the cost-model threshold so small suites exercise sharding."""
+    monkeypatch.setattr(_plan, "PARALLEL_MIN_WORLDS", 1)
+
+
+class TestChooseWorkers:
+    def test_serial_for_no_request(self):
+        assert _plan.choose_workers(None, 10**9) == 0
+        assert _plan.choose_workers(0, 10**9) == 0
+        assert _plan.choose_workers(1, 10**9) == 0
+
+    def test_small_pools_auto_route_serial(self):
+        assert _plan.choose_workers(4, _plan.PARALLEL_MIN_WORLDS - 1) == 0
+
+    def test_large_pools_keep_request(self):
+        assert _plan.choose_workers(4, _plan.PARALLEL_MIN_WORLDS) == 4
+        # the capped (-1 = huge) bound counts as large
+        assert _plan.choose_workers(4, -1) == 4
+
+    def test_worker_cap(self):
+        assert _plan.choose_workers(10**6, -1) == _plan.MAX_WORKERS
+
+
+class TestShardPrefixes:
+    def test_prefixes_partition_the_space(self):
+        base, fresh = (1, 2), ("f1", "f2", "f3")
+        full = set(_canonical_valuations(3, base, fresh))
+        prefixes = shard_prefixes(3, base, fresh, target=4)
+        assert len(prefixes) >= 4
+        sharded = set()
+        for prefix in prefixes:
+            part = set(_canonical_valuations(3, base, fresh, prefix=prefix))
+            assert sharded.isdisjoint(part)
+            sharded |= part
+        assert sharded == full
+
+    def test_shallow_space_stops_at_full_depth(self):
+        prefixes = shard_prefixes(1, (1,), ("f1",), target=64)
+        assert prefixes == [(1,), ("f1",)]
+
+
+class TestParallelDifferential:
+    @pytest.mark.parametrize("key", ALL_SEMANTICS)
+    def test_workers_do_not_change_answers(self, key, force_parallel):
+        sem = get_semantics(key)
+        rng = random.Random(0xABC + hash(key) % 97)
+        instance = random_instance(
+            SCHEMA, rng, n_facts=4, constants=(1, 2), n_nulls=2,
+            null_probability=0.7,
+        )
+        kw = _kwargs(key)
+        serial = certain_answers(JOIN, instance, sem, **kw)
+        parallel = certain_answers(JOIN, instance, sem, workers=2, **kw)
+        assert serial == parallel
+
+    @pytest.mark.parametrize("workers", (1, 2, 4))
+    def test_worker_counts_agree_on_cwa(self, workers, force_parallel):
+        sem = get_semantics("cwa")
+        rng = random.Random(31 + workers)
+        instance = random_instance(
+            SCHEMA, rng, n_facts=6, constants=(1, 2, 3), n_nulls=3,
+            null_probability=0.7,
+        )
+        stats = {}
+        serial = certain_answers(JOIN, instance, sem)
+        sharded = certain_answers(JOIN, instance, sem, workers=workers, stats_out=stats)
+        assert serial == sharded
+        if workers == 1:
+            # one worker is the serial path by the cost model
+            assert stats["mode"] in ("serial", "seed")
+        elif stats["mode"] == "parallel":
+            assert stats["workers"] >= 1
+            assert stats["worlds"] > 0
+
+    def test_boolean_queries(self, force_parallel):
+        q = Query.boolean(parse("exists v (exists w (R(v, w)))"))
+        instance = Instance({"R": [(X, Y)], "S": [(X,)]})
+        sem = get_semantics("cwa")
+        assert (
+            certain_answers(q, instance, sem, workers=2)
+            == certain_answers(q, instance, sem)
+            == frozenset({()})
+        )
+
+
+class TestCancellation:
+    def test_empty_intersection_cancels(self, force_parallel):
+        # ¬∃v R(v,v) is certainly false on {R(⊥x,⊥y)}: the collapsing
+        # seed world already satisfies ∃v R(v,v), so the oracle must
+        # stop after the seeds instead of enumerating every world
+        q = Query.boolean(parse("!(exists v (R(v, v)))"))
+        instance = Instance({"R": [(X, Y)]})
+        sem = get_semantics("cwa")
+        stats = {}
+        got = certain_answers(q, instance, sem, workers=4, stats_out=stats)
+        assert got == frozenset()
+        pool = default_pool(instance, q)
+        assert stats["worlds"] < len(pool) ** 2
+        assert stats["mode"] in ("seed", "parallel")
+
+    def test_shard_level_cancellation_reported(self, force_parallel):
+        # certain answers empty, but not detectable from the seed worlds
+        # alone for every instance — when sharding runs, a cancelling
+        # shard must be flagged
+        q = Query(parse("R(x, x)"), ("x",))
+        instance = Instance({"R": [(X, Y), (Y, 1)], "S": [(X,)]})
+        sem = get_semantics("cwa")
+        stats = {}
+        got = certain_answers(q, instance, sem, workers=2, stats_out=stats)
+        assert got == certain_answers(q, instance, sem)
+        if stats["mode"] == "parallel":
+            assert any(s["empty"] for s in stats["per_shard"]) == stats["cancelled"]
+
+
+class TestOracleStats:
+    def test_stats_surface_in_eval_result(self, force_parallel):
+        instance = Instance({"R": [(X, Y), (1, X)], "S": [(Y,)]})
+        result = evaluate(JOIN, instance, "cwa", mode="enumeration", workers=2)
+        oracle = result.stats["oracle"]
+        assert oracle["worlds"] >= 1
+        assert oracle["mode"] in ("seed", "serial", "parallel")
+        assert "relevant_nulls" in oracle and "total_nulls" in oracle
+
+    def test_relevance_restriction_reported(self):
+        # S-nulls are invisible to a plan that only reads R
+        instance = Instance({"R": [(X, 1)], "S": [(Y,), (Null("z"),)]})
+        stats = {}
+        certain_answers(JOIN, instance, get_semantics("cwa"), stats_out=stats)
+        assert stats["total_nulls"] == 3
+        assert stats["relevant_nulls"] == 1
+        assert stats["restricted"] is True
+
+    def test_relevance_restriction_is_sound(self):
+        # reference: enumerate full worlds as Instances and intersect
+        from repro.core.certain import query_schema
+        from repro.logic.compile import compiled_query
+
+        sem = get_semantics("cwa")
+        rng = random.Random(0xDEAD)
+        for _ in range(20):
+            instance = random_instance(
+                SCHEMA, rng, n_facts=4, constants=(1, 2), n_nulls=3,
+                null_probability=0.8,
+            )
+            pool = default_pool(instance, JOIN)
+            cq = compiled_query(JOIN)
+            schema = instance.schema().union(query_schema(JOIN))
+            reference = None
+            for world in sem.expand(instance, list(pool), schema=schema):
+                rows = cq.answers(world)
+                reference = rows if reference is None else reference & rows
+            assert certain_answers(JOIN, instance, sem) == reference
+
+
+class TestWorldSpecPayload:
+    def test_spec_round_trips_through_pickle(self):
+        import pickle
+
+        from repro.core.certain import _build_spec
+        from repro.logic.compile import compiled_query
+
+        instance = Instance({"R": [(X, Y), (1, 2)], "S": [(X,)]})
+        pool = default_pool(instance, JOIN)
+        sem = get_semantics("cwa")
+        fresh = tuple(v for v in pool if v not in instance.constants())
+        spec, fresh_set, info = _build_spec(
+            compiled_query(JOIN), instance, sem, pool, fresh, 500_000
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        vals = list(_canonical_valuations(spec.n_slots, spec.base_choices, spec.fresh_tail))
+        got, worlds, _ = clone.run(iter(vals))
+        want, worlds2, _ = spec.run(iter(vals))
+        assert got == want and worlds == worlds2
+
+
+class TestSessionAndPlanIntegration:
+    def test_database_workers_parameter(self, force_parallel):
+        instance = Instance({"R": [(X, Y), (Y, 1)], "S": [(X,)]})
+        serial_db = Database(instance, semantics="cwa")
+        parallel_db = Database(instance, semantics="cwa", workers=2)
+        q = "exists z (R(x, z) & R(z, y))"
+        assert (
+            serial_db.evaluate(q, mode="enumeration").answers
+            == parallel_db.evaluate(q, mode="enumeration").answers
+        )
+
+    def test_workers_change_invalidates_plans(self):
+        db = Database({"R": [(1, X)]}, semantics="cwa")
+        gen = db.generation
+        db.workers = 8
+        assert db.generation == gen + 1
+        db.workers = 8  # no-op
+        assert db.generation == gen + 1
+
+    def test_plan_records_sharding(self):
+        instance = Instance(
+            {"R": [(Null(f"n{i}"), Null(f"n{i+1}")) for i in range(8)]}
+        )
+        db = Database(instance, semantics="cwa", workers=4)
+        plan = db.explain(JOIN, mode="enumeration")
+        assert plan.cost.workers == 4
+        assert plan.to_dict()["cost"]["workers"] == 4
+
+    def test_plan_notes_serial_fallback(self):
+        db = Database({"R": [(1, X)]}, semantics="cwa", workers=4)
+        plan = db.explain(JOIN, mode="enumeration")
+        assert plan.cost.workers == 0
+        assert any("serial" in note for note in plan.notes)
+
+    def test_plan_notes_non_substitution_semantics(self):
+        db = Database({"R": [(1, X)]}, semantics="owa", workers=4)
+        plan = db.explain(JOIN, mode="enumeration")
+        assert plan.cost.workers == 0
+        assert any("substitution-only" in note for note in plan.notes)
