@@ -21,7 +21,6 @@ from repro.data.schema import Schema
 from repro.data.values import Null
 from repro.datalog import Atom, Program, Rule, evaluate_program
 from repro.logic.ast import Var
-from repro.logic.eval import evaluate
 from repro.logic.parser import parse
 from repro.logic.queries import Query
 from repro.semantics import get_semantics

@@ -11,7 +11,7 @@ The paper's future-work directions made measurable:
 
 from repro.constraints import FunctionalDependency, Key, certain_answers_under
 from repro.core.certain import certain_answers
-from repro.ctables import CFact, CInstance, ceq, cneq, difference
+from repro.ctables import CFact, CInstance, cneq, difference
 from repro.data.instance import Instance
 from repro.data.values import Null
 from repro.logic.parser import parse

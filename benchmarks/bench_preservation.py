@@ -35,7 +35,9 @@ def make_pairs(seed: int, n: int):
     pairs = []
     for _ in range(n):
         source = random_complete_instance(SCHEMA, rng, n_facts=rng.randint(1, 3), constants=(1, 2))
-        target = random_complete_instance(SCHEMA, rng, n_facts=rng.randint(1, 4), constants=(1, 2, 3))
+        target = random_complete_instance(
+            SCHEMA, rng, n_facts=rng.randint(1, 4), constants=(1, 2, 3)
+        )
         pairs.append((source, target))
     return pairs
 

@@ -1,8 +1,10 @@
 """CI regression gate: fail when any benchmark workload regresses >N×.
 
-Compares a freshly measured harness JSON against the checked-in baseline
-(``BENCH_pr3.json``) and exits non-zero when any timing metric of a
-matching workload row exceeds ``tolerance`` times its baseline value.
+Compares a freshly measured harness JSON against the checked-in
+baseline.  The baseline is a *convention*, not a hard-coded name: the
+highest-numbered ``BENCH_pr*.json`` in the repository root is the
+baseline, so each PR's checked-in numbers automatically become the next
+PR's gate (override with ``--baseline``).
 
 Rows are matched by their *identity fields* (everything that is not a
 timing metric); timing metrics are the keys ending in ``_ms``/``_us``/
@@ -12,24 +14,48 @@ fail the gate — workloads are allowed to be added or retired.
 Usage::
 
     python benchmarks/harness.py --json BENCH_fresh.json
-    python benchmarks/check_regression.py BENCH_pr3.json BENCH_fresh.json
-    python benchmarks/check_regression.py baseline.json fresh.json --tolerance 2.5
+    python benchmarks/check_regression.py BENCH_fresh.json
+    python benchmarks/check_regression.py fresh.json --baseline old.json --tolerance 2.5
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
+from pathlib import Path
 
 #: sections whose rows carry timing metrics worth gating
-GATED_SECTIONS = ("performance", "engine", "oracle_parallel", "homs")
+GATED_SECTIONS = ("performance", "engine", "oracle_parallel", "homs", "serving")
 
 #: a timing metric is any numeric field with one of these suffixes
 TIMING_SUFFIXES = ("_ms", "_us", "seconds")
 
 #: metrics below this are noise-dominated on shared CI runners; skip them
 MIN_GATED_MS = 0.5
+
+#: the baseline naming convention: BENCH_pr<N>.json, highest N wins
+BASELINE_PATTERN = re.compile(r"^BENCH_pr(\d+)\.json$")
+
+
+def latest_baseline(root: Path, exclude: Path | None = None) -> Path:
+    """The highest-numbered ``BENCH_pr*.json`` under ``root``."""
+    best: tuple[int, Path] | None = None
+    for path in root.iterdir():
+        match = BASELINE_PATTERN.match(path.name)
+        if not match:
+            continue
+        if exclude is not None and path.resolve() == exclude.resolve():
+            continue
+        number = int(match.group(1))
+        if best is None or number > best[0]:
+            best = (number, path)
+    if best is None:
+        raise SystemExit(
+            f"no BENCH_pr*.json baseline found in {root} — pass --baseline"
+        )
+    return best[1]
 
 
 def _is_timing(key: str) -> bool:
@@ -92,16 +118,28 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="checked-in baseline JSON (e.g. BENCH_pr3.json)")
     parser.add_argument("fresh", help="freshly measured JSON")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON (default: the highest-numbered BENCH_pr*.json "
+        "in the repository root)",
+    )
     parser.add_argument(
         "--tolerance", type=float, default=2.0,
         help="fail when fresh > tolerance × baseline (default 2.0)",
     )
     args = parser.parse_args(argv)
-    with open(args.baseline, encoding="utf-8") as handle:
+    fresh_path = Path(args.fresh)
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    else:
+        root = Path(__file__).resolve().parent.parent
+        baseline_path = latest_baseline(root, exclude=fresh_path)
+        print(f"baseline (latest checked-in): {baseline_path.name}")
+    with open(baseline_path, encoding="utf-8") as handle:
         baseline = json.load(handle)
-    with open(args.fresh, encoding="utf-8") as handle:
+    with open(fresh_path, encoding="utf-8") as handle:
         fresh = json.load(handle)
     failures = compare(baseline, fresh, args.tolerance)
     if failures:

@@ -382,7 +382,10 @@ def engine_comparison(quick: bool) -> list[dict]:
         )
 
     print("\nCWA certain answers (incremental worlds vs per-world instances):")
-    print(f"{'n_facts':>8} {'nulls':>6} {'pool':>6} {'seed':>12} {'incremental':>12} {'speedup':>9}")
+    print(
+        f"{'n_facts':>8} {'nulls':>6} {'pool':>6} {'seed':>12} "
+        f"{'incremental':>12} {'speedup':>9}"
+    )
     rule()
     from repro.core.certain import default_pool
 
@@ -489,7 +492,10 @@ def oracle_parallel(quick: bool) -> list[dict]:
 
     join = Query(parse("exists z (R(x, z) & R(z, y))"), ("x", "y"))
     sem = get_semantics("cwa")
-    print(f"{'n_facts':>8} {'nulls':>6} {'pr2':>12} {'serial':>12} {'4 workers':>12} {'speedup':>9}")
+    print(
+        f"{'n_facts':>8} {'nulls':>6} {'pr2':>12} {'serial':>12} "
+        f"{'4 workers':>12} {'speedup':>9}"
+    )
     rule()
     rows: list[dict] = []
     cases = ((8, 4), (10, 5)) if quick else ((6, 3), (8, 4), (10, 5), (12, 6))
@@ -647,6 +653,129 @@ def hom_engine_comparison(quick: bool) -> list[dict]:
     return rows
 
 
+# ----------------------------------------------------------------------
+# PR 4: the serving layer — incremental mutation + result cache
+# ----------------------------------------------------------------------
+
+def serving(quick: bool) -> list[dict]:
+    """PR 4's serving numbers: incremental mutation with the generation-keyed
+    result cache against full re-ingest, plus request latency through the
+    JSON service."""
+    heading("SERVING — incremental mutation + result cache vs full re-ingest")
+    from repro.server import QueryService
+    from repro.session import Database
+
+    rng = random.Random(0x5E44)
+    # a 128-fact instance: 96 R-edges over 24 constants (+2 nulls), 32 S rows
+    r_rows = list({
+        (rng.randrange(24), rng.randrange(24)) for _ in range(200)
+    })[:94] + [(0, Null("a")), (Null("a"), Null("b"))]
+    s_rows = [(i,) for i in range(128 - len(r_rows))]
+    base = {"R": r_rows, "S": s_rows}
+    join_text = "exists z (R(x, z) & R(z, y))"
+    n_facts = len(r_rows) + len(s_rows)
+
+    # A. write-then-requery, writes touching a relation the query does not
+    # read: the incremental session patches indexes and serves the cached
+    # result; the re-ingest baseline rebuilds Database/instance/plan/indexes
+    n_inc = 100 if quick else 400
+    n_re = 20 if quick else 60
+    db = Database({k: list(v) for k, v in base.items()})
+    q = db.query(join_text, vars=("x", "y"))
+    want = q.evaluate().answers
+    start = time.perf_counter()
+    for i in range(n_inc):
+        db.insert("S", (1000 + i,))
+        assert q.evaluate().answers == want
+    incremental_t = (time.perf_counter() - start) / n_inc
+    hit_rate = db.cache_stats["hits"] / max(
+        1, db.cache_stats["hits"] + db.cache_stats["misses"]
+    )
+
+    grown_s = list(s_rows)
+    start = time.perf_counter()
+    for i in range(n_re):
+        grown_s.append((1000 + i,))
+        fresh = Database({"R": list(r_rows), "S": list(grown_s)})
+        got = fresh.query(join_text, vars=("x", "y")).evaluate().answers
+    reingest_t = (time.perf_counter() - start) / n_re
+    assert got == want
+    speedup = reingest_t / max(incremental_t, 1e-9)
+    # the acceptance bar: incremental mutation beats full re-ingest ≥5×
+    assert speedup >= 5, f"incremental speedup {speedup:.1f}× below the 5× bar"
+    print(
+        f"{'write+requery':<28} {'re-ingest':>12} {'incremental':>12} "
+        f"{'speedup':>9} {'hit rate':>9}"
+    )
+    rule()
+    print(
+        f"{f'{n_facts} facts, unrelated write':<28} {reingest_t * 1e3:>10.2f}ms "
+        f"{incremental_t * 1e3:>10.3f}ms {speedup:>8.0f}x {hit_rate * 100:>8.1f}%"
+    )
+    rows = [
+        {
+            "workload": "serving_requery",
+            "n_facts": n_facts,
+            "reingest_ms": round(reingest_t * 1e3, 4),
+            "incremental_ms": round(incremental_t * 1e3, 4),
+            "cache_hit_rate": round(hit_rate, 4),
+        }
+    ]
+
+    # B. request latency through the JSON service: a deterministic mix of
+    # reads (3 prepared texts) and single-fact writes on the S relation
+    texts = [
+        join_text,
+        "exists z (R(x, z) & S(z))",
+        "exists x, y (R(x, y) & R(y, x))",
+    ]
+    service = QueryService(Database({k: list(v) for k, v in base.items()}))
+    n_requests = 200 if quick else 600
+    latencies: list[float] = []
+    stream_rng = random.Random(0xAB)
+    start = time.perf_counter()
+    for i in range(n_requests):
+        if stream_rng.random() < 0.15:
+            request = {"op": "insert", "relation": "S", "rows": [[2000 + i]]}
+        else:
+            request = {
+                "op": "query",
+                "query": texts[stream_rng.randrange(len(texts))],
+            }
+        t0 = time.perf_counter()
+        response = service.handle(request)
+        latencies.append(time.perf_counter() - t0)
+        assert response["ok"], response
+    total_t = time.perf_counter() - start
+    latencies.sort()
+    p50 = latencies[len(latencies) // 2]
+    p95 = latencies[int(len(latencies) * 0.95)]
+
+    n_mut = 200 if quick else 1000
+    mut_db = Database({k: list(v) for k, v in base.items()})
+    start = time.perf_counter()
+    for i in range(n_mut):
+        mut_db.insert("S", (5000 + i,))
+    mutation_t = (time.perf_counter() - start) / n_mut
+
+    print(f"\n{'request stream':<28} {'p50':>10} {'p95':>10} {'req/s':>10} {'mut/s':>10}")
+    rule()
+    print(
+        f"{f'{n_requests} reqs, 15% writes':<28} {p50 * 1e3:>8.3f}ms {p95 * 1e3:>8.3f}ms "
+        f"{n_requests / total_t:>10.0f} {1 / mutation_t:>10.0f}"
+    )
+    rows.append(
+        {
+            "workload": "serving_requests",
+            "n_requests": n_requests,
+            "p50_ms": round(p50 * 1e3, 4),
+            "p95_ms": round(p95 * 1e3, 4),
+            "mutation_us": round(mutation_t * 1e6, 2),
+        }
+    )
+    return rows
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="fewer trials")
@@ -669,6 +798,7 @@ def main() -> int:
     engine_rows = engine_comparison(args.quick)
     oracle_rows = oracle_parallel(args.quick)
     hom_rows = hom_engine_comparison(args.quick)
+    serving_rows = serving(args.quick)
     if args.json:
         payload = {
             "meta": {
@@ -681,6 +811,7 @@ def main() -> int:
             "engine": engine_rows,
             "oracle_parallel": oracle_rows,
             "homs": hom_rows,
+            "serving": serving_rows,
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)

@@ -38,7 +38,10 @@ print(log.pretty())
 # ----------------------------------------------------------------------
 
 rule1 = Query.boolean(
-    parse("forall u, r . Access(u, r) -> (Sensitive(r) & Clearance(u, 'high') | exists l . Clearance(u, l))"),
+    parse(
+        "forall u, r . Access(u, r) -> "
+        "(Sensitive(r) & Clearance(u, 'high') | exists l . Clearance(u, l))"
+    ),
     name="accessors_are_known",
 )
 verdict = analyze(rule1, "cwa")

@@ -11,7 +11,7 @@ Run with::
     python examples/recursive_reachability.py
 """
 
-from repro import Instance, Null, Query, parse
+from repro import Instance, Query, parse
 from repro.data.values import NullFactory
 from repro.datalog import (
     Atom,

@@ -12,7 +12,7 @@ Run with::
     python examples/sql_nulls.py
 """
 
-from repro import Instance, Null, Query, evaluate, parse
+from repro import Instance, Query, evaluate, parse
 from repro.data.codd import from_sql_rows, to_sql_rows
 from repro.orders.codd import cwa_codd_leq, hoare_leq, plotkin_leq
 from repro.orders.semantic import leq_cwa, leq_owa, leq_pcwa

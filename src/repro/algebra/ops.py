@@ -96,7 +96,9 @@ class Relation:
     def difference(self, other: "Relation") -> "Relation":
         """−: same columns required; naive (syntactic) equality."""
         if other.columns != self.columns:
-            raise ValueError(f"difference needs identical schemas: {self.columns} vs {other.columns}")
+            raise ValueError(
+                f"difference needs identical schemas: {self.columns} vs {other.columns}"
+            )
         return Relation(self.columns, self.rows - other.rows)
 
     def product(self, other: "Relation") -> "Relation":

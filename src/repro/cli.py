@@ -24,90 +24,22 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Hashable
 
 from repro.core import analyze, evaluate
 from repro.core.analyzer import FIGURE_1
 from repro.core.backends import available_backends
 from repro.data.instance import Instance
-from repro.data.values import Null
+
+# the JSON wire format lives in repro.data.jsonio (shared with the
+# server); the CLI re-exports the instance codec under its historical
+# public names
+from repro.data.jsonio import instance_from_json, instance_to_json
 from repro.logic.classes import classify
 from repro.logic.queries import Query
 from repro.semantics.base import ExpansionLimitError
 from repro.session import Database, as_query
 
 __all__ = ["main", "instance_from_json", "instance_to_json"]
-
-
-def _decode_cell(cell) -> Hashable:
-    if isinstance(cell, str) and cell.startswith("?"):
-        if cell.startswith("??"):
-            return cell[1:]  # escaped literal: "??x" is the constant "?x"
-        return Null(cell[1:])
-    if isinstance(cell, (list, dict)):
-        raise ValueError(f"{cell!r} is not a valid cell (must be a scalar)")
-    return cell
-
-
-def _encode_cell(relation: str, value: Hashable):
-    if isinstance(value, Null):
-        if value.label.startswith("?"):
-            raise ValueError(
-                f"relation {relation!r}: null label {value.label!r} starts with "
-                f"'?' and cannot be represented in the JSON format"
-            )
-        return "?" + value.label
-    if isinstance(value, str):
-        return "?" + value if value.startswith("?") else value
-    if value is None or isinstance(value, (bool, int, float)):
-        return value
-    raise ValueError(
-        f"relation {relation!r}: cell {value!r} is not representable as a JSON scalar"
-    )
-
-
-def instance_from_json(text: str) -> Instance:
-    """Parse the JSON instance format (see module docstring)."""
-    data = json.loads(text)
-    if not isinstance(data, dict):
-        raise ValueError("instance JSON must be an object of relation → rows")
-    rels: dict[str, list[tuple]] = {}
-    for name, rows in data.items():
-        if not isinstance(rows, list):
-            raise ValueError(
-                f"relation {name!r}: expected a list of rows, got {rows!r}"
-            )
-        decoded: list[tuple] = []
-        for row in rows:
-            if not isinstance(row, list):
-                raise ValueError(
-                    f"relation {name!r}: row {row!r} is not a list — each row "
-                    f"must be a JSON array of cells"
-                )
-            try:
-                decoded.append(tuple(_decode_cell(c) for c in row))
-            except ValueError as err:
-                raise ValueError(f"relation {name!r}, row {row!r}: {err}") from None
-        rels[name] = decoded
-    return Instance(rels)
-
-
-def instance_to_json(instance: Instance) -> str:
-    """Render an instance back into the JSON format (round-trip safe).
-
-    String constants beginning with ``?`` are escaped by doubling the
-    marker (``"?x"`` → ``"??x"``) so decoding cannot mistake them for
-    nulls; cells that are not JSON scalars raise :class:`ValueError`
-    instead of being silently stringified.
-    """
-    data = {
-        name: [
-            [_encode_cell(name, v) for v in row]
-            for row in sorted(instance.tuples(name), key=repr)
-        ]
-        for name in instance.relations
-    }
-    return json.dumps(data)
 
 
 def _build_query(text: str) -> Query:
@@ -218,6 +150,30 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the JSON-lines query server over one shared Database."""
+    from repro.server import QueryService, Server
+
+    instance = _load_instance(args.instance)
+    db = Database(instance, semantics=args.semantics, workers=args.workers)
+    if args.workers and args.workers > 1:
+        # fork the oracle's worker processes before any client thread
+        # exists (forking a multithreaded parent is a footgun)
+        db.ensure_worker_pool()
+    service = QueryService(db, batch=not args.no_batch)
+    server = Server(service, host=args.host, port=args.port, max_threads=args.threads)
+    print(f"repro serve: listening on {server.address[0]}:{server.address[1]}")
+    print("protocol: one JSON request per line, one JSON response per line")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+        db.close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -281,6 +237,33 @@ def main(argv: list[str] | None = None) -> int:
         help="also show the compiled relational operator tree (joins, scans, …)",
     )
     p_explain.set_defaults(func=_cmd_explain)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the JSON-lines query server over one shared session "
+        "(concurrent clients, incremental mutation, result caching)",
+    )
+    p_serve.add_argument(
+        "instance",
+        nargs="?",
+        default=None,
+        help="optional JSON instance file to seed the session (default: empty)",
+    )
+    p_serve.add_argument("--semantics", choices=sorted(FIGURE_1), default="cwa")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7453, help="TCP port (0 = pick a free one)"
+    )
+    p_serve.add_argument(
+        "--threads", type=int, default=8, help="max concurrent client connections"
+    )
+    p_serve.add_argument("--workers", type=int, default=None, help=workers_help)
+    p_serve.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable coalescing of concurrent query requests into evaluate_many batches",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     try:

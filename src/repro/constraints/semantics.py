@@ -80,7 +80,9 @@ def certain_answers_under(
     sem = ConstrainedSemantics(base, constraints)
     schema = instance.schema().union(query_schema(query))
     result: frozenset[tuple[Hashable, ...]] | None = None
-    for world in sem.expand(instance, list(pool), schema=schema, extra_facts=extra_facts, limit=limit):
+    for world in sem.expand(
+        instance, list(pool), schema=schema, extra_facts=extra_facts, limit=limit
+    ):
         if result is None:
             result = query.eval_raw(world)
         elif query.is_boolean:

@@ -22,10 +22,26 @@ __all__ = ["Verdict", "analyze", "FIGURE_1"]
 FIGURE_1 = {
     "owa": ("EPos", None, "Imielinski & Lipski 1984; optimal by Libkin 2011 / Rossman 2008"),
     "wcwa": ("Pos", None, "Theorem 5.2 via Lyndon-style preservation under onto homomorphisms"),
-    "cwa": ("PosForallG", None, "Theorem 5.2 via preservation under strong onto homomorphisms (Prop. 5.1)"),
-    "pcwa": ("EPosForallGBool", None, "Corollary 7.9 via unions of strong onto homomorphisms (Lemma 7.8)"),
-    "mincwa": ("PosForallG", "cores", "Corollary 10.12; in general needs Q(D) = Q(core(D)) (Cor. 10.6)"),
-    "minpcwa": ("EPosForallGBool", "cores", "Corollary 10.12; in general needs Q(D) = Q(core(D)) (Cor. 10.6)"),
+    "cwa": (
+        "PosForallG",
+        None,
+        "Theorem 5.2 via preservation under strong onto homomorphisms (Prop. 5.1)",
+    ),
+    "pcwa": (
+        "EPosForallGBool",
+        None,
+        "Corollary 7.9 via unions of strong onto homomorphisms (Lemma 7.8)",
+    ),
+    "mincwa": (
+        "PosForallG",
+        "cores",
+        "Corollary 10.12; in general needs Q(D) = Q(core(D)) (Cor. 10.6)",
+    ),
+    "minpcwa": (
+        "EPosForallGBool",
+        "cores",
+        "Corollary 10.12; in general needs Q(D) = Q(core(D)) (Cor. 10.6)",
+    ),
 }
 
 _FRAGMENT_PRETTY = {

@@ -74,9 +74,29 @@ class Backend(ABC):
     #: engine only forwards them to backends that opt in, so plug-in
     #: backends with the historical signature keep working.
     supports_workers: bool = False
+    #: does :meth:`execute` additionally accept a ``worker_pool`` keyword
+    #: (a persistent :class:`~repro.core.parallel.OracleWorkerPool` the
+    #: session layer keeps alive across requests)?  Separate from
+    #: ``supports_workers`` so PR 3-era plug-ins keep working unchanged.
+    supports_worker_pool: bool = False
 
     def validate(self, semantics: Semantics) -> None:
         """Raise :class:`ValueError` when this backend cannot serve ``semantics``."""
+
+    def cache_relations(self, semantics: Semantics, exact: bool, cq) -> frozenset[str] | None:
+        """Which relations the result is a pure function of, or ``None``.
+
+        The session layer's result cache may reuse an answer set across
+        mutations only when the backend can *prove* the answers depend
+        on nothing but the rows of a known relation set — it then keys
+        the cache on those relations' generation counters.  ``None``
+        (the default) means "never cache me".  ``exact`` is the planned
+        run's exactness flag, ``cq`` the
+        :class:`~repro.logic.compile.CompiledQuery` of the prepared
+        query.  The planner surfaces a positive answer as an EXPLAIN
+        note.
+        """
+        return None
 
     def needs_core_check(self, verdict: Verdict) -> bool:
         """Does exactness accounting require knowing whether the instance is a core?"""
@@ -135,6 +155,12 @@ class NaiveBackend(Backend):
             return True, ""
         return False, ("subset" if verdict.approximation else "unknown")
 
+    def cache_relations(self, semantics, exact, cq):
+        # naive evaluation of a domain-independent plan is a pure
+        # function of the relations the operator DAG scans, whatever
+        # the semantics (the semantics only labels exactness)
+        return None if cq.adom_dependent else cq.relations
+
     def execute(self, query, instance, semantics, *, pool=None, extra_facts=None, limit=500_000):
         return _naive.naive_eval(query, instance, engine=self.engine)
 
@@ -180,17 +206,29 @@ class EnumerationBackend(Backend):
     name = "enumeration"
     summary = "bounded certain-answer oracle (intersect Q(E) over [[D]] on a pool)"
     supports_workers = True
+    supports_worker_pool = True
 
     def exactness(self, semantics, verdict, instance_is_core, extra_facts):
         if semantics.enumeration_exact(extra_facts):
             return True, ""
         return False, "superset"
 
+    def cache_relations(self, semantics, exact, cq):
+        # sound only when the computed set is the *exact* certain answers
+        # (an exact pool under a substitution-only semantics) of a
+        # domain-independent plan: certain(Q, D) is then determined by
+        # the read relations alone — Q(v(D)) depends only on v restricted
+        # to their nulls, and [[D]] ranges over all such restrictions
+        if semantics.substitution_only and exact and not cq.adom_dependent:
+            return cq.relations
+        return None
+
     def execute(self, query, instance, semantics, *, pool=None, extra_facts=None,
-                limit=500_000, workers=None, stats_out=None):
+                limit=500_000, workers=None, stats_out=None, worker_pool=None):
         return _certain.certain_answers(
             query, instance, semantics, pool=pool, extra_facts=extra_facts,
             limit=limit, workers=workers, stats_out=stats_out,
+            worker_pool=worker_pool,
         )
 
 

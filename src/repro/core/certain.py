@@ -519,6 +519,7 @@ def _certain_by_valuations(
     limit: int,
     workers: int = 0,
     stats_out: dict | None = None,
+    worker_pool=None,
 ) -> frozenset[tuple[Hashable, ...]]:
     """``⋂ Q(v(D))`` over valuations, without building an Instance per world.
 
@@ -530,7 +531,9 @@ def _certain_by_valuations(
     instance nor the query (empty = enumerate the full product).
     ``workers`` > 0 shards the valuation space across a process pool
     (:mod:`repro.core.parallel`); the cost model may still fall back to
-    the serial path for small spaces.
+    the serial path for small spaces.  ``worker_pool`` reuses a
+    persistent :class:`~repro.core.parallel.OracleWorkerPool` instead of
+    forking a fresh pool for this call (the serving path).
     """
     spec, fresh_set, info = _build_spec(cq, instance, semantics, pool, fresh_tail, limit)
 
@@ -565,7 +568,9 @@ def _certain_by_valuations(
 
         spec.seed = seed_result
         spec.seed_keys = frozenset(seen)
-        result = parallel_intersection(spec, workers, stats_out=stats_out)
+        result = parallel_intersection(
+            spec, workers, stats_out=stats_out, worker_pool=worker_pool
+        )
     else:
         result, worlds, _ = spec.run(
             _canonical_valuations(spec.n_slots, spec.base_choices, spec.fresh_tail),
@@ -597,6 +602,7 @@ def certain_answers(
     limit: int = 500_000,
     workers: int | None = None,
     stats_out: dict | None = None,
+    worker_pool=None,
 ) -> frozenset[tuple[Hashable, ...]]:
     """``⋂ { Q(E) : E ∈ [[instance]] }`` over the (defaulted) pool.
 
@@ -634,7 +640,7 @@ def certain_answers(
             )
         return _certain_by_valuations(
             cq, instance, semantics, list(pool), fresh_tail, limit,
-            workers=workers or 0, stats_out=stats_out,
+            workers=workers or 0, stats_out=stats_out, worker_pool=worker_pool,
         )
     schema = instance.schema().union(query_schema(query))
     result: frozenset[tuple[Hashable, ...]] | None = None

@@ -69,6 +69,7 @@ def execute_plan(
     extra_facts: int | None = None,
     limit: int = 500_000,
     workers: int | None = None,
+    worker_pool=None,
     stats: Mapping[str, object] | None = None,
 ) -> EvalResult:
     """Run a :class:`~repro.core.plan.Plan` and package the result.
@@ -78,7 +79,10 @@ def execute_plan(
     measured execution time.  ``workers`` (the oracle's sharding cap)
     and the per-shard metadata are forwarded to / collected from
     backends that declare ``supports_workers``; the oracle's metadata
-    lands under ``stats["oracle"]``.
+    lands under ``stats["oracle"]``.  ``worker_pool`` (a persistent
+    :class:`~repro.core.parallel.OracleWorkerPool` owned by the session
+    layer) only reaches backends declaring ``supports_worker_pool``, so
+    older plug-in signatures keep working.
     """
     sem = semantics if semantics is not None else get_semantics(plan.semantics)
     if sem.key != plan.semantics:
@@ -91,6 +95,8 @@ def execute_plan(
     oracle_stats: dict[str, object] = {}
     if getattr(backend, "supports_workers", False):
         extra_kwargs = {"workers": workers, "stats_out": oracle_stats}
+        if getattr(backend, "supports_worker_pool", False):
+            extra_kwargs["worker_pool"] = worker_pool
     start = perf_counter()
     answers = backend.execute(
         query, instance, sem, pool=pool, extra_facts=extra_facts, limit=limit,

@@ -21,17 +21,33 @@ per-instance index reuse of the serial path.
 The pool start method prefers ``fork`` (cheap, shares the already-built
 compiled-plan caches) and falls back to the platform default where fork
 is unavailable.
+
+Two dispatch modes coexist:
+
+* **one-shot** (the default) — a fresh pool per call, the spec shipped
+  once via the pool initializer, ``terminate()`` on early cancellation;
+* **persistent** (:class:`OracleWorkerPool`) — one pool kept alive by a
+  long-running session/server and reused across requests, so serving a
+  stream of oracle queries does not re-fork per call.  Each run ships
+  the spec alongside its chunks tagged with a run token; workers keep
+  the static-index context of the token they last saw, so within one
+  run the shared indexes are still built once per worker.  Cancellation
+  stops consuming results instead of terminating (the pool must
+  survive), letting in-flight chunks finish into the void.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
+import pickle
+import threading
 from time import perf_counter
 from typing import Hashable, Sequence
 
 from repro.core.certain import WorldSpec, _canonical_valuations
 
-__all__ = ["shard_prefixes", "parallel_intersection"]
+__all__ = ["shard_prefixes", "parallel_intersection", "OracleWorkerPool"]
 
 #: target number of shards per worker — small enough to keep payload
 #: dispatch cheap, large enough that an early-cancelling shard frees its
@@ -78,7 +94,7 @@ def _init_worker(spec: WorldSpec) -> None:
     _WORKER_CTX = spec.base_context()
 
 
-def _run_chunk(chunk: tuple[int, list[tuple[Hashable, ...]]]):
+def _expand_chunk(spec: WorldSpec, base_ctx, chunk):
     """Intersect one chunk of canonical-prefix subtrees.
 
     Starts from the seed intersection shipped in the spec, so a world
@@ -86,7 +102,6 @@ def _run_chunk(chunk: tuple[int, list[tuple[Hashable, ...]]]):
     (and thereby cancels the whole computation) as early as possible.
     """
     chunk_id, prefixes = chunk
-    spec, base_ctx = _WORKER_SPEC, _WORKER_CTX
     start = perf_counter()
     result, worlds, stopped = spec.run(
         (
@@ -103,17 +118,112 @@ def _run_chunk(chunk: tuple[int, list[tuple[Hashable, ...]]]):
     return chunk_id, result, worlds, perf_counter() - start, stopped
 
 
+def _run_chunk(chunk: tuple[int, list[tuple[Hashable, ...]]]):
+    """One-shot-pool entry point: the spec arrived via the initializer."""
+    return _expand_chunk(_WORKER_SPEC, _WORKER_CTX, chunk)
+
+
+#: persistent-pool worker state: (run token, spec, static-index context)
+#: of the run this worker last served — lets one worker deserialize the
+#: spec and build its shared indexes once per run, not once per chunk,
+#: without any per-run initializer
+_TOKEN_CTX: tuple[int, WorldSpec, object] | None = None
+
+
+def _run_chunk_tagged(payload):
+    """Persistent-pool entry point: ``(token, spec bytes, chunk)`` per task.
+
+    The spec travels as pre-pickled bytes (serialized once in the
+    parent); a worker unpickles it only on the first chunk of a token
+    and reuses the cached spec + static-index context for the rest.
+    """
+    global _TOKEN_CTX
+    token, spec_bytes, chunk = payload
+    if _TOKEN_CTX is None or _TOKEN_CTX[0] != token:
+        spec = pickle.loads(spec_bytes)
+        _TOKEN_CTX = (token, spec, spec.base_context())
+    _, spec, base_ctx = _TOKEN_CTX
+    return _expand_chunk(spec, base_ctx, chunk)
+
+
+class OracleWorkerPool:
+    """A process pool the oracle reuses across requests.
+
+    One-shot parallel runs fork a fresh pool and ship the
+    :class:`WorldSpec` through the initializer — fine for a single big
+    query, wasteful for a server answering a stream of them.  A
+    ``Database``/:mod:`repro.server` session keeps one of these alive
+    instead: requests submit their chunks (each tagged with a per-run
+    token so workers can keep their static-index context) to the same
+    processes.  Thread-safe — ``multiprocessing.Pool`` serialises
+    concurrent submissions internally.
+    """
+
+    def __init__(self, processes: int):
+        self.processes = max(1, int(processes))
+        self._pool = _mp_context().Pool(processes=self.processes)
+        self._tokens = itertools.count(1)
+        self._token_lock = threading.Lock()
+        self._closed = False
+
+    def next_token(self) -> int:
+        with self._token_lock:
+            return next(self._tokens)
+
+    def imap_chunks(self, token: int, spec: WorldSpec, chunks):
+        """Unordered shard results for one run (see ``_run_chunk_tagged``).
+
+        The spec is pickled exactly once here; every chunk carries the
+        same bytes (a pipe memcpy), and each worker unpickles them once
+        per token — so neither side pays per-chunk (de)serialization of
+        the compiled-plan payload.
+        """
+        spec_bytes = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+        return self._pool.imap_unordered(
+            _run_chunk_tagged, [(token, spec_bytes, chunk) for chunk in chunks]
+        )
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent), letting in-flight chunks finish.
+
+        Graceful on purpose: a concurrent evaluation may still be
+        consuming ``imap_chunks`` results, and ``terminate()`` would
+        strand its iterator — ``close()+join()`` drains instead (the
+        common idle case returns immediately).
+        """
+        if not self._closed:
+            self._closed = True
+            self._pool.close()
+            self._pool.join()
+
+    def __enter__(self) -> "OracleWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "live"
+        return f"OracleWorkerPool({self.processes} processes, {state})"
+
+
 def parallel_intersection(
     spec: WorldSpec,
     workers: int,
     stats_out: dict | None = None,
+    worker_pool: OracleWorkerPool | None = None,
 ) -> frozenset | None:
     """``seed ∩ ⋂ Q(v(D))`` over all canonical valuations, sharded.
 
-    Shard results stream back unordered; the first empty one terminates
-    the pool (cancelling in-flight shards), which is sound because an
-    empty shard intersection already determines the global answer.
+    Shard results stream back unordered; the first empty one cancels the
+    run (sound because an empty shard intersection already determines
+    the global answer).  With a fresh per-call pool, cancellation
+    ``terminate()``\\ s the workers; with a persistent ``worker_pool``
+    the pool must outlive the run, so cancellation just stops consuming
+    and lets in-flight chunks finish unobserved.
     """
+    if worker_pool is not None:
+        workers = min(workers, worker_pool.processes)
     prefixes = shard_prefixes(
         spec.n_slots, spec.base_choices, spec.fresh_tail, workers * SHARDS_PER_WORKER
     )
@@ -125,16 +235,12 @@ def parallel_intersection(
     result = spec.seed
     worlds = 0
     cancelled = False
+    degraded = False
     per_shard: list[dict] = []
-    ctx = _mp_context()
-    with ctx.Pool(
-        processes=min(workers, n_chunks),
-        initializer=_init_worker,
-        initargs=(spec,),
-    ) as pool:
-        for chunk_id, rows, shard_worlds, seconds, stopped in pool.imap_unordered(
-            _run_chunk, chunks
-        ):
+
+    def consume(results, on_cancel) -> None:
+        nonlocal result, worlds, cancelled
+        for chunk_id, rows, shard_worlds, seconds, stopped in results:
             worlds += shard_worlds
             per_shard.append(
                 {
@@ -150,16 +256,50 @@ def parallel_intersection(
                 # running-intersection exchange: this shard's emptiness
                 # decides the global answer — cancel every other worker
                 cancelled = True
-                pool.terminate()
+                on_cancel()
                 break
+
+    if worker_pool is not None:
+        try:
+            token = worker_pool.next_token()
+            results = worker_pool.imap_chunks(token, spec, chunks)
+        except ValueError:
+            # the pool was closed under us (workers reconfigured mid-run):
+            # degrade to the serial sweep rather than failing the query
+            worker_pool = None
+            degraded = True
+            result, serial_worlds, _ = spec.run(
+                (
+                    vals
+                    for chunk_id, prefixes in chunks
+                    for prefix in prefixes
+                    for vals in _canonical_valuations(
+                        spec.n_slots, spec.base_choices, spec.fresh_tail, prefix=prefix
+                    )
+                ),
+                spec.seed,
+                seen=set(spec.seed_keys),
+            )
+            worlds += serial_worlds
+        else:
+            consume(results, lambda: None)
+    else:
+        ctx = _mp_context()
+        with ctx.Pool(
+            processes=min(workers, n_chunks),
+            initializer=_init_worker,
+            initargs=(spec,),
+        ) as pool:
+            consume(pool.imap_unordered(_run_chunk, chunks), pool.terminate)
 
     if stats_out is not None:
         stats_out.update(
-            mode="parallel",
-            workers=min(workers, n_chunks),
+            mode="serial-fallback" if degraded else "parallel",
+            workers=0 if degraded else min(workers, n_chunks),
             shards=n_chunks,
             worlds=worlds + stats_out.get("seed_worlds", 0),
             cancelled=cancelled,
             per_shard=sorted(per_shard, key=lambda s: s["shard"]),
+            persistent_pool=worker_pool is not None,
         )
     return result

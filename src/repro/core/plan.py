@@ -22,6 +22,7 @@ from repro.core.analyzer import Verdict, analyze
 from repro.core.backends import get_backend, naive_is_certain
 from repro.data.instance import Instance
 from repro.homs.core import is_core
+from repro.logic.compile import compiled_query
 from repro.logic.queries import Query
 from repro.semantics import get_semantics
 from repro.semantics.base import Semantics
@@ -263,6 +264,16 @@ def make_plan(
             f"bounded enumeration cannot cover all of [[D]] under {sem.key} "
             "with this extra_facts setting, so the oracle over-approximates: "
             "certain ⊆ answers"
+        )
+    # result-determinacy note: when the backend can prove the answers are
+    # a pure function of a known relation set, a session's result cache
+    # may key on those relations' generations (repro.session)
+    cache_reads = backend.cache_relations(sem, exact, compiled_query(query))
+    if cache_reads is not None:
+        shown = ", ".join(sorted(cache_reads)) if cache_reads else "∅"
+        notes.append(
+            f"result is a pure function of relations {{{shown}}} — "
+            "session result-cache eligible, keyed on their generations"
         )
 
     null_count = len(instance.nulls())

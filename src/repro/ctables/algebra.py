@@ -37,7 +37,9 @@ def _with_relation(table: CInstance, facts: list[CFact]) -> CInstance:
     return CInstance(tuple(facts), table.global_condition)
 
 
-def select_eq(table: CInstance, relation: str, position: int, value: Hashable, out: str) -> CInstance:
+def select_eq(
+    table: CInstance, relation: str, position: int, value: Hashable, out: str
+) -> CInstance:
     """``σ_{#position = value}``: the condition absorbs the comparison.
 
     A row whose cell is a null is *kept conditionally*: its condition
@@ -56,7 +58,10 @@ def project(table: CInstance, relation: str, positions: Sequence[int], out: str)
     for fact in _facts_of(table, relation):
         row = tuple(fact.row[i] for i in positions)
         by_row.setdefault(row, []).append(fact.condition)
-    facts = [CFact(out, row, cor(*conds)) for row, conds in sorted(by_row.items(), key=lambda kv: repr(kv[0]))]
+    facts = [
+        CFact(out, row, cor(*conds))
+        for row, conds in sorted(by_row.items(), key=lambda kv: repr(kv[0]))
+    ]
     return _with_relation(table, facts)
 
 

@@ -73,7 +73,10 @@ def to_sql_rows(instance: Instance) -> dict[str, list[tuple]]:
     if not instance.is_codd():
         raise ValueError("instance repeats nulls; it has no faithful SQL rendering")
     return {
-        name: [tuple(None if isinstance(v, Null) else v for v in row) for row in sorted(instance.tuples(name), key=repr)]
+        name: [
+            tuple(None if isinstance(v, Null) else v for v in row)
+            for row in sorted(instance.tuples(name), key=repr)
+        ]
         for name in instance.relations
     }
 

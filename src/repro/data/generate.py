@@ -56,7 +56,9 @@ def random_instance(
     for _ in range(n_facts):
         name = rng.choice(names)
         row = tuple(
-            rng.choice(pool) if (pool and rng.random() < null_probability) else rng.choice(list(constants))
+            rng.choice(pool)
+            if (pool and rng.random() < null_probability)
+            else rng.choice(list(constants))
             for _ in range(schema.arity(name))
         )
         rels.setdefault(name, set()).add(row)

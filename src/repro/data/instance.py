@@ -48,7 +48,9 @@ class Instance:
             frozen = frozenset(tuple(t) for t in tuples)
             arities = {len(t) for t in frozen}
             if len(arities) > 1:
-                raise SchemaError(f"relation {name!r} has tuples of mixed arities {sorted(arities)}")
+                raise SchemaError(
+                    f"relation {name!r} has tuples of mixed arities {sorted(arities)}"
+                )
             if arities == {0}:
                 raise SchemaError(f"relation {name!r} has zero-arity tuples")
             if frozen:
@@ -169,7 +171,9 @@ class Instance:
     # algebraic operations
     # ------------------------------------------------------------------
 
-    def apply(self, mapping: Mapping[Hashable, Hashable] | Callable[[Hashable], Hashable]) -> "Instance":
+    def apply(
+        self, mapping: Mapping[Hashable, Hashable] | Callable[[Hashable], Hashable]
+    ) -> "Instance":
         """The image ``h(D)`` of the instance under a value mapping.
 
         ``mapping`` may be a dict (values not in it are left unchanged,
@@ -188,7 +192,9 @@ class Instance:
 
     def union(self, other: "Instance") -> "Instance":
         """Fact-wise union; arities of shared relations must agree."""
-        rels: dict[str, set[tuple]] = {name: set(tuples) for name, tuples in self._relations.items()}
+        rels: dict[str, set[tuple]] = {
+            name: set(tuples) for name, tuples in self._relations.items()
+        }
         for name, tuples in other._relations.items():
             if name in rels:
                 mine = len(next(iter(rels[name])))
@@ -219,15 +225,90 @@ class Instance:
     def restrict(self, names: Iterable[str]) -> "Instance":
         """Keep only the relations in ``names``."""
         wanted = set(names)
-        return Instance({name: tuples for name, tuples in self._relations.items() if name in wanted})
+        return Instance(
+            {name: tuples for name, tuples in self._relations.items() if name in wanted}
+        )
 
     def add_fact(self, name: str, row: tuple) -> "Instance":
         """A new instance with one extra fact."""
-        return self.union(Instance({name: [tuple(row)]}))
+        return self.with_delta(adds={name: [row]})[0]
 
     def remove_fact(self, name: str, row: tuple) -> "Instance":
         """A new instance without the given fact (no-op when absent)."""
-        return self.difference(Instance({name: [tuple(row)]}))
+        return self.with_delta(removes={name: [row]})[0]
+
+    def with_delta(
+        self,
+        adds: Mapping[str, Iterable[tuple]] | None = None,
+        removes: Mapping[str, Iterable[tuple]] | None = None,
+    ) -> tuple["Instance", dict[str, tuple[frozenset, frozenset]]]:
+        """Apply a batch of fact insertions/deletions *incrementally*.
+
+        Returns ``(new_instance, changes)`` where ``changes`` maps each
+        relation that actually changed to its ``(added, removed)`` row
+        sets (the *effective* delta: inserting a present row or deleting
+        an absent one contributes nothing).  Removals are applied before
+        additions, so a row in both ends up present.
+
+        Unlike :meth:`union`/:meth:`difference` — which re-freeze every
+        relation — this shares the untouched relations' row sets (and,
+        via :func:`repro.data.indexes.derive_context`, their hash
+        indexes) with the receiver, making mutation cost proportional to
+        the delta, not the instance.  The session layer's mutation API
+        (``Database.insert``/``delete``/``apply_delta``) is built on it.
+        """
+        rels = dict(self._relations)
+        changes: dict[str, tuple[frozenset, frozenset]] = {}
+        touched: set[str] = set()
+        for source in (removes, adds):
+            for name in source or ():
+                if not isinstance(name, str) or not name:
+                    raise SchemaError(
+                        f"relation name must be a non-empty string, got {name!r}"
+                    )
+                touched.add(name)
+        for name in sorted(touched):
+            old = self._relations.get(name, frozenset())
+            new = set(old)
+            if removes and name in removes:
+                new.difference_update(tuple(r) for r in removes[name])
+            if adds and name in adds:
+                new.update(tuple(r) for r in adds[name])
+            arities = {len(r) for r in new}
+            if len(arities) > 1:
+                raise SchemaError(
+                    f"relation {name!r} would have tuples of mixed arities {sorted(arities)}"
+                )
+            if arities == {0}:
+                raise SchemaError(f"relation {name!r} would have zero-arity tuples")
+            frozen = frozenset(new)
+            added, removed = frozen - old, old - frozen
+            if not added and not removed:
+                continue
+            changes[name] = (added, removed)
+            if frozen:
+                rels[name] = frozen
+            else:
+                del rels[name]
+        if not changes:
+            return self, changes
+        out = Instance.__new__(Instance)
+        out._relations = rels
+        out._hash = None
+        out._sorted_adom = None
+        out._ctx = None
+        if self._adom is not None and not any(rem for _add, rem in changes.values()):
+            # insert-only delta: the active domain only grows, so it can
+            # be carried over incrementally; deletions force a lazy
+            # recount (a removed value may still occur elsewhere)
+            grown = set(self._adom)
+            for added, _removed in changes.values():
+                for row in added:
+                    grown.update(row)
+            out._adom = frozenset(grown)
+        else:
+            out._adom = None
+        return out, changes
 
     # ------------------------------------------------------------------
     # equality / hashing / rendering
@@ -262,7 +343,9 @@ class Instance:
             widths = [max(len(row[i]) for row in cells) for i in range(len(cells[0]))]
             lines = [f"{name}:"]
             for row in cells:
-                lines.append("  " + "  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+                lines.append(
+                    "  " + "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+                )
             blocks.append("\n".join(lines))
         return "\n".join(blocks)
 

@@ -1,0 +1,112 @@
+"""The JSON wire format for instances, rows and cells.
+
+One codec shared by the CLI (instance files) and the JSON-lines server
+(:mod:`repro.server`).  A cell is a JSON scalar; a string starting with
+``"?"`` denotes a marked null (``"?x"`` is the null ⊥x, repeatable
+across facts); a doubled marker escapes a literal leading question mark
+(``"??x"`` is the constant ``"?x"``)::
+
+    {"R": [[1, "?x"], ["?y", "?z"]], "S": [["?x", 4]]}
+
+Decoding and encoding round-trip: ``decode_cell(encode_cell(v)) == v``
+for every representable value, and values that are *not* representable
+(non-scalar cells, nulls whose label itself starts with ``?``) raise
+:class:`ValueError` instead of being silently stringified.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Hashable, Iterable
+
+from repro.data.instance import Instance
+from repro.data.values import Null
+
+__all__ = [
+    "decode_cell",
+    "encode_cell",
+    "decode_row",
+    "encode_row",
+    "instance_from_json",
+    "instance_to_json",
+]
+
+
+def decode_cell(cell) -> Hashable:
+    """One JSON scalar → a constant or a marked null."""
+    if isinstance(cell, str) and cell.startswith("?"):
+        if cell.startswith("??"):
+            return cell[1:]  # escaped literal: "??x" is the constant "?x"
+        return Null(cell[1:])
+    if isinstance(cell, (list, dict)):
+        raise ValueError(f"{cell!r} is not a valid cell (must be a scalar)")
+    return cell
+
+
+def encode_cell(relation: str, value: Hashable):
+    """One constant or null → its JSON scalar (see module doc)."""
+    if isinstance(value, Null):
+        if value.label.startswith("?"):
+            raise ValueError(
+                f"relation {relation!r}: null label {value.label!r} starts with "
+                f"'?' and cannot be represented in the JSON format"
+            )
+        return "?" + value.label
+    if isinstance(value, str):
+        return "?" + value if value.startswith("?") else value
+    if value is None or isinstance(value, (bool, int, float)):
+        return value
+    raise ValueError(
+        f"relation {relation!r}: cell {value!r} is not representable as a JSON scalar"
+    )
+
+
+def decode_row(relation: str, row) -> tuple[Hashable, ...]:
+    """One JSON array → a fact tuple (with context in error messages)."""
+    if not isinstance(row, list):
+        raise ValueError(
+            f"relation {relation!r}: row {row!r} is not a list — each row "
+            f"must be a JSON array of cells"
+        )
+    try:
+        return tuple(decode_cell(c) for c in row)
+    except ValueError as err:
+        raise ValueError(f"relation {relation!r}, row {row!r}: {err}") from None
+
+
+def encode_row(relation: str, row: Iterable[Hashable]) -> list:
+    """One fact tuple → its JSON array."""
+    return [encode_cell(relation, v) for v in row]
+
+
+def instance_from_json(text: str) -> Instance:
+    """Parse the JSON instance format (see module docstring)."""
+    data = json.loads(text)
+    if not isinstance(data, dict):
+        raise ValueError("instance JSON must be an object of relation → rows")
+    rels: dict[str, list[tuple]] = {}
+    for name, rows in data.items():
+        if not isinstance(rows, list):
+            raise ValueError(
+                f"relation {name!r}: expected a list of rows, got {rows!r}"
+            )
+        rels[name] = [decode_row(name, row) for row in rows]
+    return Instance(rels)
+
+
+def instance_to_json(instance: Instance) -> str:
+    """Render an instance back into the JSON format (round-trip safe).
+
+    String constants beginning with ``?`` are escaped by doubling the
+    marker (``"?x"`` → ``"??x"``) so decoding cannot mistake them for
+    nulls; cells that are not JSON scalars raise :class:`ValueError`
+    instead of being silently stringified.
+    """
+    data = {
+        name: [
+            encode_row(name, row)
+            for row in sorted(instance.tuples(name), key=repr)
+        ]
+        for name in instance.relations
+    }
+    return json.dumps(data)

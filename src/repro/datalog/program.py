@@ -55,7 +55,9 @@ class Rule:
     def __post_init__(self):
         object.__setattr__(self, "body", tuple(self.body))
         if not self.body:
-            raise DatalogError(f"rule for {self.head.name!r} has an empty body; facts belong in the EDB")
+            raise DatalogError(
+                f"rule for {self.head.name!r} has an empty body; facts belong in the EDB"
+            )
         body_vars = frozenset().union(*(a.variables() for a in self.body))
         loose = self.head.variables() - body_vars
         if loose:

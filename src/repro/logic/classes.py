@@ -33,7 +33,6 @@ from repro.logic.ast import (
     Or,
     RelAtom,
     TrueF,
-    Var,
 )
 from repro.logic.transform import free_vars
 

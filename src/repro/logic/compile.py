@@ -133,7 +133,15 @@ class ScanNode(Node):
     first-occurrence order.
     """
 
-    __slots__ = ("name", "arity", "_const_positions", "_const_key", "_eq_checks", "_var_positions", "is_plain")
+    __slots__ = (
+        "name",
+        "arity",
+        "_const_positions",
+        "_const_key",
+        "_eq_checks",
+        "_var_positions",
+        "is_plain",
+    )
 
     def __init__(self, atom: RelAtom):
         seen: dict[Var, int] = {}
@@ -178,7 +186,10 @@ class ScanNode(Node):
         return frozenset(out)
 
     def label(self):
-        sel = f" σ={len(self._const_positions) + len(self._eq_checks)}" if not self.is_plain else ""
+        if self.is_plain:
+            sel = ""
+        else:
+            sel = f" σ={len(self._const_positions) + len(self._eq_checks)}"
         return f"scan {self.name}/{self.arity}{sel}"
 
 

@@ -77,7 +77,9 @@ def evaluate(formula: Formula, instance: Instance, binding: Binding | None = Non
                 return _quantify(vs, sub, env, any_mode=False)
         raise TypeError(f"not a formula: {phi!r}")
 
-    def _quantify(vs: tuple[Var, ...], sub: Formula, env: dict[Var, Hashable], any_mode: bool) -> bool:
+    def _quantify(
+        vs: tuple[Var, ...], sub: Formula, env: dict[Var, Hashable], any_mode: bool
+    ) -> bool:
         # cached on the instance, and only touched when a quantifier is
         # actually reached — quantifier-free formulas never sort the domain
         domain = instance.sorted_adom()

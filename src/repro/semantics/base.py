@@ -130,7 +130,9 @@ class Semantics(ABC):
 
     def _check_complete(self, complete: Instance) -> None:
         if not complete.is_complete():
-            raise ValueError(f"membership is defined for complete instances; got nulls in {complete!r}")
+            raise ValueError(
+                f"membership is defined for complete instances; got nulls in {complete!r}"
+            )
 
 
 def guard_limit(count: int, limit: int, what: str) -> None:

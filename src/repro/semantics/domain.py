@@ -69,7 +69,11 @@ class DatabaseDomain:
         """Fairness: the semantics induced by ``≼`` is ``[[·]]`` itself."""
         return all(
             frozenset(self.sem[x])
-            == frozenset(c for c in self.complete if frozenset(self.sem[c]) <= frozenset(self.sem[x]))
+            == frozenset(
+                c
+                for c in self.complete
+                if frozenset(self.sem[c]) <= frozenset(self.sem[x])
+            )
             for x in self.objects
         )
 

@@ -1,0 +1,497 @@
+"""A thread-pooled JSON-lines query server over one shared :class:`Database`.
+
+The serving layer that turns the engine from one-shot evaluation into a
+long-lived service:
+
+* :class:`QueryService` — the transport-free core: it translates JSON
+  request objects (``{"op": "query", ...}``) into session operations,
+  counts what it serves, and **coalesces concurrent query requests into
+  one** :meth:`~repro.session.Database.evaluate_many` **batch** via a
+  group-commit gate, so compatible certain-answer requests that arrive
+  while another batch is running share one pool build and one core
+  check;
+* :class:`Server` — a small TCP front end: one JSON request per line,
+  one JSON response per line, connections multiplexed over a bounded
+  thread pool.  ``repro serve`` (:mod:`repro.cli`) wires it to a
+  command line; ``examples/serving.py`` is a complete client.
+
+Concurrency model: the :class:`~repro.session.Database` is already
+thread-safe (immutable instance snapshots + per-relation generation
+counters), so handler threads call straight into it.  Mutations apply
+atomically; readers either hit the generation-keyed result cache or
+evaluate against a consistent snapshot.  When the session was built
+with ``workers > 1``, the oracle's process pool is created once at
+startup and reused across requests (:class:`OracleWorkerPool`) instead
+of being re-forked per call.
+
+Wire format (cells follow :mod:`repro.data.jsonio` — ``"?x"`` is the
+null ⊥x, ``"??x"`` the constant ``"?x"``)::
+
+    → {"id": 1, "op": "query", "query": "exists z (R(x,z) & S(z,y))"}
+    ← {"id": 1, "ok": true, "answers": [[1, 4]], "exact": true, ...}
+    → {"id": 2, "op": "insert", "relation": "S", "rows": [[9, 9]]}
+    ← {"id": 2, "ok": true, "changed": 1, "generation": 1}
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import socket
+import threading
+from time import perf_counter
+
+from repro.core.analyzer import FIGURE_1
+from repro.data.jsonio import decode_row, encode_row, instance_to_json
+from repro.session import Database, PreparedQuery
+
+__all__ = ["QueryService", "Server", "serve"]
+
+
+class _Pending:
+    """One query request waiting in the batch gate."""
+
+    __slots__ = ("prepared", "result", "error", "done", "group_size")
+
+    def __init__(self, prepared: PreparedQuery):
+        self.prepared = prepared
+        self.result = None
+        self.error: Exception | None = None
+        self.done = False
+        self.group_size = 0
+
+
+class _BatchGate:
+    """Group-commit for query requests.
+
+    A thread arriving for a given mode when no batch is running becomes
+    the *leader*: it drains every compatible request currently queued
+    (its own plus whatever piled up while the previous batch ran) and
+    evaluates them in one ``evaluate_many`` call.  Followers wait; when
+    the batch completes, the leader steps down and any follower whose
+    request is still queued is woken to lead the next round — so a
+    leader serves exactly one batch and no request's latency depends on
+    the arrival rate of later ones.  A lone request is a batch of one:
+    no timers, no artificial latency.
+    """
+
+    def __init__(self, db: Database):
+        self._db = db
+        self._cond = threading.Condition()
+        self._pending: dict[str, list[_Pending]] = {}
+        self._leaders: set[str] = set()
+
+    def evaluate(self, prepared: PreparedQuery, mode: str = "auto"):
+        """Evaluate through the gate; returns ``(EvalResult, group_size)``."""
+        item = _Pending(prepared)
+        with self._cond:
+            self._pending.setdefault(mode, []).append(item)
+            while not item.done and mode in self._leaders:
+                self._cond.wait()
+            if not item.done:
+                # no batch in flight: lead one round with whatever queued
+                self._leaders.add(mode)
+                batch = self._pending.pop(mode)
+        if not item.done:
+            try:
+                self._run(batch, mode)
+            finally:
+                with self._cond:
+                    self._leaders.discard(mode)
+                    self._cond.notify_all()
+        if item.error is not None:
+            raise item.error
+        return item.result, item.group_size
+
+    def _run(self, batch: list[_Pending], mode: str) -> None:
+        try:
+            results = self._db.evaluate_many(
+                [item.prepared for item in batch], mode=mode
+            )
+            for item, result in zip(batch, results):
+                item.result = result
+                item.group_size = len(batch)
+        except Exception:
+            # one bad request must not poison its batch-mates: fall back
+            # to individual evaluation so each request gets its own
+            # result or its own error
+            for item in batch:
+                try:
+                    item.result = item.prepared.evaluate(mode)
+                    item.group_size = 1
+                except Exception as err:  # noqa: BLE001 - reported per request
+                    item.error = err
+        finally:
+            with self._cond:
+                for item in batch:
+                    item.done = True
+                self._cond.notify_all()
+
+
+class QueryService:
+    """Translate JSON requests into operations on one shared session.
+
+    Transport-free: :meth:`handle` takes and returns plain dicts (the
+    TCP server, tests and benchmarks all call it directly).  Thread-safe
+    — any number of handler threads may call it concurrently.
+    """
+
+    #: request fields every op understands
+    _COMMON = ("id", "op")
+
+    def __init__(self, db: Database, *, batch: bool = True):
+        self.db = db
+        self._batch = _BatchGate(db) if batch else None
+        self._lock = threading.Lock()
+        self._counters = {
+            "requests": 0,
+            "queries": 0,
+            "mutations": 0,
+            "batched_requests": 0,
+            "errors": 0,
+        }
+        self._started = perf_counter()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        """Serve one request object; never raises (errors become responses)."""
+        with self._lock:
+            self._counters["requests"] += 1
+        rid = request.get("id") if isinstance(request, dict) else None
+        try:
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            op = request.get("op")
+            handler = getattr(self, f"_op_{op}", None)
+            if op is None or handler is None:
+                raise ValueError(f"unknown op {op!r}")
+            response = handler(request)
+        except Exception as err:  # noqa: BLE001 - service boundary: a bad
+            # request (parse recursion, schema violation, expansion limit,
+            # …) must become an error *response*, never kill the worker
+            # thread serving the connection
+            with self._lock:
+                self._counters["errors"] += 1
+            response = {"ok": False, "error": str(err) or repr(err)}
+        if rid is not None:
+            response["id"] = rid
+        return response
+
+    def handle_line(self, line: str) -> str:
+        """One JSON-lines exchange: request text in, response text out."""
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as err:
+            with self._lock:
+                self._counters["requests"] += 1
+                self._counters["errors"] += 1
+            return json.dumps({"ok": False, "error": f"bad JSON: {err}"})
+        return json.dumps(self.handle(request))
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+
+    def _op_ping(self, request: dict) -> dict:
+        return {"ok": True, "pong": True}
+
+    def _prepare(self, request: dict) -> PreparedQuery:
+        text = request.get("query")
+        if not isinstance(text, str) or not text:
+            raise ValueError("'query' must be non-empty query text")
+        vars_ = request.get("vars")
+        if vars_ is not None and not isinstance(vars_, list):
+            raise ValueError("'vars' must be a list of variable names")
+        semantics = request.get("semantics")
+        if semantics is not None and semantics not in FIGURE_1:
+            raise ValueError(
+                f"unknown semantics {semantics!r}; choose from {sorted(FIGURE_1)}"
+            )
+        return self.db.query(
+            text, tuple(vars_) if vars_ is not None else None, semantics=semantics
+        )
+
+    def _render(self, prepared: PreparedQuery, result, group_size: int = 1) -> dict:
+        query = prepared.query
+        payload = {
+            "ok": True,
+            "answers": [
+                encode_row(query.name, row)
+                for row in sorted(result.answers, key=repr)
+            ],
+            "holds": result.holds,
+            "exact": result.exact,
+            "direction": result.direction,
+            "method": result.method,
+            "cache": result.stats.get("result_cache"),
+            "generation": result.stats.get("generation"),
+            "batched": group_size > 1,
+        }
+        if group_size > 1:
+            with self._lock:
+                self._counters["batched_requests"] += 1
+        return payload
+
+    def _op_query(self, request: dict) -> dict:
+        prepared = self._prepare(request)
+        mode = request.get("mode", "auto")
+        if not isinstance(mode, str):
+            raise ValueError("'mode' must be a backend name or 'auto'")
+        with self._lock:
+            self._counters["queries"] += 1
+        if self._batch is not None:
+            result, group_size = self._batch.evaluate(prepared, mode)
+        else:
+            result, group_size = prepared.evaluate(mode), 1
+        return self._render(prepared, result, group_size)
+
+    def _op_batch(self, request: dict) -> dict:
+        """An explicit client-side batch: one evaluate_many, one response."""
+        specs = request.get("queries")
+        if not isinstance(specs, list):
+            raise ValueError("'queries' must be a list of query objects")
+        prepared = [self._prepare(spec) for spec in specs]
+        with self._lock:
+            self._counters["queries"] += len(prepared)
+        mode = request.get("mode", "auto")
+        results = self.db.evaluate_many(prepared, mode=mode)
+        return {
+            "ok": True,
+            "results": [
+                self._render(p, r, len(prepared)) for p, r in zip(prepared, results)
+            ],
+        }
+
+    def _rows(self, request: dict, field: str = "rows") -> list[tuple]:
+        relation = request.get("relation")
+        if not isinstance(relation, str) or not relation:
+            raise ValueError("'relation' must be a non-empty string")
+        rows = request.get(field)
+        if not isinstance(rows, list):
+            raise ValueError(f"'{field}' must be a list of rows")
+        return [decode_row(relation, row) for row in rows]
+
+    def _mutated(self, changed: int) -> dict:
+        with self._lock:
+            self._counters["mutations"] += 1
+        return {"ok": True, "changed": changed, "generation": self.db.generation}
+
+    def _op_insert(self, request: dict) -> dict:
+        return self._mutated(
+            self.db.insert(request["relation"], *self._rows(request))
+        )
+
+    def _op_delete(self, request: dict) -> dict:
+        return self._mutated(
+            self.db.delete(request["relation"], *self._rows(request))
+        )
+
+    def _op_delta(self, request: dict) -> dict:
+        def decode_side(side) -> dict[str, list[tuple]] | None:
+            mapping = request.get(side)
+            if mapping is None:
+                return None
+            if not isinstance(mapping, dict):
+                raise ValueError(f"'{side}' must map relation names to row lists")
+            return {
+                name: [decode_row(name, row) for row in rows]
+                for name, rows in mapping.items()
+            }
+
+        return self._mutated(
+            self.db.apply_delta(decode_side("adds"), decode_side("removes"))
+        )
+
+    def _op_explain(self, request: dict) -> dict:
+        prepared = self._prepare(request)
+        mode = request.get("mode", "auto")
+        return {"ok": True, "plan": prepared.plan(mode).to_dict()}
+
+    def _op_dump(self, request: dict) -> dict:
+        return {"ok": True, "instance": json.loads(instance_to_json(self.db.instance))}
+
+    def _op_stats(self, request: dict) -> dict:
+        with self._lock:
+            counters = dict(self._counters)
+        db = self.db
+        return {
+            "ok": True,
+            "uptime_s": perf_counter() - self._started,
+            "requests": counters,
+            "result_cache": db.cache_stats,
+            "generation": db.generation,
+            "fact_count": db.instance.fact_count(),
+            "relations": list(db.instance.relations),
+            "semantics": db.semantics.key,
+        }
+
+
+class Server:
+    """A bounded-thread-pool TCP front end for a :class:`QueryService`.
+
+    One JSON request per line, one JSON response per line (UTF-8).  A
+    fixed pool of daemon worker threads takes accepted connections off a
+    queue, each handling one connection for its whole lifetime — so
+    ``max_threads`` bounds the number of *concurrent clients*, extra
+    connections wait for a slot, and a forgotten :meth:`shutdown` can
+    never wedge interpreter exit.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_threads: int = 8,
+    ):
+        self.service = service
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)  # lets serve_forever notice shutdown
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self._queue: queue.Queue = queue.Queue()
+        self._workers = [
+            threading.Thread(
+                target=self._worker, daemon=True, name=f"repro-serve-{i}"
+            )
+            for i in range(max(1, max_threads))
+        ]
+        for worker in self._workers:
+            worker.start()
+        self._shutdown = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._conns: set[socket.socket] = set()
+        self._conns_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Accept connections until :meth:`shutdown` (blocking)."""
+        while not self._shutdown.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed under us during shutdown
+            self._queue.put(conn)
+
+    def start(self) -> "Server":
+        """Run :meth:`serve_forever` on a daemon thread (tests, examples)."""
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop accepting, close the listener and live connections, drain threads."""
+        self._shutdown.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        # close connections still waiting for a worker slot first, so no
+        # worker dequeues a live socket after the poison pills go in
+        while True:
+            try:
+                queued = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if queued is not None:
+                try:
+                    queued.close()
+                except OSError:
+                    pass
+        with self._conns_lock:
+            live = list(self._conns)
+        for conn in live:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        for _ in self._workers:
+            self._queue.put(None)  # one poison pill per worker
+        for worker in self._workers:
+            worker.join(timeout=5)
+
+    def __enter__(self) -> "Server":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # per-connection loop
+    # ------------------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            conn = self._queue.get()
+            if conn is None:
+                return
+            try:
+                self._client(conn)
+            except Exception:  # noqa: BLE001 - a broken connection must
+                pass  # never take the worker (and its queue slot) down
+
+    def _client(self, conn: socket.socket) -> None:
+        with self._conns_lock:
+            self._conns.add(conn)
+        try:
+            with conn:
+                reader = conn.makefile("r", encoding="utf-8", newline="\n")
+                writer = conn.makefile("w", encoding="utf-8", newline="\n")
+                for line in reader:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        writer.write(self.service.handle_line(line) + "\n")
+                        writer.flush()
+                    except (OSError, ValueError):
+                        break  # client went away mid-response
+        except OSError:
+            pass  # connection torn down during shutdown
+        finally:
+            with self._conns_lock:
+                self._conns.discard(conn)
+
+
+def serve(
+    db: Database | None = None,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_threads: int = 8,
+    batch: bool = True,
+    instance=None,
+    semantics: str = "cwa",
+    workers: int | None = None,
+) -> Server:
+    """Build a server around ``db`` (or a fresh session) and start it.
+
+    Returns the started :class:`Server`; ``server.address`` carries the
+    bound ``(host, port)``.  The caller owns shutdown::
+
+        with serve(Database({"R": [(1, 2)]})) as server:
+            ...  # connect to server.address
+
+    When ``workers > 1`` the oracle's process pool is forked *before*
+    any client thread exists.
+    """
+    if db is None:
+        db = Database(instance, semantics=semantics, workers=workers)
+    if db.workers and db.workers > 1:
+        db.ensure_worker_pool()
+    service = QueryService(db, batch=batch)
+    return Server(service, host=host, port=port, max_threads=max_threads).start()

@@ -15,11 +15,28 @@ analyze-then-route insight into a *prepared-query* workflow:
 
 Preparing a query pays for the Figure-1 analyzer, the parse, the query
 schema and the constant pool exactly once; subsequent evaluations reuse
-the cached :class:`~repro.core.plan.Plan`.  The instance-dependent
-caches (pool, core check, plans) are keyed by a generation counter that
-mutation methods bump, so ``db.add_fact(...)`` transparently
-invalidates every prepared query.  Evaluation itself is delegated to
-the pluggable backend registry (:mod:`repro.core.backends`).
+the cached :class:`~repro.core.plan.Plan`.
+
+The session is **long-lived and mutable**: :meth:`Database.insert`,
+:meth:`Database.delete` and :meth:`Database.apply_delta` change the
+instance *incrementally* — the untouched relations keep their frozen
+row sets and hash indexes (:func:`repro.data.indexes.derive_context`),
+and invalidation is tracked by **per-relation generation counters**
+instead of one global epoch.  A prepared query's cached plan survives
+writes to relations it never mentions, and a bounded **result cache**
+(keyed by query value × backend × the generations of the relations the
+compiled plan actually reads) turns repeated evaluation into a lookup
+whenever the touched relations are disjoint from what the plan reads —
+sound because a domain-independent compiled plan is a pure function of
+those relations (``CompiledQuery.adom_dependent``), which is exactly
+the paper's naive-evaluation determinacy made operational.
+
+All public entry points are thread-safe: state transitions happen under
+one reentrant lock, readers evaluate against immutable instance
+snapshots outside it, and cache insertions are keyed by the generations
+observed at snapshot time, so a concurrent writer can never tear a
+result (:mod:`repro.server` multiplexes many client sessions over one
+``Database`` this way).
 
 Module-level functions are called through their module objects
 (``_certain.default_pool`` and friends) so tests and instrumentation
@@ -28,6 +45,8 @@ can monkeypatch the defining module and observe every call.
 
 from __future__ import annotations
 
+import threading
+from importlib import import_module
 from time import perf_counter
 from typing import Hashable, Iterable, Mapping, Sequence
 
@@ -38,20 +57,20 @@ from repro.core import engine as _engine
 from repro.core import plan as _plan
 from repro.core.engine import EvalResult
 from repro.core.plan import Plan
-from importlib import import_module
-
+from repro.data import indexes as _indexes
 from repro.data.instance import Instance
 from repro.data.schema import Schema
-
-# repro.homs re-exports a `core` *function* that shadows the submodule
-# attribute, so the module object must come from the import system.
-_homs_core = import_module("repro.homs.core")
+from repro.logic import compile as _compile
 from repro.logic.ast import Formula
 from repro.logic.parser import parse
 from repro.logic.queries import Query
 from repro.logic.transform import free_vars
 from repro.semantics import get_semantics
 from repro.semantics.base import Semantics
+
+# repro.homs re-exports a `core` *function* that shadows the submodule
+# attribute, so the module object must come from the import system.
+_homs_core = import_module("repro.homs.core")
 
 __all__ = ["Database", "PreparedQuery", "as_query"]
 
@@ -89,10 +108,16 @@ class PreparedQuery:
     * the analyzer verdict (Figure 1),
     * the query schema (relations/arities the query mentions);
 
-    and at most once per *instance generation*:
+    per *relevant* instance state:
 
-    * the constant pool for bounded enumeration,
-    * the :class:`~repro.core.plan.Plan` per requested mode.
+    * the :class:`~repro.core.plan.Plan` per requested mode — invalidated
+      only when a relation the query mentions changes (or, for verdicts
+      that hinge on the core check, on any write at all);
+
+    and at most once per instance generation:
+
+    * the constant pool for bounded enumeration (it reflects every
+      constant of the instance, so any write may change it).
     """
 
     __slots__ = (
@@ -104,7 +129,7 @@ class PreparedQuery:
         "_pool",
         "_pool_generation",
         "_plans",
-        "_plans_generation",
+        "_plans_key",
     )
 
     def __init__(self, db: "Database", query: Query, semantics: Semantics):
@@ -116,7 +141,7 @@ class PreparedQuery:
         self._pool: tuple[Hashable, ...] | None = None
         self._pool_generation = -1
         self._plans: dict[str, Plan] = {}
-        self._plans_generation = -1
+        self._plans_key: tuple | None = None
 
     # ------------------------------------------------------------------
     # cached analysis
@@ -145,35 +170,63 @@ class PreparedQuery:
         """The enumeration pool for the current instance (cached per generation).
 
         Returned as a tuple: the cache is shared across evaluations, so
-        handing out a mutable alias would let callers corrupt it.
+        handing out a mutable alias would let callers corrupt it.  Built
+        under the session lock so a concurrent writer cannot slip a
+        generation bump between the pool build and its stamp (which
+        would mark a stale pool current).
         """
-        if self._pool_generation != self._db.generation:
-            self._pool = tuple(_certain.default_pool(self._db.instance, self.query))
-            self._pool_generation = self._db.generation
-        return self._pool
+        with self._db._lock:
+            if self._pool_generation != self._db.generation:
+                self._pool = tuple(
+                    _certain.default_pool(self._db.instance, self.query)
+                )
+                self._pool_generation = self._db.generation
+            return self._pool
+
+    def _plan_key(self) -> tuple:
+        """What a cached plan depends on, as a comparable value.
+
+        The per-relation generations of the relations the query mentions,
+        the session epoch (``replace``/``extra_facts``/``workers``
+        assignments re-plan everything), and — only when the verdict is
+        positive *over cores*, so routing hinges on a whole-instance
+        property — the global mutation counter.
+        """
+        db = self._db
+        gens = tuple(db._rel_gens.get(name, 0) for name in self.schema.relations)
+        core_gen = db._generation if self.verdict.over_cores_only else -1
+        return (db._epoch, gens, core_gen)
 
     def plan(self, mode: str = "auto") -> Plan:
-        """The evaluation plan (cached per instance generation and mode)."""
-        if self._plans_generation != self._db.generation:
-            self._plans.clear()
-            self._plans_generation = self._db.generation
-        cached = self._plans.get(mode)
-        if cached is None:
-            # no pool is passed: make_plan derives the cost hint
-            # arithmetically, and the pool is only materialised at
-            # evaluation time for backends that actually read it
-            cached = _plan.make_plan(
-                self.query,
-                self._db.instance,
-                self.semantics,
-                mode,
-                verdict=self.verdict,
-                core_check=self._db.instance_is_core,
-                extra_facts=self._db.extra_facts,
-                workers=self._db.workers,
-            )
-            self._plans[mode] = cached
-        return cached
+        """The evaluation plan (cached per relevant instance state and mode).
+
+        Planned under the session lock: the key computation, the plan
+        build and the cache store must see one consistent instance
+        state (an unlocked check-then-act could stamp a plan built from
+        the pre-write instance with the post-write key).
+        """
+        with self._db._lock:
+            key = self._plan_key()
+            if self._plans_key != key:
+                self._plans.clear()
+                self._plans_key = key
+            cached = self._plans.get(mode)
+            if cached is None:
+                # no pool is passed: make_plan derives the cost hint
+                # arithmetically, and the pool is only materialised at
+                # evaluation time for backends that actually read it
+                cached = _plan.make_plan(
+                    self.query,
+                    self._db.instance,
+                    self.semantics,
+                    mode,
+                    verdict=self.verdict,
+                    core_check=self._db.instance_is_core,
+                    extra_facts=self._db.extra_facts,
+                    workers=self._db.workers,
+                )
+                self._plans[mode] = cached
+            return cached
 
     explain = plan
 
@@ -182,28 +235,55 @@ class PreparedQuery:
     # ------------------------------------------------------------------
 
     def evaluate(self, mode: str = "auto") -> EvalResult:
-        """Evaluate against the session's current instance via the cached plan."""
+        """Evaluate against the session's current instance via the cached plan.
+
+        Planning happens under the session lock so the snapshot
+        (instance, plan, pool, result-cache key) is consistent — note a
+        *first-time* plan may pay the core check or a pool build there;
+        warm paths are dictionary lookups.  The backend itself runs
+        outside the lock against the immutable snapshot, so concurrent
+        readers execute in parallel and a cache hit skips execution
+        entirely (``stats["result_cache"] == "hit"``).
+        """
+        db = self._db
         start = perf_counter()
-        plan = self.plan(mode)
-        pool = self.pool if _backends.get_backend(plan.backend).uses_pool else None
-        planning = perf_counter() - start
-        return _engine.execute_plan(
-            plan,
-            self.query,
-            self._db.instance,
-            self.semantics,
-            pool=pool,
-            extra_facts=self._db.extra_facts,
-            limit=self._db.limit,
-            workers=self._db.workers,
-            stats={
-                "planning_s": planning,
+        with db._lock:
+            instance = db._instance
+            plan = self.plan(mode)
+            backend = _backends.get_backend(plan.backend)
+            key = db._result_key(self, plan)
+            cached = db._result_get(key)
+            # a cache hit never enumerates, so the pool is not even built
+            pool = self.pool if backend.uses_pool and cached is None else None
+            stats = {
                 # the pool actually materialised for this run (0 = none:
                 # the backend does not enumerate)
                 "pool_size": len(pool) if pool is not None else 0,
-                "generation": self._db.generation,
-            },
+                "generation": db._generation,
+                **db._cache_stats_fields(key, cached),
+            }
+            worker_pool = db._worker_pool_for(plan)
+            extra_facts = db._extra_facts
+            limit = db.limit
+            workers = db._workers
+        stats["planning_s"] = perf_counter() - start
+        if cached is not None:
+            return db._hit_result(plan, cached, stats)
+        result = _engine.execute_plan(
+            plan,
+            self.query,
+            instance,
+            self.semantics,
+            pool=pool,
+            extra_facts=extra_facts,
+            limit=limit,
+            workers=workers,
+            worker_pool=worker_pool,
+            stats=stats,
         )
+        if key is not None:
+            db._result_put(key, result.answers)
+        return result
 
     def __call__(self, mode: str = "auto") -> EvalResult:
         return self.evaluate(mode)
@@ -216,7 +296,7 @@ class PreparedQuery:
 
 
 class Database:
-    """A stateful session over one incomplete instance.
+    """A stateful, thread-safe session over one incomplete instance.
 
     Parameters
     ----------
@@ -230,14 +310,23 @@ class Database:
     workers:
         ceiling on worker processes for the oracle's parallel world
         sharding (0/None = serial; the planner's cost model still
-        routes small valuation spaces to the serial path);
+        routes small valuation spaces to the serial path).  Sessions
+        that go parallel keep one persistent
+        :class:`~repro.core.parallel.OracleWorkerPool` alive across
+        requests instead of re-forking per call; :meth:`close` (or a
+        ``with`` block) releases it;
     prepared_cache_size:
-        bound on the LRU intern table for textual queries.
+        bound on the LRU intern table for textual queries;
+    result_cache_size:
+        bound on the LRU result cache (0 disables result caching).
 
-    The instance is an immutable value; "mutations" (:meth:`add_fact`,
-    :meth:`remove_fact`, :meth:`replace`) swap it for a new value and
-    bump :attr:`generation`, which lazily invalidates the pools, plans
-    and core-check verdicts cached by prepared queries.
+    Mutation is **incremental**: :meth:`insert`, :meth:`delete` and
+    :meth:`apply_delta` derive the next instance value via
+    :meth:`Instance.with_delta`, carry the untouched relations' hash
+    indexes over, and bump only the *touched relations'* generation
+    counters — so prepared plans and cached results survive unrelated
+    writes.  :meth:`replace` swaps the whole instance and invalidates
+    everything (the session epoch).
     """
 
     def __init__(
@@ -249,6 +338,7 @@ class Database:
         limit: int = 500_000,
         workers: int | None = None,
         prepared_cache_size: int = 256,
+        result_cache_size: int = 1024,
     ):
         if instance is None:
             instance = Instance.empty()
@@ -261,8 +351,14 @@ class Database:
         self._extra_facts = extra_facts
         self._workers = workers
         self.limit = limit
+        #: total mutation counter (every effective write bumps it)
         self._generation = 0
+        #: structural epoch: replace()/knob assignments invalidate everything
+        self._epoch = 0
+        #: per-relation write counters — the selective-invalidation keys
+        self._rel_gens: dict[str, int] = {}
         self._core_flag: bool | None = None
+        self._lock = threading.RLock()
         # LRU intern table for textual queries, bounded so a long-lived
         # session serving ad-hoc query texts cannot grow without limit
         self._prepared: dict[tuple, PreparedQuery] = {}
@@ -271,6 +367,16 @@ class Database:
         # (a tuple, so backends cannot corrupt the cache in place)
         self._batch_pool_key: tuple | None = None
         self._batch_pool: tuple[Hashable, ...] | None = None
+        # generation-keyed LRU result cache (see _result_key)
+        self._results: dict[tuple, frozenset] = {}
+        self._results_max = max(0, result_cache_size)
+        self._result_stats = {
+            "hits": 0,
+            "misses": 0,
+            "uncacheable": 0,
+            "evictions": 0,
+        }
+        self._worker_pool = None
 
     # ------------------------------------------------------------------
     # state
@@ -288,8 +394,17 @@ class Database:
 
     @property
     def generation(self) -> int:
-        """Bumped whenever cached plans could go stale; keys the prepared-query caches."""
+        """Total effective-mutation counter (every write bumps it).
+
+        Selective invalidation does **not** key on this — see
+        :meth:`rel_generation` — but whole-instance caches (the
+        enumeration pool, the batch-pool memo) still do.
+        """
         return self._generation
+
+    def rel_generation(self, relation: str) -> int:
+        """How many effective writes relation ``relation`` has seen."""
+        return self._rel_gens.get(relation, 0)
 
     @property
     def extra_facts(self) -> int | None:
@@ -303,50 +418,224 @@ class Database:
 
     @extra_facts.setter
     def extra_facts(self, value: int | None) -> None:
-        if value != self._extra_facts:
-            self._extra_facts = value
-            self._generation += 1
+        with self._lock:
+            if value != self._extra_facts:
+                self._extra_facts = value
+                self._generation += 1
+                self._epoch += 1
 
     @property
     def workers(self) -> int | None:
         """Ceiling on oracle worker processes (0/None = serial).
 
         Plans record the sharding decision, so assigning a new value
-        invalidates the cached plans.
+        invalidates the cached plans (and releases any persistent
+        worker pool sized for the old ceiling).
         """
         return self._workers
 
     @workers.setter
     def workers(self, value: int | None) -> None:
-        if value != self._workers:
+        with self._lock:
+            if value == self._workers:
+                return
             self._workers = value
             self._generation += 1
+            self._epoch += 1
+            pool, self._worker_pool = self._worker_pool, None
+        if pool is not None:
+            pool.close()
 
     def instance_is_core(self) -> bool:
         """Is the current instance a core?  Cached until the next mutation."""
         if self._core_flag is None:
-            self._core_flag = _homs_core.is_core(self._instance)
+            if self._instance.is_complete():
+                # every homomorphism fixing constants is the identity on
+                # a null-free instance, so it is trivially a core
+                self._core_flag = True
+            else:
+                self._core_flag = _homs_core.is_core(self._instance)
         return self._core_flag
 
-    def _set_instance(self, new: Instance) -> None:
-        if new != self._instance:
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def apply_delta(
+        self,
+        adds: Mapping[str, Iterable[Sequence[Hashable]]] | None = None,
+        removes: Mapping[str, Iterable[Sequence[Hashable]]] | None = None,
+    ) -> int:
+        """Apply a batch of insertions/deletions atomically.
+
+        Returns the number of facts that actually changed.  The whole
+        delta lands as **one** state transition: concurrent readers see
+        either the old or the new instance, never a half-applied mix.
+        Null-carrying rows are welcome — a new null simply widens the
+        valuation space the oracle enumerates.
+
+        Incremental: untouched relations keep their frozen row sets and
+        every hash index ever built for them; touched relations get
+        their cached indexes patched copy-on-write
+        (:func:`repro.data.indexes.derive_context`), and only their
+        generation counters bump — cached plans and results of queries
+        that do not read them stay valid.
+        """
+        with self._lock:
+            new, changes = self._instance.with_delta(adds, removes)
+            if not changes:
+                return 0
+            _indexes.derive_context(self._instance, new, changes)
             self._instance = new
             self._generation += 1
+            for name in changes:
+                self._rel_gens[name] = self._rel_gens.get(name, 0) + 1
             self._core_flag = None
+            return sum(len(added) + len(removed) for added, removed in changes.values())
 
-    def replace(self, instance: Instance | Mapping[str, Iterable[tuple]]) -> None:
-        """Swap in a whole new instance (invalidates cached plans/pools)."""
-        if not isinstance(instance, Instance):
-            instance = Instance(instance)
-        self._set_instance(instance)
+    def insert(self, relation: str, *rows: Sequence[Hashable]) -> int:
+        """Insert facts into ``relation``; returns how many were new."""
+        return self.apply_delta(adds={relation: rows})
+
+    def delete(self, relation: str, *rows: Sequence[Hashable]) -> int:
+        """Delete facts from ``relation``; returns how many were present."""
+        return self.apply_delta(removes={relation: rows})
 
     def add_fact(self, relation: str, row: Sequence[Hashable]) -> None:
         """Add one fact (no-op when already present)."""
-        self._set_instance(self._instance.add_fact(relation, tuple(row)))
+        self.insert(relation, tuple(row))
 
     def remove_fact(self, relation: str, row: Sequence[Hashable]) -> None:
         """Remove one fact (no-op when absent)."""
-        self._set_instance(self._instance.remove_fact(relation, tuple(row)))
+        self.delete(relation, tuple(row))
+
+    def replace(self, instance: Instance | Mapping[str, Iterable[tuple]]) -> None:
+        """Swap in a whole new instance (invalidates every cache)."""
+        if not isinstance(instance, Instance):
+            instance = Instance(instance)
+        with self._lock:
+            if instance == self._instance:
+                return
+            self._instance = instance
+            self._generation += 1
+            self._epoch += 1
+            self._core_flag = None
+            self._results.clear()
+
+    # ------------------------------------------------------------------
+    # the result cache
+    # ------------------------------------------------------------------
+
+    def _result_key(self, prepared: PreparedQuery, plan: Plan) -> tuple | None:
+        """The cache key for one evaluation, or ``None`` when uncacheable.
+
+        Delegated to the backend
+        (:meth:`repro.core.backends.Backend.cache_relations`): a result
+        is cacheable exactly when the backend can name the relations it
+        is a pure function of.  The key then pins the query value, the
+        semantics object, the backend, the session epoch, and the
+        *generations of those relations* — so any write to a read
+        relation changes the key (miss), while writes elsewhere leave it
+        untouched (hit).
+        """
+        if not self._results_max:
+            return None
+        backend = _backends.get_backend(plan.backend)
+        cq = _compile.compiled_query(prepared.query)
+        reads = backend.cache_relations(prepared.semantics, plan.exact, cq)
+        if reads is None:
+            self._result_stats["uncacheable"] += 1
+            return None
+        gens = tuple(
+            (name, self._rel_gens.get(name, 0)) for name in sorted(reads)
+        )
+        return (self._epoch, prepared.query, prepared.semantics, plan.backend, gens)
+
+    def _result_get(self, key: tuple | None) -> frozenset | None:
+        if key is None:
+            return None
+        found = self._results.pop(key, None)
+        if found is None:
+            self._result_stats["misses"] += 1
+            return None
+        self._results[key] = found  # re-insert at the LRU tail
+        self._result_stats["hits"] += 1
+        return found
+
+    def _result_put(self, key: tuple, answers: frozenset) -> None:
+        with self._lock:
+            self._results.pop(key, None)
+            self._results[key] = answers
+            while len(self._results) > self._results_max:
+                self._results.pop(next(iter(self._results)))
+                self._result_stats["evictions"] += 1
+
+    @staticmethod
+    def _cache_stats_fields(key: tuple | None, cached: frozenset | None) -> dict:
+        """The per-result stats entries describing the cache outcome."""
+        fields: dict[str, object] = {
+            "result_cache": (
+                "hit" if cached is not None
+                else "miss" if key is not None
+                else "uncacheable"
+            ),
+        }
+        if key is not None:
+            fields["generations"] = dict(key[-1])
+        return fields
+
+    @staticmethod
+    def _hit_result(plan: Plan, answers: frozenset, stats: dict) -> EvalResult:
+        """An :class:`EvalResult` served from the cache (no execution)."""
+        stats.update(backend=plan.backend, mode=plan.mode, execution_s=0.0)
+        return EvalResult(
+            answers, plan.backend, plan.exact, plan.direction, plan.verdict, stats
+        )
+
+    @property
+    def cache_stats(self) -> dict[str, int]:
+        """Result-cache counters: hits, misses, uncacheable, evictions, entries."""
+        with self._lock:
+            return {**self._result_stats, "entries": len(self._results)}
+
+    # ------------------------------------------------------------------
+    # the persistent oracle worker pool
+    # ------------------------------------------------------------------
+
+    def _worker_pool_for(self, plan: Plan):
+        """The persistent pool when the plan shards worlds, else ``None``."""
+        if not self._workers or self._workers <= 1 or plan.cost.workers <= 0:
+            return None
+        return self.ensure_worker_pool()
+
+    def ensure_worker_pool(self):
+        """Create (once) and return the persistent oracle worker pool.
+
+        Servers call this at startup so the processes are forked before
+        any client thread exists; lazy creation on first parallel plan
+        remains the fallback for plain sessions.
+        """
+        if not self._workers or self._workers <= 1:
+            return None
+        with self._lock:
+            if self._worker_pool is None:
+                from repro.core.parallel import OracleWorkerPool
+
+                self._worker_pool = OracleWorkerPool(self._workers)
+            return self._worker_pool
+
+    def close(self) -> None:
+        """Release the persistent worker pool (idempotent)."""
+        with self._lock:
+            pool, self._worker_pool = self._worker_pool, None
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # preparing queries
@@ -408,13 +697,14 @@ class Database:
                 hash(key)  # Query/Formula are usually hashable values
             except TypeError:
                 return PreparedQuery(self, as_query(source, vars, name), sem)
-        cached = self._prepared.pop(key, None)
-        if cached is None:
-            cached = PreparedQuery(self, as_query(source, vars, name), sem)
-        self._prepared[key] = cached  # (re-)insert at the LRU tail
-        while len(self._prepared) > self._prepared_max:
-            self._prepared.pop(next(iter(self._prepared)))
-        return cached
+        with self._lock:
+            cached = self._prepared.pop(key, None)
+            if cached is None:
+                cached = PreparedQuery(self, as_query(source, vars, name), sem)
+            self._prepared[key] = cached  # (re-)insert at the LRU tail
+            while len(self._prepared) > self._prepared_max:
+                self._prepared.pop(next(iter(self._prepared)))
+            return cached
 
     prepare = query
 
@@ -438,63 +728,84 @@ class Database:
         One constant pool is built covering the instance plus *every*
         query's constants (a superset pool keeps enumeration exact —
         it only enumerates more worlds), and the core check is computed
-        at most once for the whole batch via the session cache.  Each
-        result's ``stats`` reports its own planning/execution time plus
-        ``batch=True`` and the shared pool size.
+        at most once for the whole batch via the session cache.  Results
+        served from the result cache skip execution entirely; the pool
+        is only materialised when some cache-missing plan reads it.
+        Each result's ``stats`` reports its own planning/execution time
+        plus ``batch=True`` and the shared pool size.
         """
-        prepared = [self.query(s) for s in sources]
-        if not prepared:
-            return []
-        planned: list[tuple[PreparedQuery, Plan, float]] = []
-        for p in prepared:
-            start = perf_counter()
-            plan = p.plan(mode)  # cached per (generation, mode)
-            planned.append((p, plan, perf_counter() - start))
-        # one superset pool for the whole batch — but only when some
-        # plan actually routes to a pool-reading backend
-        shared_pool: tuple[Hashable, ...] | None = None
-        pool_build = 0.0
-        if any(_backends.get_backend(plan.backend).uses_pool for _, plan, _ in planned):
-            extra: set[Hashable] = set()
+        with self._lock:
+            prepared = [self.query(s) for s in sources]
+            if not prepared:
+                return []
+            instance = self._instance
+            generation = self._generation
+            extra_facts = self._extra_facts
+            limit = self.limit
+            workers = self._workers
+            entries: list[tuple[PreparedQuery, Plan, float, tuple | None, frozenset | None]] = []
             for p in prepared:
-                extra |= set(p.query.constants())
-            key = (self._generation, frozenset(extra))
-            if self._batch_pool_key != key:
-                start = perf_counter()
-                self._batch_pool = tuple(
-                    _certain.default_pool(self._instance, extra_constants=extra)
-                )
-                pool_build = perf_counter() - start
-                self._batch_pool_key = key
-            shared_pool = self._batch_pool
+                t0 = perf_counter()
+                plan = p.plan(mode)  # cached per relevant state and mode
+                key = self._result_key(p, plan)
+                cached = self._result_get(key)
+                entries.append((p, plan, perf_counter() - t0, key, cached))
+            # one superset pool for the whole batch — but only when some
+            # cache-missing plan actually routes to a pool-reading backend
+            shared_pool: tuple[Hashable, ...] | None = None
+            pool_build = 0.0
+            if any(
+                cached is None and _backends.get_backend(plan.backend).uses_pool
+                for _, plan, _, _, cached in entries
+            ):
+                extra: set[Hashable] = set()
+                for p in prepared:
+                    extra |= set(p.query.constants())
+                memo_key = (generation, frozenset(extra))
+                if self._batch_pool_key != memo_key:
+                    t0 = perf_counter()
+                    self._batch_pool = tuple(
+                        _certain.default_pool(instance, extra_constants=extra)
+                    )
+                    pool_build = perf_counter() - t0
+                    self._batch_pool_key = memo_key
+                shared_pool = self._batch_pool
+            worker_pools = [self._worker_pool_for(plan) for _, plan, _, _, _ in entries]
         results: list[EvalResult] = []
-        for p, plan, planning in planned:
-            results.append(
-                _engine.execute_plan(
-                    plan,
-                    p.query,
-                    self._instance,
-                    p.semantics,
-                    pool=shared_pool,
-                    extra_facts=self.extra_facts,
-                    limit=self.limit,
-                    workers=self._workers,
-                    stats={
-                        "planning_s": planning,
-                        # one-off cost of building the shared pool, reported
-                        # on every result of the batch that paid it
-                        "pool_build_s": pool_build,
-                        "pool_size": (
-                            len(shared_pool)
-                            if shared_pool is not None
-                            and _backends.get_backend(plan.backend).uses_pool
-                            else 0
-                        ),
-                        "generation": self._generation,
-                        "batch": True,
-                    },
-                )
+        for (p, plan, planning, key, cached), worker_pool in zip(entries, worker_pools):
+            uses_pool = _backends.get_backend(plan.backend).uses_pool
+            stats: dict[str, object] = {
+                "planning_s": planning,
+                # one-off cost of building the shared pool, reported
+                # on every result of the batch that paid it
+                "pool_build_s": pool_build,
+                "pool_size": (
+                    len(shared_pool)
+                    if shared_pool is not None and uses_pool and cached is None
+                    else 0
+                ),
+                "generation": generation,
+                "batch": True,
+                **self._cache_stats_fields(key, cached),
+            }
+            if cached is not None:
+                results.append(self._hit_result(plan, cached, stats))
+                continue
+            result = _engine.execute_plan(
+                plan,
+                p.query,
+                instance,
+                p.semantics,
+                pool=shared_pool if uses_pool else None,
+                extra_facts=extra_facts,
+                limit=limit,
+                workers=workers,
+                worker_pool=worker_pool,
+                stats=stats,
             )
+            if key is not None:
+                self._result_put(key, result.answers)
+            results.append(result)
         return results
 
     def __repr__(self) -> str:

@@ -6,13 +6,8 @@ import random
 
 import pytest
 
-from repro.data import Instance, Null, Schema
-from repro.data.generate import (
-    cores_graph_example,
-    d0_example,
-    intro_example,
-    minimal_4ary_example,
-)
+from repro.data import Instance, Schema
+from repro.data.generate import d0_example, intro_example
 from repro.logic import Query, parse
 
 

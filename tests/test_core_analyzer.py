@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.analyzer import FIGURE_1, Verdict, analyze
+from repro.core.analyzer import FIGURE_1, analyze
 from repro.logic.parser import parse
 from repro.logic.queries import Query
 from repro.semantics import get_semantics

@@ -18,9 +18,7 @@ from repro.data.generate import (
     random_instance,
     sql_paradox_example,
 )
-from repro.data.instance import Instance
 from repro.data.schema import Schema
-from repro.data.values import Null
 
 
 @pytest.fixture

@@ -1,6 +1,6 @@
 """Unit tests for repro.homs.core: cores and retractions (Section 10.1)."""
 
-from repro.data.generate import clique, cycle, disjoint_union, path
+from repro.data.generate import cycle, disjoint_union, path
 from repro.data.instance import Instance
 from repro.data.values import Null
 from repro.homs.core import core, is_core, retract_step

@@ -1,8 +1,6 @@
 """Unit tests for repro.homs.search: the backtracking homomorphism engine."""
 
-import pytest
-
-from repro.data.generate import cycle, disjoint_union
+from repro.data.generate import cycle
 from repro.data.instance import Instance
 from repro.data.values import Null
 from repro.homs.search import (
@@ -137,7 +135,10 @@ class TestIsomorphism:
         assert find_isomorphism(cycle(3), cycle(4), fix_constants=False) is None
 
     def test_same_cycle_relabelled(self):
-        assert find_isomorphism(cycle(5), cycle(5, values=[Null(f"w{i}") for i in range(5)])) is not None
+        assert (
+            find_isomorphism(cycle(5), cycle(5, values=[Null(f"w{i}") for i in range(5)]))
+            is not None
+        )
 
 
 class TestIterMappings:

@@ -2,8 +2,6 @@
 
 import itertools
 
-import pytest
-
 from repro.semantics.domain import DatabaseDomain
 from repro.semantics.lifting import (
     kary_certain,

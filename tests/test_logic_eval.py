@@ -5,7 +5,7 @@ import pytest
 from repro.data.instance import Instance
 from repro.data.values import Null
 from repro.logic.ast import Var
-from repro.logic.builders import Rel, eq, exists, forall, implies, not_, or_
+from repro.logic.builders import Rel, eq, exists, forall, implies, or_
 from repro.logic.eval import answers, evaluate, holds, iter_answers
 
 R, S, E = Rel("R"), Rel("S"), Rel("E")

@@ -1,8 +1,6 @@
 """Unit tests for repro.logic.transform."""
 
-import pytest
-
-from repro.logic.ast import FALSE, TRUE, And, EqAtom, Exists, Forall, Implies, Not, Or, RelAtom, Var
+from repro.logic.ast import FALSE, TRUE, And, EqAtom, Exists, Not, Or, RelAtom, Var
 from repro.logic.builders import Rel, eq, exists, forall, implies, not_
 from repro.logic.transform import (
     all_vars,

@@ -4,8 +4,6 @@ Each test names the paper location it reproduces.  These are the
 ground-truth anchors for the benchmark harness (EXPERIMENTS.md).
 """
 
-import pytest
-
 from repro.core import analyze, certain_answers, certain_holds, evaluate, naive_eval
 from repro.data.generate import (
     cores_graph_example,

@@ -14,7 +14,7 @@ from importlib import import_module
 import pytest
 
 from repro.core import certain_answers, evaluate
-from repro.core.certain import WorldSpec, _canonical_valuations, default_pool
+from repro.core.certain import _canonical_valuations, default_pool
 from repro.core.parallel import shard_prefixes
 from repro.data.generate import random_instance
 from repro.data.instance import Instance

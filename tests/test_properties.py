@@ -14,7 +14,7 @@ from repro.data.values import Null
 from repro.homs.core import core, is_core
 from repro.homs.properties import is_homomorphism
 from repro.homs.search import find_homomorphism, find_isomorphism, iter_homomorphisms
-from repro.logic.classes import classify, in_epos, in_fragment
+from repro.logic.classes import classify, in_fragment
 from repro.logic.generate import random_sentence
 from repro.logic.queries import Query
 from repro.orders.codd import hoare_leq, plotkin_leq
@@ -196,7 +196,10 @@ def test_tuple_leq_antisymmetry_on_constants(rows_a, rows_b):
 SCHEMA = Schema({"R": 2, "S": 1})
 
 
-@given(st.integers(min_value=0, max_value=10_000), st.sampled_from(["EPos", "Pos", "PosForallG", "EPosForallGBool"]))
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from(["EPos", "Pos", "PosForallG", "EPosForallGBool"]),
+)
 def test_random_sentences_in_their_fragment(seed, fragment):
     rng = random.Random(seed)
     phi = random_sentence(SCHEMA, rng, fragment, max_depth=2)

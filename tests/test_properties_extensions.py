@@ -6,7 +6,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.constraints import FunctionalDependency, satisfies
-from repro.ctables import CFact, CInstance, TRUE_C, cand, ceq, cneq, cor
+from repro.ctables import CFact, CInstance, TRUE_C, cand, ceq, cneq
 from repro.data.instance import Instance
 from repro.data.schema import Schema
 from repro.data.values import Null

@@ -18,7 +18,9 @@ def make_domain(sem: dict, complete=None, iso_key=lambda x: x) -> DatabaseDomain
     objects = frozenset(sem)
     if complete is None:
         complete = frozenset(c for members in sem.values() for c in members)
-    return DatabaseDomain(objects, frozenset(complete), {k: frozenset(v) for k, v in sem.items()}, iso_key)
+    return DatabaseDomain(
+        objects, frozenset(complete), {k: frozenset(v) for k, v in sem.items()}, iso_key
+    )
 
 
 #: a fair, saturated micro-domain: objects a > x > bottom, with
@@ -50,12 +52,16 @@ class TestConstruction:
 
 class TestOrderingAndFairness:
     def test_leq_by_semantics_inclusion(self):
-        dom = make_domain(FAIR, complete={"a", "b"}, iso_key=lambda o: "ax" if o in ("a", "x") else o)
+        dom = make_domain(
+            FAIR, complete={"a", "b"}, iso_key=lambda o: "ax" if o in ("a", "x") else o
+        )
         assert dom.leq("x", "a")  # [[a]] ⊆ [[x]]
         assert not dom.leq("a", "x")
 
     def test_fairness_of_standard_domain(self):
-        dom = make_domain(FAIR, complete={"a", "b"}, iso_key=lambda o: "ax" if o in ("a", "x") else o)
+        dom = make_domain(
+            FAIR, complete={"a", "b"}, iso_key=lambda o: "ax" if o in ("a", "x") else o
+        )
         assert dom.is_fair()
         assert dom.fairness_conditions() == (True, True)
 
@@ -94,7 +100,9 @@ class TestOrderingAndFairness:
 
 class TestSaturationAndQueries:
     def test_saturation(self):
-        dom = make_domain(FAIR, complete={"a", "b"}, iso_key=lambda o: "ax" if o in ("a", "x") else o)
+        dom = make_domain(
+            FAIR, complete={"a", "b"}, iso_key=lambda o: "ax" if o in ("a", "x") else o
+        )
         assert dom.is_saturated()
 
     def test_non_saturated_domain(self):
@@ -102,7 +110,9 @@ class TestSaturationAndQueries:
         assert not dom.is_saturated()
 
     def test_genericity(self):
-        dom = make_domain(FAIR, complete={"a", "b"}, iso_key=lambda o: "ax" if o in ("a", "x") else o)
+        dom = make_domain(
+            FAIR, complete={"a", "b"}, iso_key=lambda o: "ax" if o in ("a", "x") else o
+        )
         assert dom.is_generic(lambda o: o in ("a", "x"))
         assert not dom.is_generic(lambda o: o == "a")  # splits the a≈x class
 

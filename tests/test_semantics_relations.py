@@ -8,7 +8,6 @@ import itertools
 
 import pytest
 
-from repro.semantics.domain import DatabaseDomain
 from repro.semantics.relations import PowersetRelationPair, RelationPair
 
 COMPLETE = frozenset({"a", "b", "c"})

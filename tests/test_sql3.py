@@ -10,7 +10,6 @@ from repro.logic.parser import parse
 from repro.logic.queries import Query
 from repro.semantics import get_semantics
 from repro.sql3 import (
-    SqlComparison,
     Truth,
     answers3,
     compare_sql_to_certain,

@@ -1,7 +1,5 @@
 """Unit tests for repro.data.values: nulls, factories, classification."""
 
-import pytest
-
 from repro.data.values import (
     Null,
     NullFactory,
