@@ -27,7 +27,14 @@ import sys
 from pathlib import Path
 
 #: sections whose rows carry timing metrics worth gating
-GATED_SECTIONS = ("performance", "engine", "oracle_parallel", "homs", "serving")
+GATED_SECTIONS = (
+    "performance",
+    "engine",
+    "oracle_parallel",
+    "homs",
+    "serving",
+    "serving_durable",
+)
 
 #: a timing metric is any numeric field with one of these suffixes
 TIMING_SUFFIXES = ("_ms", "_us", "seconds")

@@ -22,6 +22,15 @@ constant pool, so repeated evaluation pays only for execution; plans
 route through pluggable backends (``compiled``, ``naive``, ``enumeration``,
 ``ctable``).  The free functions (``evaluate``, ``certain_answers``,
 ``naive_eval``) remain as one-shot legacy wrappers.
+
+Sessions are mutable (``db.insert``/``delete``/``apply_delta``,
+incremental and thread-safe) and optionally **durable**:
+``Database(path="dir")`` journals every acknowledged write to a
+write-ahead log and recovers snapshot + log tail on reopen
+(:mod:`repro.storage`).  ``repro serve`` exposes a session over a
+JSON-lines TCP protocol.  The prose documentation lives in ``docs/``:
+``architecture.md``, ``semantics.md``, ``wire-protocol.md``,
+``persistence.md`` — every ``>>>`` example there is executed by CI.
 """
 
 from repro.core import (
@@ -57,7 +66,7 @@ from repro.semantics import (
 )
 from repro.session import Database, PreparedQuery
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Backend",

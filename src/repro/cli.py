@@ -13,10 +13,17 @@ Usage::
     python -m repro evaluate "exists z (R(x,z) & S(z,y))" db.json --semantics cwa
     python -m repro explain  "forall x . exists y . D(x,y)" db.json --semantics owa
     python -m repro fragments "forall x . exists y . D(x,y)"
+    python -m repro serve db.json --data-dir ./state
+    python -m repro snapshot ./state
+    python -m repro recover  ./state --dump out.json
 
 ``explain`` prints the evaluation plan (chosen backend, Figure-1
 verdict, exactness, cost hints) without running the query; ``--json``
-renders it as machine-readable JSON.
+renders it as machine-readable JSON.  ``serve`` runs the JSON-lines
+query server (``--data-dir`` makes it durable: recover on start,
+journal every acknowledged write, checkpoint on graceful shutdown);
+``snapshot`` compacts a data directory; ``recover`` reports what
+recovery would restore and can export the instance.
 """
 
 from __future__ import annotations
@@ -154,22 +161,90 @@ def _cmd_serve(args) -> int:
     """Run the JSON-lines query server over one shared Database."""
     from repro.server import QueryService, Server
 
-    instance = _load_instance(args.instance)
-    db = Database(instance, semantics=args.semantics, workers=args.workers)
+    # an instance file seeds a *fresh* data dir only; with neither, the
+    # session starts empty (or recovers whatever --data-dir holds)
+    instance = _load_instance(args.instance) if args.instance else None
+    db = Database(
+        instance, semantics=args.semantics, workers=args.workers, path=args.data_dir
+    )
+    if args.data_dir:
+        info = db.recovery_info
+        print(
+            f"repro serve: data dir {args.data_dir} — recovered generation "
+            f"{db.generation} ({info.wal_records} WAL records on top of "
+            f"snapshot generation {info.snapshot_generation})"
+        )
     if args.workers and args.workers > 1:
         # fork the oracle's worker processes before any client thread
         # exists (forking a multithreaded parent is a footgun)
         db.ensure_worker_pool()
     service = QueryService(db, batch=not args.no_batch)
     server = Server(service, host=args.host, port=args.port, max_threads=args.threads)
-    print(f"repro serve: listening on {server.address[0]}:{server.address[1]}")
-    print("protocol: one JSON request per line, one JSON response per line")
+    print(f"repro serve: listening on {server.address[0]}:{server.address[1]}", flush=True)
+    print("protocol: one JSON request per line, one JSON response per line", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
         server.shutdown()
+        if db.checkpoint():
+            # graceful-shutdown snapshot: the next start reads one
+            # snapshot instead of replaying the whole log
+            print(f"checkpointed {args.data_dir} at generation {db.generation}")
+        db.close()
+    return 0
+
+
+def _cmd_snapshot(args) -> int:
+    """Compact a data directory: write a fresh snapshot, truncate the WAL."""
+    db = Database(path=args.data_dir)
+    try:
+        info = db.recovery_info
+        written = db.checkpoint()
+        stats = db.storage_stats
+        print(
+            f"recovered generation {db.generation} "
+            f"({info.wal_records} WAL records replayed, "
+            f"{info.torn_bytes} torn bytes ignored)"
+        )
+        if written:
+            print(
+                f"snapshot written: {db.instance.fact_count()} facts, "
+                f"{stats['snapshot_bytes']} bytes; WAL truncated"
+            )
+        else:
+            print("already fully snapshotted; nothing to do")
+    finally:
+        db.close()
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    """Open a data directory, report what recovery found, optionally dump it."""
+    db = Database(path=args.data_dir)
+    try:
+        info = db.recovery_info
+        snapshot_note = "" if info.had_snapshot else " (no snapshot file)"
+        skipped_note = (
+            f" ({info.wal_skipped} already in the snapshot)" if info.wal_skipped else ""
+        )
+        print(f"data dir      : {args.data_dir}")
+        print(f"snapshot      : generation {info.snapshot_generation}{snapshot_note}")
+        print(f"WAL replayed  : {info.wal_records} records{skipped_note}")
+        if info.torn_bytes:
+            print(f"torn tail     : {info.torn_bytes} bytes ignored (crash mid-append)")
+        print(f"generation    : {db.generation}")
+        print(f"facts         : {db.instance.fact_count()} across "
+              f"{len(db.instance.relations)} relations")
+        for name in db.instance.relations:
+            print(f"  {name}/{db.instance.arity(name)}: {len(db.instance.tuples(name))} rows, "
+                  f"generation {db.rel_generation(name)}")
+        if args.dump:
+            with open(args.dump, "w", encoding="utf-8") as handle:
+                handle.write(instance_to_json(db.instance) + "\n")
+            print(f"instance dumped to {args.dump}")
+    finally:
         db.close()
     return 0
 
@@ -263,7 +338,34 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="disable coalescing of concurrent query requests into evaluate_many batches",
     )
+    p_serve.add_argument(
+        "--data-dir",
+        default=None,
+        help="data directory for durable serving: recover on start, journal every "
+        "acknowledged write, checkpoint on graceful shutdown (an instance file "
+        "may seed a fresh directory only)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_snapshot = sub.add_parser(
+        "snapshot",
+        help="compact a data directory: write a fresh snapshot and truncate the WAL",
+    )
+    p_snapshot.add_argument("data_dir", help="data directory of a durable session")
+    p_snapshot.set_defaults(func=_cmd_snapshot)
+
+    p_recover = sub.add_parser(
+        "recover",
+        help="recover a data directory (snapshot + WAL replay) and report what was found",
+    )
+    p_recover.add_argument("data_dir", help="data directory of a durable session")
+    p_recover.add_argument(
+        "--dump",
+        metavar="PATH",
+        default=None,
+        help="also write the recovered instance as a JSON instance file",
+    )
+    p_recover.set_defaults(func=_cmd_recover)
 
     args = parser.parse_args(argv)
     try:

@@ -24,6 +24,13 @@ with ``workers > 1``, the oracle's process pool is created once at
 startup and reused across requests (:class:`OracleWorkerPool`) instead
 of being re-forked per call.
 
+When the shared session is durable (``Database(path=...)``), mutations
+are journaled/fsync'd before they are acknowledged, the ``checkpoint``
+op forces a snapshot + log truncation, and ``repro serve --data-dir``
+checkpoints on graceful shutdown.  See ``docs/wire-protocol.md`` for
+the full op reference and ``docs/persistence.md`` for the durability
+contract.
+
 Wire format (cells follow :mod:`repro.data.jsonio` — ``"?x"`` is the
 null ⊥x, ``"??x"`` the constant ``"?x"``)::
 
@@ -134,6 +141,15 @@ class QueryService:
     Transport-free: :meth:`handle` takes and returns plain dicts (the
     TCP server, tests and benchmarks all call it directly).  Thread-safe
     — any number of handler threads may call it concurrently.
+
+    >>> from repro.session import Database
+    >>> service = QueryService(Database({"R": [(1, 2)]}))
+    >>> service.handle({"id": 1, "op": "query", "query": "R(x, y)"})["answers"]
+    [[1, 2]]
+    >>> service.handle({"op": "insert", "relation": "R", "rows": [[3, 4]]})["changed"]
+    1
+    >>> service.handle({"op": "nope"})["ok"]
+    False
     """
 
     #: request fields every op understands
@@ -305,6 +321,23 @@ class QueryService:
             self.db.apply_delta(decode_side("adds"), decode_side("removes"))
         )
 
+    def _op_checkpoint(self, request: dict) -> dict:
+        """Force a snapshot + WAL truncation on a durable session.
+
+        On a memory-only session this reports ``checkpointed: false``
+        rather than erroring — clients can issue it unconditionally.
+        """
+        written = self.db.checkpoint()
+        response = {
+            "ok": True,
+            "checkpointed": written,
+            "generation": self.db.generation,
+        }
+        stats = self.db.storage_stats
+        if stats is not None:
+            response["storage"] = stats
+        return response
+
     def _op_explain(self, request: dict) -> dict:
         prepared = self._prepare(request)
         mode = request.get("mode", "auto")
@@ -317,7 +350,7 @@ class QueryService:
         with self._lock:
             counters = dict(self._counters)
         db = self.db
-        return {
+        response = {
             "ok": True,
             "uptime_s": perf_counter() - self._started,
             "requests": counters,
@@ -326,7 +359,12 @@ class QueryService:
             "fact_count": db.instance.fact_count(),
             "relations": list(db.instance.relations),
             "semantics": db.semantics.key,
+            "durable": db.path is not None,
         }
+        storage = db.storage_stats
+        if storage is not None:
+            response["storage"] = storage
+        return response
 
 
 class Server:
@@ -477,6 +515,7 @@ def serve(
     instance=None,
     semantics: str = "cwa",
     workers: int | None = None,
+    path: str | None = None,
 ) -> Server:
     """Build a server around ``db`` (or a fresh session) and start it.
 
@@ -486,11 +525,13 @@ def serve(
         with serve(Database({"R": [(1, 2)]})) as server:
             ...  # connect to server.address
 
-    When ``workers > 1`` the oracle's process pool is forked *before*
-    any client thread exists.
+    ``path`` makes the fresh session durable (``Database(path=...)``):
+    opening recovers the directory's snapshot + WAL, and every
+    acknowledged mutation is journaled.  When ``workers > 1`` the
+    oracle's process pool is forked *before* any client thread exists.
     """
     if db is None:
-        db = Database(instance, semantics=semantics, workers=workers)
+        db = Database(instance, semantics=semantics, workers=workers, path=path)
     if db.workers and db.workers > 1:
         db.ensure_worker_pool()
     service = QueryService(db, batch=batch)

@@ -67,6 +67,8 @@ from repro.logic.queries import Query
 from repro.logic.transform import free_vars
 from repro.semantics import get_semantics
 from repro.semantics.base import Semantics
+from repro.storage.snapshot import SnapshotState
+from repro.storage.store import RecoveryInfo, Storage
 
 # repro.homs re-exports a `core` *function* that shadows the submodule
 # attribute, so the module object must come from the import system.
@@ -318,7 +320,26 @@ class Database:
     prepared_cache_size:
         bound on the LRU intern table for textual queries;
     result_cache_size:
-        bound on the LRU result cache (0 disables result caching).
+        bound on the LRU result cache (0 disables result caching);
+    path:
+        a data directory making the session **durable**
+        (:mod:`repro.storage`).  Opening recovers the previous state —
+        latest snapshot plus write-ahead-log tail — bit-identically
+        (rows *and* generation counters); afterwards every effective
+        mutation is journaled before it publishes and acknowledged only
+        once fsync'd, so acknowledged writes survive ``kill -9``.
+        ``instance`` may seed a *fresh* data directory; passing both an
+        instance and a directory that already holds state is an error
+        (recovered state wins, silently dropping the seed would lie);
+    fsync:
+        ``False`` keeps journaling but skips the per-commit fsync —
+        crash durability becomes best-effort (the benchmark harness
+        uses this to price durability itself);
+    wal_max_bytes / wal_max_age_s:
+        compaction triggers: after an acknowledged write whose log has
+        grown past ``wal_max_bytes`` (or is older than
+        ``wal_max_age_s`` seconds, when set), a fresh snapshot is
+        written and the log truncated (:meth:`checkpoint`).
 
     Mutation is **incremental**: :meth:`insert`, :meth:`delete` and
     :meth:`apply_delta` derive the next instance value via
@@ -339,11 +360,33 @@ class Database:
         workers: int | None = None,
         prepared_cache_size: int = 256,
         result_cache_size: int = 1024,
+        path: str | None = None,
+        fsync: bool = True,
+        wal_max_bytes: int = 4 * 1024 * 1024,
+        wal_max_age_s: float | None = None,
     ):
+        seeded = instance is not None
         if instance is None:
             instance = Instance.empty()
         elif not isinstance(instance, Instance):
             instance = Instance(instance)
+        self._storage: Storage | None = None
+        recovered: SnapshotState | None = None
+        if path is not None:
+            self._storage = Storage(
+                path, fsync=fsync, wal_max_bytes=wal_max_bytes, wal_max_age_s=wal_max_age_s
+            )
+            recovered = self._storage.open()
+            info = self._storage.recovery
+            if info.had_snapshot or info.wal_records or info.wal_skipped:
+                if seeded:
+                    self._storage.close()  # do not leak the open WAL handle
+                    raise ValueError(
+                        f"data directory {path!r} already holds a persisted session; "
+                        f"refusing to overwrite it with the provided instance "
+                        f"(recover without an instance, or choose a fresh directory)"
+                    )
+                instance = recovered.instance
         self._instance = instance
         self._semantics = (
             get_semantics(semantics) if isinstance(semantics, str) else semantics
@@ -351,12 +394,16 @@ class Database:
         self._extra_facts = extra_facts
         self._workers = workers
         self.limit = limit
-        #: total mutation counter (every effective write bumps it)
-        self._generation = 0
+        #: total mutation counter (every effective write bumps it);
+        #: durable sessions recover it from the snapshot + WAL replay
+        self._generation = recovered.generation if recovered is not None else 0
         #: structural epoch: replace()/knob assignments invalidate everything
+        #: (process-local — caches die with the process, so not persisted)
         self._epoch = 0
         #: per-relation write counters — the selective-invalidation keys
-        self._rel_gens: dict[str, int] = {}
+        self._rel_gens: dict[str, int] = (
+            dict(recovered.rel_gens) if recovered is not None else {}
+        )
         self._core_flag: bool | None = None
         self._lock = threading.RLock()
         # LRU intern table for textual queries, bounded so a long-lived
@@ -377,6 +424,14 @@ class Database:
             "evictions": 0,
         }
         self._worker_pool = None
+        if self._storage is not None and seeded:
+            # a fresh data directory seeded with an instance: snapshot it
+            # now, so the seed survives a restart with zero writes
+            try:
+                self.checkpoint()
+            except BaseException:
+                self._storage.close()  # do not leak the open WAL handle
+                raise
 
     # ------------------------------------------------------------------
     # state
@@ -480,18 +535,40 @@ class Database:
         (:func:`repro.data.indexes.derive_context`), and only their
         generation counters bump — cached plans and results of queries
         that do not read them stay valid.
+
+        Durable sessions journal first: the effective delta is appended
+        to the write-ahead log *before* the new instance publishes, and
+        the call returns only once the record is fsync'd (group-commit:
+        concurrent writers share one fsync) — so a delta this method
+        has acknowledged survives ``kill -9``.  When the log outgrows
+        its size/age budget the write also triggers a
+        :meth:`checkpoint`.
         """
+        offset: int | None = None
         with self._lock:
+            storage = self._storage
             new, changes = self._instance.with_delta(adds, removes)
             if not changes:
                 return 0
+            # one source of truth for the post-write counters: the same
+            # dict is journaled and then published, so the WAL can never
+            # diverge from what recovery must restore
+            new_rel_gens = {n: self._rel_gens.get(n, 0) + 1 for n in changes}
+            if storage is not None:
+                # journal before publish; encoding errors raise here,
+                # before any in-memory state has changed
+                offset = storage.log_delta(changes, self._generation + 1, new_rel_gens)
             _indexes.derive_context(self._instance, new, changes)
             self._instance = new
             self._generation += 1
-            for name in changes:
-                self._rel_gens[name] = self._rel_gens.get(name, 0) + 1
+            self._rel_gens.update(new_rel_gens)
             self._core_flag = None
-            return sum(len(added) + len(removed) for added, removed in changes.values())
+            count = sum(len(added) + len(removed) for added, removed in changes.values())
+        if offset is not None:
+            storage.sync(offset)  # the durability point, outside the lock
+            if storage.should_compact():
+                self.checkpoint()
+        return count
 
     def insert(self, relation: str, *rows: Sequence[Hashable]) -> int:
         """Insert facts into ``relation``; returns how many were new."""
@@ -510,7 +587,12 @@ class Database:
         self.delete(relation, tuple(row))
 
     def replace(self, instance: Instance | Mapping[str, Iterable[tuple]]) -> None:
-        """Swap in a whole new instance (invalidates every cache)."""
+        """Swap in a whole new instance (invalidates every cache).
+
+        On a durable session the swap is persisted as a fresh snapshot
+        (plus log truncation) rather than a delta record — a whole-
+        instance replacement is a checkpoint by definition.
+        """
         if not isinstance(instance, Instance):
             instance = Instance(instance)
         with self._lock:
@@ -521,6 +603,50 @@ class Database:
             self._epoch += 1
             self._core_flag = None
             self._results.clear()
+            if self._storage is not None:
+                self._storage.checkpoint(self._snapshot_state())
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+
+    def _snapshot_state(self) -> SnapshotState:
+        """The durable state triple (caller must hold the session lock)."""
+        return SnapshotState(self._instance, self._generation, dict(self._rel_gens))
+
+    @property
+    def path(self) -> str | None:
+        """The data directory of a durable session, or ``None``."""
+        return str(self._storage.path) if self._storage is not None else None
+
+    @property
+    def recovery_info(self) -> RecoveryInfo | None:
+        """What opening the data directory found (``None`` when memory-only).
+
+        Carries the snapshot generation, how many WAL records were
+        replayed or skipped, and how many torn trailing bytes were
+        discarded — ``repro recover`` prints exactly this.
+        """
+        return self._storage.recovery if self._storage is not None else None
+
+    @property
+    def storage_stats(self) -> dict | None:
+        """Live WAL/snapshot counters of a durable session, or ``None``."""
+        return self._storage.stats if self._storage is not None else None
+
+    def checkpoint(self) -> bool:
+        """Write a fresh snapshot and truncate the write-ahead log.
+
+        The compaction step: recovery cost goes back to "read one
+        snapshot", and the log starts empty.  Runs under the session
+        lock so the snapshot and the truncation see one consistent
+        state.  Returns ``False`` on a memory-only session or when the
+        current state is already fully snapshotted.
+        """
+        if self._storage is None:
+            return False
+        with self._lock:
+            return self._storage.checkpoint(self._snapshot_state())
 
     # ------------------------------------------------------------------
     # the result cache
@@ -625,11 +751,20 @@ class Database:
             return self._worker_pool
 
     def close(self) -> None:
-        """Release the persistent worker pool (idempotent)."""
+        """Release the worker pool and storage handles (idempotent).
+
+        Deliberately does **not** snapshot: close must stay cheap and
+        safe to call from error paths.  Long-lived services call
+        :meth:`checkpoint` first on graceful shutdown (``repro serve``
+        does) — and even without it, recovery replays the log.
+        """
         with self._lock:
             pool, self._worker_pool = self._worker_pool, None
+            storage, self._storage = self._storage, None
         if pool is not None:
             pool.close()
+        if storage is not None:
+            storage.close()
 
     def __enter__(self) -> "Database":
         return self

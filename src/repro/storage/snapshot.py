@@ -1,0 +1,173 @@
+"""Versioned binary-framed snapshots of a session's durable state.
+
+A snapshot captures everything recovery needs to rebuild a
+:class:`~repro.session.Database` exactly: the instance's rows, the
+total mutation counter (``generation``) and the per-relation generation
+counters — so the result-cache keys a client computed before a restart
+stay meaningful after it.
+
+File layout (all integers little-endian)::
+
+    8s  magic  b"REPROSNP"
+    u16 format version
+    u32 header length | header JSON | u32 crc32(header JSON)
+    one frame per relation, in header order:
+        u32 length | JSON row list | u32 crc32(payload)
+
+The header JSON carries ``{"generation", "rel_gens", "relations":
+[[name, n_rows], ...]}``; each relation frame is the JSON list of its
+rows in the :mod:`repro.data.jsonio` cell encoding (``"?x"`` = null ⊥x,
+``"??x"`` = the constant ``"?x"``), sorted for deterministic bytes.
+
+Snapshots are written to a temporary sibling and published with
+``os.replace`` + directory fsync, so a crash mid-write leaves the old
+snapshot intact; every frame is checksummed, and a bad magic, a future
+format version or a failed checksum raises :class:`SnapshotError`
+instead of loading garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.data.instance import Instance
+from repro.data.jsonio import decode_row, encode_row
+
+__all__ = ["SnapshotError", "SnapshotState", "read_snapshot", "write_snapshot"]
+
+MAGIC = b"REPROSNP"
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<8sH")
+_U32 = struct.Struct("<I")
+
+
+class SnapshotError(Exception):
+    """The snapshot cannot be loaded: foreign file, future version, rot."""
+
+
+@dataclass(frozen=True)
+class SnapshotState:
+    """What a snapshot stores: the instance plus its generation counters."""
+
+    instance: Instance
+    generation: int = 0
+    rel_gens: dict[str, int] = field(default_factory=dict)
+
+
+def _frame(payload: bytes) -> bytes:
+    return _U32.pack(len(payload)) + payload + _U32.pack(zlib.crc32(payload))
+
+
+def _fsync_dir(path: Path) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_snapshot(path: str | os.PathLike, state: SnapshotState, *, fsync: bool = True) -> int:
+    """Atomically write ``state`` to ``path``; returns the byte size.
+
+    The write goes to ``<path>.tmp`` first and is published with
+    ``os.replace``, so readers (and a crash) only ever see either the
+    previous complete snapshot or the new one.
+    """
+    instance = state.instance
+    names = list(instance.relations)  # sorted by Instance
+    frames: list[bytes] = []
+    header_relations: list[list] = []
+    for name in names:
+        rows = [encode_row(name, row) for row in sorted(instance.tuples(name), key=repr)]
+        payload = json.dumps(rows, separators=(",", ":")).encode("utf-8")
+        frames.append(_frame(payload))
+        header_relations.append([name, len(rows)])
+    header = json.dumps(
+        {
+            "generation": state.generation,
+            "rel_gens": dict(state.rel_gens),
+            "relations": header_relations,
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    blob = _HEADER.pack(MAGIC, FORMAT_VERSION) + _frame(header) + b"".join(frames)
+
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    if fsync:
+        _fsync_dir(path.parent)
+    return len(blob)
+
+
+def _read_frame(blob: bytes, pos: int, path: Path, what: str) -> tuple[bytes, int]:
+    if pos + _U32.size > len(blob):
+        raise SnapshotError(f"{path}: truncated {what} frame at byte {pos}")
+    (length,) = _U32.unpack_from(blob, pos)
+    end = pos + _U32.size + length + _U32.size
+    if end > len(blob):
+        raise SnapshotError(f"{path}: truncated {what} frame at byte {pos}")
+    payload = blob[pos + _U32.size : pos + _U32.size + length]
+    (crc,) = _U32.unpack_from(blob, end - _U32.size)
+    if zlib.crc32(payload) != crc:
+        raise SnapshotError(f"{path}: checksum mismatch in {what} frame at byte {pos}")
+    return payload, end
+
+
+def read_snapshot(path: str | os.PathLike) -> SnapshotState:
+    """Load and verify a snapshot; raises :class:`SnapshotError` on any rot.
+
+    A missing file is *not* an error here — callers treat it as "no
+    snapshot yet" — so only an existing-but-unreadable file raises.
+    """
+    path = Path(path)
+    blob = path.read_bytes()
+    if len(blob) < _HEADER.size:
+        raise SnapshotError(f"{path}: file too short to be a snapshot")
+    magic, version = _HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise SnapshotError(f"{path}: not a repro snapshot (bad magic {magic!r})")
+    if version != FORMAT_VERSION:
+        raise SnapshotError(
+            f"{path}: snapshot format version {version} is not supported "
+            f"(this build reads version {FORMAT_VERSION}); refusing to guess"
+        )
+    header_bytes, pos = _read_frame(blob, _HEADER.size, path, "header")
+    try:
+        header = json.loads(header_bytes)
+    except ValueError as err:
+        raise SnapshotError(f"{path}: undecodable header: {err}") from None
+    relations: dict[str, list[tuple]] = {}
+    for entry in header.get("relations", []):
+        name, n_rows = entry
+        payload, pos = _read_frame(blob, pos, path, f"relation {name!r}")
+        try:
+            rows = json.loads(payload)
+        except ValueError as err:
+            raise SnapshotError(f"{path}: undecodable rows for {name!r}: {err}") from None
+        if len(rows) != n_rows:
+            raise SnapshotError(
+                f"{path}: relation {name!r} has {len(rows)} rows, header says {n_rows}"
+            )
+        relations[name] = [decode_row(name, row) for row in rows]
+    if pos != len(blob):
+        raise SnapshotError(f"{path}: {len(blob) - pos} trailing bytes after the last frame")
+    return SnapshotState(
+        instance=Instance(relations),
+        generation=int(header.get("generation", 0)),
+        rel_gens={str(k): int(v) for k, v in header.get("rel_gens", {}).items()},
+    )

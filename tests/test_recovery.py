@@ -1,0 +1,217 @@
+"""The acceptance test: ``kill -9`` a live server mid-stream, then recover.
+
+A real ``repro serve --data-dir`` process (the CLI entry point, a real
+TCP socket — no in-process shortcuts) is killed with SIGKILL while a
+client streams mutations at it.  Recovery must then yield an instance
+**bit-identical** — rows *and* per-relation generation counters — to a
+reference session that applied exactly the acknowledged deltas in
+order: the durability contract is "acknowledged means survived".
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.cli import main as cli_main
+from repro.data.jsonio import instance_from_json
+from repro.data.values import Null
+from repro.session import Database
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def start_server(data_dir) -> tuple[subprocess.Popen, tuple[str, int]]:
+    """Launch ``repro serve`` as a real subprocess; returns (proc, address)."""
+    env = {**os.environ, "PYTHONPATH": SRC}
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--data-dir",
+            str(data_dir),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError(f"server died during startup (rc={proc.poll()})")
+        if "listening on" in line:
+            host, port = line.strip().rsplit(" ", 1)[-1].rsplit(":", 1)
+            return proc, (host, int(port))
+    proc.kill()
+    raise RuntimeError("server did not announce its address in time")
+
+
+class Client:
+    def __init__(self, address):
+        self.sock = socket.create_connection(address, timeout=30)
+        self.reader = self.sock.makefile("r", encoding="utf-8")
+        self.writer = self.sock.makefile("w", encoding="utf-8")
+
+    def call(self, **request) -> dict:
+        self.writer.write(json.dumps(request) + "\n")
+        self.writer.flush()
+        response = json.loads(self.reader.readline())
+        assert response.get("ok"), response
+        return response
+
+    def close(self):
+        self.sock.close()
+
+
+def mutation_stream(n: int):
+    """A deterministic mutation stream: inserts, deletes, multi-relation
+    deltas, null-carrying rows — every step effective."""
+    for i in range(n):
+        kind = i % 4
+        if kind == 0:
+            yield {"op": "insert", "relation": "R", "rows": [[i, f"?n{i % 3}"]]}
+        elif kind == 1:
+            yield {"op": "insert", "relation": "S", "rows": [[i], [i + 1000]]}
+        elif kind == 2:
+            yield {
+                "op": "delta",
+                "adds": {"T": [[i, i]]},
+                "removes": {"S": [[i - 1]]},  # inserted by the previous step
+            }
+        else:
+            yield {"op": "delete", "relation": "R", "rows": [[i - 3, f"?n{(i - 3) % 3}"]]}
+
+
+def apply_to_reference(db: Database, request: dict) -> None:
+    """Apply one acknowledged wire request to the reference session."""
+
+    def rows(raw):
+        return [
+            tuple(Null(c[1:]) if isinstance(c, str) and c.startswith("?") else c for c in row)
+            for row in raw
+        ]
+
+    if request["op"] == "insert":
+        db.insert(request["relation"], *rows(request["rows"]))
+    elif request["op"] == "delete":
+        db.delete(request["relation"], *rows(request["rows"]))
+    else:
+        db.apply_delta(
+            {name: rows(r) for name, r in request.get("adds", {}).items()},
+            {name: rows(r) for name, r in request.get("removes", {}).items()},
+        )
+
+
+def session_state(db: Database) -> tuple:
+    return (
+        db.instance,
+        db.generation,
+        {name: db.rel_generation(name) for name in db.instance.relations},
+    )
+
+
+def test_kill9_mid_stream_recovers_acknowledged_prefix(tmp_path):
+    data_dir = tmp_path / "data"
+    n_total, n_before_kill = 40, 26
+    proc, address = start_server(data_dir)
+    acknowledged: list[dict] = []
+    try:
+        client = Client(address)
+        for i, request in enumerate(mutation_stream(n_total)):
+            if i == n_before_kill:
+                # SIGKILL: no atexit, no flush, no graceful snapshot —
+                # the WAL alone must carry the acknowledged prefix
+                os.kill(proc.pid, signal.SIGKILL)
+                break
+            response = client.call(**request)
+            assert response["changed"] > 0  # every stream step is effective
+            acknowledged.append(request)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    assert len(acknowledged) == n_before_kill
+
+    # the reference: a fresh memory-only session applying exactly the
+    # acknowledged deltas in acknowledgement order
+    reference = Database()
+    for request in acknowledged:
+        apply_to_reference(reference, request)
+
+    # recovery = snapshot + WAL tail; must be bit-identical to the reference
+    recovered = Database(path=data_dir)
+    assert session_state(recovered) == session_state(reference)
+    assert recovered.recovery_info.wal_records == n_before_kill
+    recovered.close()
+
+    # `repro recover --dump` agrees (the operator-facing path)
+    dump = tmp_path / "recovered.json"
+    assert cli_main(["recover", str(data_dir), "--dump", str(dump)]) == 0
+    assert instance_from_json(dump.read_text()) == reference.instance
+
+    # ... and a restarted server resumes from the recovered state
+    proc2, address2 = start_server(data_dir)
+    try:
+        client2 = Client(address2)
+        stats = client2.call(op="stats")
+        assert stats["durable"] and stats["generation"] == reference.generation
+        assert stats["fact_count"] == reference.instance.fact_count()
+        assert client2.call(op="insert", relation="R", rows=[[777, 778]])["changed"] == 1
+        dumped = client2.call(op="dump")["instance"]
+        want = reference.instance.with_delta(adds={"R": [(777, 778)]})[0]
+        assert instance_from_json(json.dumps(dumped)) == want
+        client2.close()
+    finally:
+        proc2.kill()
+        proc2.wait(timeout=30)
+
+
+def test_kill9_before_any_checkpoint_then_checkpoint_then_kill9_again(tmp_path):
+    """Two crash generations: WAL-only recovery, then snapshot+tail recovery."""
+    data_dir = tmp_path / "data"
+    reference = Database()
+
+    proc, address = start_server(data_dir)
+    try:
+        client = Client(address)
+        for request in list(mutation_stream(8)):
+            client.call(**request)
+            apply_to_reference(reference, request)
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    # crash #1 recovered; compact through the CLI, then crash again
+    assert cli_main(["snapshot", str(data_dir)]) == 0
+    proc, address = start_server(data_dir)
+    try:
+        client = Client(address)
+        checkpointed = client.call(op="checkpoint")  # the wire-level op too
+        assert checkpointed["checkpointed"] is False  # nothing new since snapshot
+        for request in list(mutation_stream(20))[8:20]:
+            client.call(**request)
+            apply_to_reference(reference, request)
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    recovered = Database(path=data_dir)
+    assert session_state(recovered) == session_state(reference)
+    info = recovered.recovery_info
+    assert info.had_snapshot and info.snapshot_generation == 8 and info.wal_records == 12
+    recovered.close()

@@ -1,0 +1,461 @@
+"""The persistence layer: snapshot format, WAL framing, recovery, compaction.
+
+The durability contract under test: a delta acknowledged by a durable
+``Database`` survives a crash and recovers **bit-identically** — same
+rows *and* same generation counters, so result-cache keys computed
+before the crash stay meaningful after it.  The kill -9 acceptance test
+over the real TCP server lives in ``tests/test_recovery.py``; this file
+covers the formats and the edge cases in-process.
+"""
+
+import os
+import struct
+import threading
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.values import Null
+from repro.session import Database
+from repro.storage.snapshot import (
+    SnapshotError,
+    SnapshotState,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.storage.store import Storage
+from repro.storage.wal import WalError, WriteAheadLog
+
+X, Y = Null("x"), Null("y")
+
+
+def session_state(db: Database) -> tuple:
+    """Everything the durability contract promises to reproduce."""
+    return (
+        db.instance,
+        db.generation,
+        {name: db.rel_generation(name) for name in db.instance.relations},
+    )
+
+
+# ----------------------------------------------------------------------
+# snapshots
+# ----------------------------------------------------------------------
+
+
+class TestSnapshot:
+    def test_round_trip_rows_and_generations(self, tmp_path):
+        state = SnapshotState(
+            Instance({"R": [(1, X), (2, 3)], "S": [(X, 4), ("??lit", Y)]}),
+            generation=17,
+            rel_gens={"R": 9, "S": 8},
+        )
+        path = tmp_path / "snap"
+        write_snapshot(path, state)
+        got = read_snapshot(path)
+        assert got.instance == state.instance
+        assert got.generation == 17 and got.rel_gens == {"R": 9, "S": 8}
+
+    def test_empty_instance_round_trip(self, tmp_path):
+        path = tmp_path / "snap"
+        write_snapshot(path, SnapshotState(Instance.empty()))
+        got = read_snapshot(path)
+        assert got.instance.is_empty() and got.generation == 0
+
+    def test_version_mismatch_refused_cleanly(self, tmp_path):
+        path = tmp_path / "snap"
+        write_snapshot(path, SnapshotState(Instance({"R": [(1, 2)]})))
+        blob = bytearray(path.read_bytes())
+        # bump the u16 version field right after the 8-byte magic
+        struct.pack_into("<H", blob, 8, 99)
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError, match="version 99"):
+            read_snapshot(path)
+
+    def test_bad_magic_refused(self, tmp_path):
+        path = tmp_path / "snap"
+        path.write_bytes(b"NOTASNAP" + b"\x00" * 32)
+        with pytest.raises(SnapshotError, match="magic"):
+            read_snapshot(path)
+
+    def test_corrupt_payload_fails_checksum(self, tmp_path):
+        path = tmp_path / "snap"
+        write_snapshot(path, SnapshotState(Instance({"R": [(1, 2), (3, 4)]})))
+        blob = bytearray(path.read_bytes())
+        blob[-6] ^= 0xFF  # flip a byte inside the last relation frame
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError, match="checksum"):
+            read_snapshot(path)
+
+    def test_truncated_file_refused(self, tmp_path):
+        path = tmp_path / "snap"
+        write_snapshot(path, SnapshotState(Instance({"R": [(1, 2)]})))
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 3])
+        with pytest.raises(SnapshotError, match="truncated|checksum"):
+            read_snapshot(path)
+
+    def test_atomic_publish_leaves_no_tmp(self, tmp_path):
+        path = tmp_path / "snap"
+        write_snapshot(path, SnapshotState(Instance({"R": [(1, 2)]})))
+        assert not (tmp_path / "snap.tmp").exists()
+
+
+# ----------------------------------------------------------------------
+# the write-ahead log
+# ----------------------------------------------------------------------
+
+
+class TestWal:
+    def test_append_replay_round_trip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.open_for_append()
+        for g in (1, 2, 3):
+            wal.sync(wal.append({"g": g, "rg": {"R": g}, "adds": {"R": [[g, g]]}}))
+        wal.close()
+        records, torn = WriteAheadLog(tmp_path / "wal").replay()
+        assert [r["g"] for r in records] == [1, 2, 3] and torn == 0
+
+    @pytest.mark.parametrize("tail", [b"\x07", b"\xff\xff\xff\xff", b"\x30\x00\x00\x00gar"])
+    def test_torn_final_record_ignored(self, tmp_path, tail):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.open_for_append()
+        wal.sync(wal.append({"g": 1}))
+        wal.close()
+        with open(tmp_path / "wal", "ab") as handle:
+            handle.write(tail)  # a crash mid-append: torn length/payload
+        fresh = WriteAheadLog(tmp_path / "wal")
+        records, torn = fresh.replay()
+        assert [r["g"] for r in records] == [1] and torn == len(tail)
+        # appending after recovery truncates the torn bytes first
+        fresh.open_for_append()
+        fresh.sync(fresh.append({"g": 2}))
+        fresh.close()
+        records, torn = WriteAheadLog(tmp_path / "wal").replay()
+        assert [r["g"] for r in records] == [1, 2] and torn == 0
+
+    def test_torn_checksum_on_final_record_ignored(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.open_for_append()
+        wal.sync(wal.append({"g": 1}))
+        end = wal.size_bytes
+        wal.sync(wal.append({"g": 2}))
+        wal.close()
+        blob = bytearray((tmp_path / "wal").read_bytes())
+        blob[-1] ^= 0xFF  # corrupt the final record's checksum
+        (tmp_path / "wal").write_bytes(bytes(blob))
+        records, torn = WriteAheadLog(tmp_path / "wal").replay()
+        assert [r["g"] for r in records] == [1]
+        assert torn == len(blob) - end
+
+    def test_mid_log_corruption_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.open_for_append()
+        wal.sync(wal.append({"g": 1, "pad": "x" * 50}))
+        first_end = wal.size_bytes
+        wal.sync(wal.append({"g": 2}))
+        wal.close()
+        blob = bytearray((tmp_path / "wal").read_bytes())
+        blob[first_end - 1] ^= 0xFF  # rot *inside* the log, not at the tail
+        (tmp_path / "wal").write_bytes(bytes(blob))
+        with pytest.raises(WalError, match="corrupt"):
+            WriteAheadLog(tmp_path / "wal").replay()
+
+    def test_foreign_file_refused(self, tmp_path):
+        (tmp_path / "wal").write_bytes(b"NOTAWAL!\x01\x00rest")
+        with pytest.raises(WalError, match="magic"):
+            WriteAheadLog(tmp_path / "wal").replay()
+
+    def test_version_mismatch_refused(self, tmp_path):
+        (tmp_path / "wal").write_bytes(b"REPROWAL" + struct.pack("<H", 42))
+        with pytest.raises(WalError, match="version 42"):
+            WriteAheadLog(tmp_path / "wal").replay()
+
+    def test_group_commit_one_fsync_covers_waiters(self, tmp_path, monkeypatch):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.open_for_append()
+        fsyncs = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: (fsyncs.append(fd), real_fsync(fd)))
+        offsets = [wal.append({"g": g}) for g in range(1, 6)]
+        wal.sync(offsets[-1])  # one sync call covers every earlier offset
+        n = len(fsyncs)
+        assert n == 1
+        for offset in offsets[:-1]:
+            wal.sync(offset)  # already durable: no further fsync
+        assert len(fsyncs) == n
+        wal.close()
+
+    def test_truncate_during_leader_fsync_does_not_poison_future_syncs(
+        self, tmp_path, monkeypatch
+    ):
+        """A checkpoint landing while a sync leader is inside fsync must not
+        restore a pre-truncate offset as the durability high-water mark —
+        otherwise later (smaller-offset) records would skip their fsync
+        while acknowledged."""
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.open_for_append()
+        real_fsync = os.fsync
+        armed = [True]
+
+        def truncating_fsync(fd):
+            if armed[0]:
+                armed[0] = False
+                wal.truncate()  # the checkpoint racing the leader
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", truncating_fsync)
+        wal.sync(wal.append({"g": 1, "pad": "x" * 100}))
+        # a fresh record now ends below the stale pre-truncate offset
+        offset = wal.append({"g": 2})
+        assert offset < 100
+        calls = []
+        monkeypatch.setattr(os, "fsync", lambda fd: (calls.append(fd), real_fsync(fd)))
+        wal.sync(offset)
+        assert calls, "acknowledged record skipped its fsync after a truncate race"
+        wal.close()
+        records, torn = WriteAheadLog(tmp_path / "wal").replay()
+        assert [r["g"] for r in records] == [2] and torn == 0
+
+    def test_failed_fsync_does_not_advance_the_durable_mark(self, tmp_path, monkeypatch):
+        """ENOSPC/EIO during the group-commit fsync must raise to the caller
+        AND leave the record un-acknowledged-as-durable, so a retry (or a
+        later leader) really fsyncs it — never 'fail once, skip forever'."""
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.open_for_append()
+        real_fsync = os.fsync
+        broken = [True]
+
+        def flaky_fsync(fd):
+            if broken[0]:
+                raise OSError(28, "No space left on device")
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", flaky_fsync)
+        offset = wal.append({"g": 1})
+        with pytest.raises(OSError):
+            wal.sync(offset)
+        broken[0] = False  # the disk recovers; the same offset must now fsync
+        calls = []
+        monkeypatch.setattr(os, "fsync", lambda fd: (calls.append(fd), real_fsync(fd)))
+        wal.sync(offset)
+        assert calls, "sync treated the failed fsync as durable and skipped the retry"
+        wal.close()
+
+    def test_corrupt_length_word_mid_log_raises_not_truncates(self, tmp_path):
+        """A rotted length word that swallows later acknowledged records must
+        refuse to open, not silently truncate them as a 'torn tail'."""
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.open_for_append()
+        start = wal.size_bytes
+        wal.sync(wal.append({"g": 1}))
+        wal.sync(wal.append({"g": 2}))
+        wal.sync(wal.append({"g": 3}))
+        blob = bytearray((tmp_path / "wal").read_bytes())
+        struct.pack_into("<I", blob, start, 0xFFFF)  # record 1 now claims 64K
+        (tmp_path / "wal").write_bytes(bytes(blob))
+        with pytest.raises(WalError, match="corrupt"):
+            WriteAheadLog(tmp_path / "wal").replay()
+
+    def test_sync_after_close_is_a_noop(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.open_for_append()
+        offset = wal.append({"g": 1})
+        wal.close()
+        wal.sync(offset + 1000)  # must not raise: the session is shutting down
+
+    def test_truncate_resets(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.open_for_append()
+        wal.sync(wal.append({"g": 1}))
+        assert wal.record_count == 1 and wal.record_bytes > 0
+        wal.truncate()
+        assert wal.record_count == 0 and wal.record_bytes == 0
+        wal.close()
+        assert WriteAheadLog(tmp_path / "wal").replay() == ([], 0)
+
+
+# ----------------------------------------------------------------------
+# the durable session
+# ----------------------------------------------------------------------
+
+
+class TestDurableDatabase:
+    def test_fresh_empty_data_dir(self, tmp_path):
+        db = Database(path=tmp_path / "data")
+        info = db.recovery_info
+        assert not info.had_snapshot and info.wal_records == 0 and info.torn_bytes == 0
+        assert db.instance.is_empty() and db.generation == 0
+        db.close()
+
+    def test_mutations_replay_bit_identically(self, tmp_path):
+        db = Database(path=tmp_path / "data")
+        db.insert("R", (1, 2), (2, X))
+        db.insert("S", (X, 4))
+        db.delete("R", (1, 2))
+        db.apply_delta(adds={"R": [(5, Y)]}, removes={"S": [(9, 9)]})
+        want = session_state(db)
+        db.close()
+        again = Database(path=tmp_path / "data")
+        assert session_state(again) == want
+        assert again.recovery_info.wal_records == 4  # one record per effective write
+        again.close()
+
+    def test_result_cache_generations_survive_restart(self, tmp_path):
+        db = Database({"R": [(1, X)], "S": [(X, 4)]}, path=tmp_path / "data")
+        db.insert("R", (2, 3))
+        before = db.query("exists z (R(x, z) & S(z, y))", vars=("x", "y")).evaluate()
+        db.close()
+        again = Database(path=tmp_path / "data")
+        after = again.query("exists z (R(x, z) & S(z, y))", vars=("x", "y")).evaluate()
+        assert after.answers == before.answers
+        # the cache key ingredients — the per-relation generations the
+        # compiled plan reads — recover exactly, not merely equivalently
+        assert after.stats["generations"] == before.stats["generations"]
+        again.close()
+
+    def test_seed_instance_persists_without_writes(self, tmp_path):
+        db = Database({"R": [(1, X)]}, path=tmp_path / "data")
+        db.close()
+        again = Database(path=tmp_path / "data")
+        assert again.instance.tuples("R") == {(1, X)}
+        again.close()
+
+    def test_seeding_a_nonfresh_dir_is_refused(self, tmp_path):
+        db = Database(path=tmp_path / "data")
+        db.insert("R", (1, 2))
+        db.close()
+        with pytest.raises(ValueError, match="already holds"):
+            Database({"S": [(7,)]}, path=tmp_path / "data")
+
+    def test_torn_final_record_dropped_on_recovery(self, tmp_path):
+        db = Database(path=tmp_path / "data")
+        db.insert("R", (1, 2))
+        db.insert("R", (3, 4))
+        want = session_state(db)
+        db.close()
+        with open(tmp_path / "data" / "wal.repro", "ab") as handle:
+            handle.write(b"\x99\x00\x00\x00partial")  # crash mid-append
+        again = Database(path=tmp_path / "data")
+        assert session_state(again) == want
+        assert again.recovery_info.torn_bytes == 11
+        again.close()
+
+    def test_snapshot_published_but_wal_not_truncated(self, tmp_path):
+        """A crash between checkpoint's two steps must not double-apply."""
+        db = Database(path=tmp_path / "data")
+        db.insert("R", (1, 2))
+        db.insert("R", (3, 4))
+        want = session_state(db)
+        # simulate the torn checkpoint: snapshot lands, truncate never runs
+        write_snapshot(tmp_path / "data" / "snapshot.repro", db._snapshot_state())
+        db.close()
+        again = Database(path=tmp_path / "data")
+        assert session_state(again) == want
+        info = again.recovery_info
+        assert info.wal_skipped == 2 and info.wal_records == 0
+        again.close()
+
+    def test_checkpoint_compacts_and_preserves_state(self, tmp_path):
+        db = Database(path=tmp_path / "data")
+        db.insert("R", (1, 2), (2, X))
+        db.insert("S", (X, 4))
+        assert db.checkpoint() is True
+        assert db.storage_stats["wal_records"] == 0
+        db.insert("R", (9, 9))  # post-checkpoint tail
+        want = session_state(db)
+        db.close()
+        again = Database(path=tmp_path / "data")
+        assert session_state(again) == want
+        info = again.recovery_info
+        assert info.snapshot_generation == 2 and info.wal_records == 1
+        again.close()
+
+    def test_size_triggered_compaction(self, tmp_path):
+        db = Database(path=tmp_path / "data", wal_max_bytes=1)
+        db.insert("R", (1, 2))
+        # the write itself crossed the budget: log truncated, snapshot current
+        stats = db.storage_stats
+        assert stats["wal_records"] == 0
+        assert stats["snapshot_generation"] == db.generation == 1
+        db.close()
+
+    def test_age_triggered_compaction(self, tmp_path):
+        db = Database(path=tmp_path / "data", wal_max_age_s=0.0)
+        db.insert("R", (1, 2))
+        assert db.storage_stats["wal_records"] == 0
+        assert db.storage_stats["snapshot_generation"] == 1
+        db.close()
+
+    def test_replace_persists_as_snapshot(self, tmp_path):
+        db = Database(path=tmp_path / "data")
+        db.insert("R", (1, 2))
+        db.replace({"T": [(7, 8)]})
+        want = session_state(db)
+        db.close()
+        again = Database(path=tmp_path / "data")
+        assert session_state(again) == want
+        assert again.instance.tuples("T") == {(7, 8)}
+        again.close()
+
+    def test_unrepresentable_cell_rejected_before_publish(self, tmp_path):
+        db = Database(path=tmp_path / "data")
+        db.insert("R", (1, 2))
+        with pytest.raises(ValueError):
+            db.insert("R", ((1, 2), 3))  # tuple cell: not a JSON scalar
+        assert db.generation == 1 and db.instance.tuples("R") == {(1, 2)}
+        db.close()
+        again = Database(path=tmp_path / "data")
+        assert again.generation == 1
+        again.close()
+
+    def test_fsync_off_still_journals(self, tmp_path):
+        db = Database(path=tmp_path / "data", fsync=False)
+        db.insert("R", (1, X))
+        want = session_state(db)
+        db.close()
+        again = Database(path=tmp_path / "data")
+        assert session_state(again) == want
+        again.close()
+
+    def test_concurrent_writers_recover_consistently(self, tmp_path):
+        db = Database(path=tmp_path / "data")
+        n_threads, n_each = 4, 25
+
+        def writer(t):
+            for i in range(n_each):
+                db.insert(f"T{t}", (i,))
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        want = session_state(db)
+        assert db.generation == n_threads * n_each
+        db.close()
+        again = Database(path=tmp_path / "data")
+        assert session_state(again) == want
+        again.close()
+
+    def test_memory_only_session_has_no_storage_surface(self):
+        db = Database({"R": [(1, 2)]})
+        assert db.path is None and db.recovery_info is None
+        assert db.storage_stats is None and db.checkpoint() is False
+
+    def test_wal_doubles_as_workload_trace(self, tmp_path):
+        db = Database(path=tmp_path / "data")
+        db.insert("R", (1, 2))
+        db.apply_delta(adds={"S": [(X,)]}, removes={"R": [(1, 2)]})
+        db.close()
+        storage = Storage(tmp_path / "data")
+        trace = list(storage.trace())
+        storage.close()
+        assert [t["generation"] for t in trace] == [1, 2]
+        assert trace[0]["adds"] == {"R": [(1, 2)]}
+        assert trace[1]["removes"] == {"R": [(1, 2)]} and trace[1]["adds"] == {"S": [(X,)]}
+        # replaying the trace against a fresh session reproduces the state
+        replayed = Database()
+        for step in trace:
+            replayed.apply_delta(step["adds"], step["removes"])
+        assert replayed.instance == Database(path=tmp_path / "data").instance

@@ -1,0 +1,113 @@
+"""Link and anchor checker for the Markdown docs (CI's docs job).
+
+Scans inline Markdown links ``[text](target)`` in the given files or
+directories (``*.md``, recursively) and fails when
+
+* a relative link points at a file that does not exist, or
+* a ``#fragment`` names a heading that does not exist in the target
+  (GitHub-style slugs: lowercase, punctuation stripped, spaces to
+  hyphens, ``-1``/``-2`` suffixes for duplicates).
+
+External links (``http://``, ``https://``, ``mailto:``) are *not*
+fetched — CI must not depend on the network — only their syntax is
+accepted.  Usage::
+
+    python tools/check_links.py README.md docs
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: inline links/images; [text](target "title") — title dropped
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor algorithm, close enough for ASCII docs."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # code spans keep their text
+    text = re.sub(r"[!?.,:;'\"()\[\]{}<>*&^%$@#+=|\\/—·]", "", text.lower())
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    """Every heading slug in ``path`` (with duplicate suffixes)."""
+    seen: dict[str, int] = {}
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    errors: list[str] = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            file_part, _, fragment = target.partition("#")
+            dest = path if not file_part else (path.parent / file_part).resolve()
+            where = f"{path.relative_to(root)}:{lineno}"
+            if file_part and not dest.exists():
+                errors.append(f"{where}: broken link {target!r} (no such file)")
+                continue
+            if fragment:
+                if dest.suffix.lower() != ".md":
+                    continue  # anchors into non-markdown files: not checkable
+                if fragment not in anchors_of(dest):
+                    errors.append(
+                        f"{where}: broken anchor {target!r} "
+                        f"(no heading slug {fragment!r} in {dest.name})"
+                    )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    root = Path.cwd()
+    files: list[Path] = []
+    for arg in argv:
+        path = Path(arg)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            print(f"error: {arg} does not exist")
+            return 2
+    errors: list[str] = []
+    for path in files:
+        errors.extend(check_file(path.resolve(), root))
+    for error in errors:
+        print(error)
+    print(f"checked {len(files)} file(s): " + ("FAILED" if errors else "all links ok"))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
