@@ -34,6 +34,7 @@ GATED_SECTIONS = (
     "homs",
     "serving",
     "serving_durable",
+    "replication",
 )
 
 #: a timing metric is any numeric field with one of these suffixes

@@ -863,6 +863,218 @@ def serving_durable(quick: bool) -> list[dict]:
     return rows
 
 
+# ----------------------------------------------------------------------
+# PR 6: log-shipping replication — read scaling, steady lag, catch-up
+# ----------------------------------------------------------------------
+
+def _read_worker(address: tuple, n: int) -> float:
+    """Hammer one served node with ``n`` reads over one connection.
+
+    Module-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
+    pickle it — readers must be separate *processes*: in-process client
+    threads would share the harness's GIL and cap the measured
+    throughput well below what the server processes can actually serve.
+    """
+    import socket
+
+    sock = socket.create_connection(tuple(address), timeout=60)
+    reader = sock.makefile("r", encoding="utf-8")
+    writer = sock.makefile("w", encoding="utf-8")
+    request = json.dumps(
+        {"op": "query", "query": "exists z (R(x, z) & R(z, y))", "vars": ["x", "y"]}
+    ) + "\n"
+    start = time.perf_counter()
+    for _ in range(n):
+        writer.write(request)
+        writer.flush()
+        response = json.loads(reader.readline())
+        assert response.get("ok"), response
+    elapsed = time.perf_counter() - start
+    sock.close()
+    return elapsed
+
+
+def replication(quick: bool) -> list[dict]:
+    """PR 6's replication numbers, all against real ``repro serve``
+    subprocesses over TCP: read throughput scaling across 1→4 replicas,
+    steady-state ack-to-replica lag (the wall time from a primary-
+    acknowledged write to a ``min_generation`` read landing on a
+    replica), and catch-up time after a multi-thousand-record backlog."""
+    heading("REPLICATION — log-shipping read replicas over the WAL")
+    import os
+    import shutil
+    import signal
+    import socket
+    import subprocess
+    import tempfile
+    from concurrent.futures import ProcessPoolExecutor
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parent.parent / "src"
+    env = {**os.environ, "PYTHONPATH": str(src)}
+    root = Path(tempfile.mkdtemp(prefix="repro-replication-"))
+    procs: list[subprocess.Popen] = []
+
+    def spawn(*args) -> tuple[subprocess.Popen, tuple[str, int]]:
+        proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro", "serve", "--port", "0", *args],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+        )
+        procs.append(proc)
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                raise RuntimeError(f"repro serve died during startup (rc={proc.poll()})")
+            if "listening on" in line:
+                host, port = line.strip().rsplit(" ", 1)[-1].rsplit(":", 1)
+                return proc, (host, int(port))
+        raise RuntimeError("repro serve did not announce its address in time")
+
+    class Client:
+        def __init__(self, address):
+            self.sock = socket.create_connection(address, timeout=60)
+            self.reader = self.sock.makefile("r", encoding="utf-8")
+            self.writer = self.sock.makefile("w", encoding="utf-8")
+
+        def call(self, **request) -> dict:
+            self.writer.write(json.dumps(request) + "\n")
+            self.writer.flush()
+            response = json.loads(self.reader.readline())
+            assert response.get("ok"), response
+            return response
+
+        def close(self):
+            self.sock.close()
+
+    rows: list[dict] = []
+    try:
+        # the primary is memory-only: the feed's in-memory ring, not the
+        # disk, carries the stream — replicas are durable so the catch-up
+        # column below can resume from a killed replica's own position
+        _primary_proc, primary = spawn()
+        primary_hostport = f"{primary[0]}:{primary[1]}"
+        writer = Client(primary)
+        rng = random.Random(0x5EED)
+        r_rows = list({(rng.randrange(24), rng.randrange(24)) for _ in range(200)})[:96]
+        writer.call(op="insert", relation="R", rows=[list(row) for row in r_rows])
+        generation = writer.call(op="stats")["generation"]
+
+        replicas = [
+            spawn("--replica-of", primary_hostport, "--data-dir", str(root / f"replica{i}"))
+            for i in range(4)
+        ]
+        for _proc, address in replicas:
+            Client(address).call(
+                op="query", query="exists x, y (R(x, y))",
+                min_generation=generation, wait_timeout_s=60,
+            )
+
+        # A. read throughput scaling: the same total read volume served by
+        # 1, 2, then 4 replica processes, one reader process per replica slot
+        n_reads = 400 if quick else 2000
+        n_clients = 4
+        print(f"{'read scaling':<28} {'replicas':>9} {'reads':>8} {'per read':>10} {'reads/s':>9}")
+        rule()
+        for n_replicas in (1, 2, 4):
+            addresses = [replicas[i % n_replicas][1] for i in range(n_clients)]
+            with ProcessPoolExecutor(max_workers=n_clients) as pool:
+                start = time.perf_counter()
+                futures = [
+                    pool.submit(_read_worker, address, n_reads // n_clients)
+                    for address in addresses
+                ]
+                for future in futures:
+                    future.result()
+                elapsed = time.perf_counter() - start
+            print(
+                f"{f'{n_clients} reader procs':<28} {n_replicas:>9} {n_reads:>8} "
+                f"{elapsed / n_reads * 1e6:>8.0f}µs {n_reads / elapsed:>9.0f}"
+            )
+            rows.append(
+                {
+                    "workload": "replica_read_scaling",
+                    "n_replicas": n_replicas,
+                    "n_reads": n_reads,
+                    "per_read_us": round(elapsed / n_reads * 1e6, 2),
+                }
+            )
+
+        # B. steady-state lag: after each primary-acknowledged write, a
+        # min_generation read on a replica measures ack-to-visible wall time
+        n_writes = 50 if quick else 200
+        reader = Client(replicas[0][1])
+        latencies = []
+        for i in range(n_writes):
+            writer.call(op="insert", relation="S", rows=[[50_000 + i]])
+            generation += 1
+            t0 = time.perf_counter()
+            reader.call(
+                op="query", query="exists x (S(x))",
+                min_generation=generation, wait_timeout_s=60,
+            )
+            latencies.append(time.perf_counter() - t0)
+        latencies.sort()
+        p50 = latencies[len(latencies) // 2]
+        p95 = latencies[int(len(latencies) * 0.95)]
+        print(f"\n{'steady-state lag':<28} {'writes':>8} {'p50':>10} {'p95':>10}")
+        rule()
+        print(
+            f"{'ack → replica-visible':<28} {n_writes:>8} "
+            f"{p50 * 1e3:>8.2f}ms {p95 * 1e3:>8.2f}ms"
+        )
+        rows.append(
+            {
+                "workload": "replica_steady_lag",
+                "n_writes": n_writes,
+                "ack_to_replica_p50_ms": round(p50 * 1e3, 4),
+                "ack_to_replica_p95_ms": round(p95 * 1e3, 4),
+            }
+        )
+        reader.close()
+
+        # C. catch-up: SIGKILL a replica, build a backlog on the primary,
+        # restart the replica from its durable position, time convergence
+        backlog = 800 if quick else 4000
+        victim_proc, _victim_address = replicas[3]
+        os.kill(victim_proc.pid, signal.SIGKILL)
+        victim_proc.wait(timeout=30)
+        for i in range(backlog):
+            writer.call(op="insert", relation="T", rows=[[i, i]])
+        generation += backlog
+        start = time.perf_counter()
+        _proc, address = spawn(
+            "--replica-of", primary_hostport, "--data-dir", str(root / "replica3")
+        )
+        Client(address).call(
+            op="query", query="exists x, y (T(x, y))",
+            min_generation=generation, wait_timeout_s=300,
+        )
+        catchup = time.perf_counter() - start
+        print(f"\n{'catch-up':<28} {'backlog':>8} {'time':>10} {'records/s':>10}")
+        rule()
+        print(
+            f"{'restart after SIGKILL':<28} {backlog:>8} "
+            f"{catchup:>9.2f}s {backlog / catchup:>10.0f}"
+        )
+        rows.append(
+            {
+                "workload": "replica_catchup",
+                "backlog_records": backlog,
+                "catchup_seconds": round(catchup, 4),
+            }
+        )
+        writer.close()
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+        for proc in procs:
+            proc.wait(timeout=30)
+        shutil.rmtree(root, ignore_errors=True)
+    return rows
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="fewer trials")
@@ -887,6 +1099,7 @@ def main() -> int:
     hom_rows = hom_engine_comparison(args.quick)
     serving_rows = serving(args.quick)
     durable_rows = serving_durable(args.quick)
+    replication_rows = replication(args.quick)
     if args.json:
         payload = {
             "meta": {
@@ -901,6 +1114,7 @@ def main() -> int:
             "homs": hom_rows,
             "serving": serving_rows,
             "serving_durable": durable_rows,
+            "replication": replication_rows,
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)

@@ -14,6 +14,10 @@ Usage::
     python -m repro explain  "forall x . exists y . D(x,y)" db.json --semantics owa
     python -m repro fragments "forall x . exists y . D(x,y)"
     python -m repro serve db.json --data-dir ./state
+    python -m repro serve --replica-of 127.0.0.1:7453 --data-dir ./replica
+    python -m repro cluster status 127.0.0.1:7453
+    python -m repro cluster add-replica 127.0.0.1:7453 --data-dir ./replica2
+    python -m repro cluster promote 127.0.0.1:7462
     python -m repro snapshot ./state
     python -m repro recover  ./state --dump out.json
 
@@ -21,7 +25,11 @@ Usage::
 verdict, exactness, cost hints) without running the query; ``--json``
 renders it as machine-readable JSON.  ``serve`` runs the JSON-lines
 query server (``--data-dir`` makes it durable: recover on start,
-journal every acknowledged write, checkpoint on graceful shutdown);
+journal every acknowledged write, checkpoint on graceful shutdown —
+on ``SIGINT`` *or* ``SIGTERM``, so process managers get the same
+guarantee; ``--replica-of`` makes the node a read replica streaming a
+primary's WAL); ``cluster`` inspects and drives a replicated cluster
+(``status`` with per-replica lag, ``add-replica``, ``promote``);
 ``snapshot`` compacts a data directory; ``recover`` reports what
 recovery would restore and can export the instance.
 """
@@ -159,6 +167,10 @@ def _cmd_explain(args) -> int:
 
 def _cmd_serve(args) -> int:
     """Run the JSON-lines query server over one shared Database."""
+    import signal
+
+    from repro.replication.feed import ReplicationFeed
+    from repro.replication.replica import ReplicaTailer
     from repro.server import QueryService, Server
 
     # an instance file seeds a *fresh* data dir only; with neither, the
@@ -178,21 +190,223 @@ def _cmd_serve(args) -> int:
         # fork the oracle's worker processes before any client thread
         # exists (forking a multithreaded parent is a footgun)
         db.ensure_worker_pool()
-    service = QueryService(db, batch=not args.no_batch)
+    # every node serves the `replicate` op, so replicas can be chained
+    feed = ReplicationFeed(db)
+    tailer = ReplicaTailer(db, args.replica_of) if args.replica_of else None
+    service = QueryService(db, batch=not args.no_batch, feed=feed, tailer=tailer)
     server = Server(service, host=args.host, port=args.port, max_threads=args.threads)
-    print(f"repro serve: listening on {server.address[0]}:{server.address[1]}", flush=True)
+    address = f"{server.address[0]}:{server.address[1]}"
+    print(f"repro serve: listening on {address}", flush=True)
     print("protocol: one JSON request per line, one JSON response per line", flush=True)
+    if tailer is not None:
+        tailer.announce = address
+        tailer.start()
+        print(
+            f"replica of {tailer.primary_address}: streaming its WAL; "
+            f"writes are rejected until 'promote'",
+            flush=True,
+        )
+
+    # SIGTERM must take the same graceful path as Ctrl-C: process
+    # managers speak SIGTERM, and a durable node (a replica especially)
+    # must checkpoint its position on the way out
+    def _on_sigterm(signum, frame):
+        raise SystemExit(0)
+
+    previous = None
+    try:
+        previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        pass  # not the main thread (tests drive main() in-process)
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
+    except (KeyboardInterrupt, SystemExit):
         print("\nshutting down")
     finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
         server.shutdown()
         if db.checkpoint():
             # graceful-shutdown snapshot: the next start reads one
             # snapshot instead of replaying the whole log
             print(f"checkpointed {args.data_dir} at generation {db.generation}")
         db.close()
+    return 0
+
+
+def _rpc(address: str, request: dict, timeout: float = 10.0) -> dict:
+    """One-shot JSON-lines exchange with a serving node."""
+    import socket
+
+    from repro.replication.replica import parse_address
+
+    with socket.create_connection(parse_address(address), timeout=timeout) as sock:
+        sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
+        reader = sock.makefile("r", encoding="utf-8", newline="\n")
+        line = reader.readline()
+    if not line:
+        raise OSError(f"{address}: connection closed without a response")
+    return json.loads(line)
+
+
+def _print_table(headers: list[str], rows: list[list]) -> None:
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[i]) for row in cells)) if cells else len(header)
+        for i, header in enumerate(headers)
+    ]
+    print("  ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    for row in cells:
+        print("  ".join(value.ljust(width) for value, width in zip(row, widths)))
+
+
+def _cluster_peer_row(address: str | None, reported: dict) -> dict:
+    """One replica's row, preferring its own stats over the feed's view."""
+    row = {
+        "node": address or "(anonymous)",
+        "role": "replica",
+        "generation": reported.get("sent_generation"),
+        "facts": "?",
+        "lag_generations": reported.get("lag_generations"),
+        "lag_bytes": reported.get("lag_bytes"),
+        "state": "streaming",
+    }
+    if address:
+        try:
+            stats = _rpc(address, {"op": "stats"}, timeout=5.0)
+            replication = stats.get("replication", {})
+            row["role"] = replication.get("role", "replica")
+            row["generation"] = replication.get("position", {}).get("generation")
+            row["facts"] = stats.get("fact_count")
+            tailer = replication.get("tailer") or {}
+            row["state"] = "streaming" if tailer.get("connected") else "disconnected"
+        except (OSError, ValueError):
+            row["state"] = "unreachable"
+    return row
+
+
+def _cmd_cluster_status(args) -> int:
+    """Roles, applied positions and per-replica lag for a whole cluster."""
+    stats = _rpc(args.node, {"op": "stats"})
+    if not stats.get("ok"):
+        print(f"error: {stats.get('error', 'stats failed')}", file=sys.stderr)
+        return 2
+    replication = stats.get("replication", {})
+    position = replication.get("position", {})
+    rows = [
+        {
+            "node": args.node,
+            "role": replication.get("role", "?"),
+            "generation": position.get("generation", stats.get("generation")),
+            "facts": stats.get("fact_count"),
+            "lag_generations": "-",
+            "lag_bytes": "-",
+            "state": "serving",
+        }
+    ]
+    tailer = replication.get("tailer") or {}
+    if tailer.get("primary"):
+        # the queried node is a replica: put its primary above it
+        try:
+            upstream = _rpc(tailer["primary"], {"op": "stats"}, timeout=5.0)
+            up_repl = upstream.get("replication", {})
+            rows.insert(0, {
+                "node": tailer["primary"],
+                "role": up_repl.get("role", "primary"),
+                "generation": up_repl.get("position", {}).get("generation"),
+                "facts": upstream.get("fact_count"),
+                "lag_generations": "-",
+                "lag_bytes": "-",
+                "state": "serving",
+            })
+        except (OSError, ValueError):
+            rows.insert(0, {
+                "node": tailer["primary"], "role": "primary", "generation": "?",
+                "facts": "?", "lag_generations": "-", "lag_bytes": "-",
+                "state": "unreachable",
+            })
+        rows[-1]["state"] = "streaming" if tailer.get("connected") else "disconnected"
+    for peer in replication.get("feed", {}).get("replicas", []):
+        rows.append(_cluster_peer_row(peer.get("address"), peer))
+    if args.as_json:
+        print(json.dumps({"node": args.node, "rows": rows}, indent=2))
+        return 0
+    headers = ["node", "role", "generation", "facts", "lag(gen)", "lag(bytes)", "state"]
+    _print_table(headers, [
+        [r["node"], r["role"], r["generation"], r["facts"],
+         r["lag_generations"], r["lag_bytes"], r["state"]]
+        for r in rows
+    ])
+    return 0
+
+
+def _cmd_cluster_add_replica(args) -> int:
+    """Spawn a detached ``repro serve --replica-of`` process and report it."""
+    import os
+    import subprocess
+    import tempfile
+    import time
+    from pathlib import Path
+
+    command = [
+        sys.executable, "-u", "-m", "repro", "serve",
+        "--replica-of", args.primary, "--host", args.host, "--port", str(args.port),
+    ]
+    if args.data_dir:
+        command += ["--data-dir", args.data_dir]
+    if args.log:
+        log_path = Path(args.log)
+    elif args.data_dir:
+        log_path = Path(args.data_dir) / "serve.log"
+    else:
+        fd, name = tempfile.mkstemp(prefix="repro-replica-", suffix=".log")
+        os.close(fd)
+        log_path = Path(name)
+    log_path.parent.mkdir(parents=True, exist_ok=True)
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = package_root + os.pathsep + env.get("PYTHONPATH", "")
+    with open(log_path, "ab") as log_handle:
+        proc = subprocess.Popen(
+            command, stdout=log_handle, stderr=subprocess.STDOUT,
+            start_new_session=True, env=env,
+        )
+    deadline = time.monotonic() + 30
+    address = None
+    while time.monotonic() < deadline and address is None:
+        for line in log_path.read_text(errors="replace").splitlines():
+            if "listening on" in line:
+                address = line.strip().rsplit(" ", 1)[-1]
+                break
+        if address is None:
+            if proc.poll() is not None:
+                print(
+                    f"error: replica exited with rc={proc.returncode}; see {log_path}",
+                    file=sys.stderr,
+                )
+                return 2
+            time.sleep(0.05)
+    if address is None:
+        proc.kill()
+        print(f"error: replica did not announce its address; see {log_path}", file=sys.stderr)
+        return 2
+    print(f"replica started: {address} (pid {proc.pid}), replicating from {args.primary}")
+    print(f"log: {log_path}")
+    return 0
+
+
+def _cmd_cluster_promote(args) -> int:
+    """Checkpoint a replica and flip it writable (failover)."""
+    response = _rpc(args.replica, {"op": "promote"})
+    if not response.get("ok"):
+        print(f"error: {response.get('error', 'promote failed')}", file=sys.stderr)
+        return 2
+    generation = response.get("generation")
+    if response.get("promoted"):
+        note = " (position checkpointed)" if response.get("checkpointed") else ""
+        print(f"{args.replica} promoted to primary at generation {generation}{note}")
+    else:
+        print(f"{args.replica} is already a primary (generation {generation})")
     return 0
 
 
@@ -345,7 +559,53 @@ def main(argv: list[str] | None = None) -> int:
         "acknowledged write, checkpoint on graceful shutdown (an instance file "
         "may seed a fresh directory only)",
     )
+    p_serve.add_argument(
+        "--replica-of",
+        dest="replica_of",
+        metavar="HOST:PORT",
+        default=None,
+        help="run as a read replica of the given primary: stream its WAL, reject "
+        "writes with a typed read_only error until 'cluster promote'; combine "
+        "with --data-dir so the replica's position survives restarts",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_cluster = sub.add_parser(
+        "cluster", help="inspect and drive a replicated cluster (status, add-replica, promote)"
+    )
+    cluster_sub = p_cluster.add_subparsers(dest="cluster_command", required=True)
+
+    c_status = cluster_sub.add_parser(
+        "status", help="roles, applied positions and per-replica lag (generations and bytes)"
+    )
+    c_status.add_argument("node", help="HOST:PORT of any cluster node")
+    c_status.add_argument(
+        "--json", dest="as_json", action="store_true", help="emit machine-readable JSON"
+    )
+    c_status.set_defaults(func=_cmd_cluster_status)
+
+    c_add = cluster_sub.add_parser(
+        "add-replica", help="spawn a detached 'repro serve --replica-of' process"
+    )
+    c_add.add_argument("primary", help="HOST:PORT of the primary to replicate")
+    c_add.add_argument(
+        "--data-dir",
+        default=None,
+        help="data directory for the replica (its position then survives restarts)",
+    )
+    c_add.add_argument("--host", default="127.0.0.1")
+    c_add.add_argument("--port", type=int, default=0, help="TCP port (0 = pick a free one)")
+    c_add.add_argument(
+        "--log", default=None,
+        help="log file for the spawned process (default: <data-dir>/serve.log or a temp file)",
+    )
+    c_add.set_defaults(func=_cmd_cluster_add_replica)
+
+    c_promote = cluster_sub.add_parser(
+        "promote", help="checkpoint a replica and flip it writable (failover)"
+    )
+    c_promote.add_argument("replica", help="HOST:PORT of the replica to promote")
+    c_promote.set_defaults(func=_cmd_cluster_promote)
 
     p_snapshot = sub.add_parser(
         "snapshot",

@@ -1,0 +1,32 @@
+"""Log-shipping replication: the WAL as a stream.
+
+PR 4/5 made every write an *effective delta* journaled to a
+checksummed write-ahead log with dense generation counters — which
+means the log already **is** a replication stream and staleness is
+exactly measurable.  This package adds the two halves that turn one
+durable session into a read-scaling cluster:
+
+* :class:`~repro.replication.feed.ReplicationFeed` — the primary side.
+  Observes the session (``Database.add_listener``), keeps a bounded
+  in-memory ring of recent wire-format records, and serves the
+  ``replicate`` wire op: delta frames from any still-buffered position,
+  or a full snapshot bootstrap when the requested position has been
+  compacted away.
+
+* :class:`~repro.replication.replica.ReplicaTailer` — the replica side.
+  Connects to a primary, applies delta frames through
+  ``Database.apply_delta`` (journaling to the replica's *own* WAL, so
+  replicas are themselves recoverable), verifies the resulting counters
+  against each frame, and reconnects with capped exponential backoff +
+  jitter — resuming from its durable position with no gaps and no
+  double-applies.
+
+Staleness-bounded reads sit on top in :mod:`repro.server`: a query
+carrying ``min_generation`` waits on ``Database.wait_for_generation``
+until the tailer catches up, or becomes a typed ``stale`` error.
+"""
+
+from repro.replication.feed import ReplicaLink, ReplicationFeed
+from repro.replication.replica import ReplicaTailer, apply_frame
+
+__all__ = ["ReplicaLink", "ReplicationFeed", "ReplicaTailer", "apply_frame"]

@@ -31,6 +31,16 @@ checkpoints on graceful shutdown.  See ``docs/wire-protocol.md`` for
 the full op reference and ``docs/persistence.md`` for the durability
 contract.
 
+Replication (:mod:`repro.replication`) rides the same wire: the
+``replicate`` op turns its connection into a WAL frame stream served by
+the node's :class:`~repro.replication.feed.ReplicationFeed`; a node
+started with ``replicate_from=`` tails a primary, rejects writes with a
+typed ``read_only`` error, and honours ``min_generation`` bounds on
+``query``/``batch`` (waiting up to ``wait_timeout_s``, then answering
+with a typed ``stale`` error carrying its applied position); the
+``promote`` op flips a replica writable.  ``docs/replication.md`` has
+the full contract.
+
 Wire format (cells follow :mod:`repro.data.jsonio` — ``"?x"`` is the
 null ⊥x, ``"??x"`` the constant ``"?x"``)::
 
@@ -47,12 +57,28 @@ import queue
 import socket
 import threading
 from time import perf_counter
+from typing import Iterator
 
 from repro.core.analyzer import FIGURE_1
 from repro.data.jsonio import decode_row, encode_row, instance_to_json
+from repro.replication.feed import ReplicationFeed
+from repro.replication.replica import ReplicaTailer
 from repro.session import Database, PreparedQuery
 
 __all__ = ["QueryService", "Server", "serve"]
+
+
+class _Reject(Exception):
+    """A typed error response: ``fields`` ride along beside ``error``.
+
+    Raised by ops that must say *why* structurally (``stale``,
+    ``read_only``) so clients can react — redirect to the primary,
+    retry with a longer deadline — without parsing prose.
+    """
+
+    def __init__(self, error: str, **fields):
+        super().__init__(error)
+        self.fields = {"error": error, **fields}
 
 
 class _Pending:
@@ -155,18 +181,37 @@ class QueryService:
     #: request fields every op understands
     _COMMON = ("id", "op")
 
-    def __init__(self, db: Database, *, batch: bool = True):
+    def __init__(
+        self,
+        db: Database,
+        *,
+        batch: bool = True,
+        feed: ReplicationFeed | None = None,
+        tailer: ReplicaTailer | None = None,
+    ):
         self.db = db
         self._batch = _BatchGate(db) if batch else None
+        #: the replication feed serving downstream replicas (``None`` = off)
+        self.feed = feed
+        #: the tailer streaming from an upstream primary; its presence
+        #: makes this node a replica (writes rejected) until ``promote``
+        self.tailer = tailer
+        self._replica_mode = tailer is not None
         self._lock = threading.Lock()
         self._counters = {
             "requests": 0,
             "queries": 0,
             "mutations": 0,
             "batched_requests": 0,
+            "replicate_streams": 0,
             "errors": 0,
         }
         self._started = perf_counter()
+
+    @property
+    def role(self) -> str:
+        """``"primary"`` or ``"replica"`` (flipped by the ``promote`` op)."""
+        return "replica" if self._replica_mode else "primary"
 
     # ------------------------------------------------------------------
     # dispatch
@@ -185,6 +230,10 @@ class QueryService:
             if op is None or handler is None:
                 raise ValueError(f"unknown op {op!r}")
             response = handler(request)
+        except _Reject as err:
+            with self._lock:
+                self._counters["errors"] += 1
+            response = {"ok": False, **err.fields}
         except Exception as err:  # noqa: BLE001 - service boundary: a bad
             # request (parse recursion, schema violation, expansion limit,
             # …) must become an error *response*, never kill the worker
@@ -206,6 +255,106 @@ class QueryService:
                 self._counters["errors"] += 1
             return json.dumps({"ok": False, "error": f"bad JSON: {err}"})
         return json.dumps(self.handle(request))
+
+    def handle_or_stream(self, line: str) -> tuple[str | None, Iterator[dict | str] | None]:
+        """One wire line → ``(response_text, None)`` or ``(None, frames)``.
+
+        The streaming side of the protocol: a ``replicate`` request
+        turns its connection into a frame stream (the second element —
+        dict frames to encode, or pre-encoded ``str`` lines) that the
+        transport writes until the generator ends or the consumer goes
+        away; every other request gets the usual one-line response.  The
+        transport must ``close()`` an abandoned stream so its replica
+        link is unregistered.
+        """
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError:
+            return self.handle_line(line), None  # reuse the error path
+        if isinstance(request, dict) and request.get("op") == "replicate":
+            return None, self.replicate_stream(request)
+        return json.dumps(self.handle(request)), None
+
+    def replicate_stream(self, request: dict) -> Iterator[dict | str]:
+        """Serve one replica: hello, then frames from the feed, forever."""
+        with self._lock:
+            self._counters["requests"] += 1
+            self._counters["replicate_streams"] += 1
+        if self.feed is None:
+            with self._lock:
+                self._counters["errors"] += 1
+            yield {"ok": False, "error": "replication feed is disabled on this node"}
+            return
+        position = request.get("position") or {}
+        generation = position.get("generation", 0)
+        if not isinstance(generation, int) or generation < 0:
+            with self._lock:
+                self._counters["errors"] += 1
+            yield {"ok": False, "error": "'position.generation' must be a non-negative integer"}
+            return
+        announced = (request.get("replica") or {}).get("address")
+        link = self.feed.register(announced if isinstance(announced, str) else None)
+        try:
+            yield {"ok": True, "frame": "hello", "role": self.role,
+                   "generation": self.db.generation}
+            yield from self.feed.stream(generation, link, resync=bool(request.get("resync")))
+        finally:
+            self.feed.unregister(link)
+
+    # ------------------------------------------------------------------
+    # replication guards
+    # ------------------------------------------------------------------
+
+    def _require_primary(self) -> None:
+        """Reject mutations on a replica with a typed ``read_only`` error."""
+        if not self._replica_mode:
+            return
+        fields: dict = {"error_type": "read_only", "role": "replica"}
+        if self.tailer is not None:
+            fields["primary"] = self.tailer.primary_address
+        raise _Reject(
+            "read_only: this node is a replica; send writes to the primary", **fields
+        )
+
+    def _wait_fresh(self, request: dict) -> None:
+        """Honour ``min_generation`` bounds, or raise a typed ``stale`` error.
+
+        The staleness contract: the query either runs against state at
+        least as new as the requested floor(s), or the client gets a
+        ``stale`` frame carrying this node's applied position — never a
+        silently stale answer.
+        """
+        min_g = request.get("min_generation")
+        min_rel = request.get("min_rel_generation")
+        if min_g is None and not min_rel:
+            return
+        if min_g is not None and (not isinstance(min_g, int) or min_g < 0):
+            raise ValueError("'min_generation' must be a non-negative integer")
+        if min_rel is not None and (
+            not isinstance(min_rel, dict)
+            or not all(
+                isinstance(name, str) and isinstance(gen, int)
+                for name, gen in min_rel.items()
+            )
+        ):
+            raise ValueError("'min_rel_generation' must map relation names to integers")
+        timeout = request.get("wait_timeout_s", 2.0)
+        if not isinstance(timeout, (int, float)) or timeout < 0:
+            raise ValueError("'wait_timeout_s' must be a non-negative number")
+        if self.db.wait_for_generation(min_g, min_rel, timeout=float(timeout)):
+            return
+        position = self.db.position
+        raise _Reject(
+            f"stale: applied position {position['generation']} has not reached "
+            f"the requested floor within {timeout}s",
+            error_type="stale",
+            stale=True,
+            role=self.role,
+            generation=position["generation"],
+            rel_generations=position["rel_generations"],
+            min_generation=min_g,
+            min_rel_generation=min_rel,
+        )
 
     # ------------------------------------------------------------------
     # ops
@@ -252,6 +401,7 @@ class QueryService:
         return payload
 
     def _op_query(self, request: dict) -> dict:
+        self._wait_fresh(request)
         prepared = self._prepare(request)
         mode = request.get("mode", "auto")
         if not isinstance(mode, str):
@@ -266,6 +416,7 @@ class QueryService:
 
     def _op_batch(self, request: dict) -> dict:
         """An explicit client-side batch: one evaluate_many, one response."""
+        self._wait_fresh(request)  # one staleness bound covers the whole batch
         specs = request.get("queries")
         if not isinstance(specs, list):
             raise ValueError("'queries' must be a list of query objects")
@@ -296,16 +447,20 @@ class QueryService:
         return {"ok": True, "changed": changed, "generation": self.db.generation}
 
     def _op_insert(self, request: dict) -> dict:
+        self._require_primary()
         return self._mutated(
             self.db.insert(request["relation"], *self._rows(request))
         )
 
     def _op_delete(self, request: dict) -> dict:
+        self._require_primary()
         return self._mutated(
             self.db.delete(request["relation"], *self._rows(request))
         )
 
     def _op_delta(self, request: dict) -> dict:
+        self._require_primary()
+
         def decode_side(side) -> dict[str, list[tuple]] | None:
             mapping = request.get(side)
             if mapping is None:
@@ -338,6 +493,36 @@ class QueryService:
             response["storage"] = stats
         return response
 
+    def _op_promote(self, request: dict) -> dict:
+        """Flip a replica writable: stop the tailer, checkpoint, serve writes.
+
+        The failover step.  Idempotent — promoting a primary reports
+        ``promoted: false`` and changes nothing.  The checkpoint makes
+        the promotion durable: a restart of a durable node recovers the
+        exact position it was promoted at.
+        """
+        with self._lock:
+            was_replica = self._replica_mode
+            self._replica_mode = False
+        if self.tailer is not None:
+            self.tailer.stop()
+        checkpointed = self.db.checkpoint()
+        return {
+            "ok": True,
+            "promoted": was_replica,
+            "role": self.role,
+            "checkpointed": checkpointed,
+            "generation": self.db.generation,
+        }
+
+    def _op_replicate(self, request: dict) -> dict:
+        # reached only by direct dict callers: the TCP path routes the op
+        # through handle_or_stream/replicate_stream instead
+        raise ValueError(
+            "'replicate' is a streaming op: it holds its connection open and "
+            "is only served over the TCP transport"
+        )
+
     def _op_explain(self, request: dict) -> dict:
         prepared = self._prepare(request)
         mode = request.get("mode", "auto")
@@ -360,11 +545,30 @@ class QueryService:
             "relations": list(db.instance.relations),
             "semantics": db.semantics.key,
             "durable": db.path is not None,
+            "role": self.role,
         }
+        replication: dict = {"role": self.role, "position": db.position}
+        if self.tailer is not None:
+            replication["tailer"] = self.tailer.status
+        if self.feed is not None:
+            replication["feed"] = self.feed.stats
+        response["replication"] = replication
         storage = db.storage_stats
         if storage is not None:
             response["storage"] = storage
         return response
+
+    def close(self) -> None:
+        """Stop the replication machinery (idempotent).
+
+        Ends every live ``replicate`` stream and the tailer thread; the
+        TCP server calls this on shutdown.  The session itself stays
+        open — it belongs to the caller.
+        """
+        if self.tailer is not None:
+            self.tailer.stop()
+        if self.feed is not None:
+            self.feed.close()
 
 
 class Server:
@@ -431,6 +635,9 @@ class Server:
             self._listener.close()
         except OSError:
             pass
+        # end replication streams first: their worker threads are parked
+        # inside the feed and would otherwise never reach a poison pill
+        self.service.close()
         # close connections still waiting for a worker slot first, so no
         # worker dequeues a live socket after the poison pills go in
         while True:
@@ -493,8 +700,20 @@ class Server:
                     line = line.strip()
                     if not line:
                         continue
+                    response, stream = self.service.handle_or_stream(line)
+                    if stream is not None:
+                        # the connection becomes a replication stream and
+                        # occupies this worker slot until it ends
+                        try:
+                            for frame in stream:
+                                data = frame if isinstance(frame, str) else json.dumps(frame)
+                                writer.write(data + "\n")
+                                writer.flush()
+                        finally:
+                            stream.close()  # unregister the replica link
+                        break
                     try:
-                        writer.write(self.service.handle_line(line) + "\n")
+                        writer.write(response + "\n")
                         writer.flush()
                     except (OSError, ValueError):
                         break  # client went away mid-response
@@ -516,6 +735,11 @@ def serve(
     semantics: str = "cwa",
     workers: int | None = None,
     path: str | None = None,
+    replicate_from: str | tuple | None = None,
+    feed: bool = True,
+    heartbeat_s: float = 2.0,
+    backoff_base: float = 0.2,
+    backoff_cap: float = 5.0,
 ) -> Server:
     """Build a server around ``db`` (or a fresh session) and start it.
 
@@ -529,10 +753,28 @@ def serve(
     opening recovers the directory's snapshot + WAL, and every
     acknowledged mutation is journaled.  When ``workers > 1`` the
     oracle's process pool is forked *before* any client thread exists.
+
+    ``replicate_from="HOST:PORT"`` makes the node a **replica**: a
+    :class:`~repro.replication.replica.ReplicaTailer` streams the
+    primary's WAL into ``db`` (started only after the listener is
+    bound, so the tailer can announce this node's own address), and
+    writes are rejected with a typed ``read_only`` error until the
+    ``promote`` op.  Every node serves the ``replicate`` op itself
+    unless ``feed=False``, so replicas can be chained.
     """
     if db is None:
         db = Database(instance, semantics=semantics, workers=workers, path=path)
     if db.workers and db.workers > 1:
         db.ensure_worker_pool()
-    service = QueryService(db, batch=batch)
-    return Server(service, host=host, port=port, max_threads=max_threads).start()
+    replication_feed = ReplicationFeed(db, heartbeat_s=heartbeat_s) if feed else None
+    tailer = None
+    if replicate_from is not None:
+        tailer = ReplicaTailer(
+            db, replicate_from, backoff_base=backoff_base, backoff_cap=backoff_cap
+        )
+    service = QueryService(db, batch=batch, feed=replication_feed, tailer=tailer)
+    server = Server(service, host=host, port=port, max_threads=max_threads).start()
+    if tailer is not None:
+        tailer.announce = f"{server.address[0]}:{server.address[1]}"
+        tailer.start()
+    return server

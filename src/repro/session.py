@@ -47,8 +47,8 @@ from __future__ import annotations
 
 import threading
 from importlib import import_module
-from time import perf_counter
-from typing import Hashable, Iterable, Mapping, Sequence
+from time import monotonic, perf_counter
+from typing import Callable, Hashable, Iterable, Mapping, Sequence
 
 from repro.core import analyzer as _analyzer
 from repro.core import backends as _backends
@@ -68,7 +68,7 @@ from repro.logic.transform import free_vars
 from repro.semantics import get_semantics
 from repro.semantics.base import Semantics
 from repro.storage.snapshot import SnapshotState
-from repro.storage.store import RecoveryInfo, Storage
+from repro.storage.store import RecoveryInfo, Storage, encode_delta_record
 
 # repro.homs re-exports a `core` *function* that shadows the submodule
 # attribute, so the module object must come from the import system.
@@ -406,6 +406,12 @@ class Database:
         )
         self._core_flag: bool | None = None
         self._lock = threading.RLock()
+        # signalled on every generation change; staleness-bounded reads
+        # on replicas block on it (wait_for_generation)
+        self._gen_cond = threading.Condition(self._lock)
+        # replication/observation hooks, notified under the lock so event
+        # order matches publish order (see add_listener)
+        self._listeners: list[Callable[[dict], None]] = []
         # LRU intern table for textual queries, bounded so a long-lived
         # session serving ad-hoc query texts cannot grow without limit
         self._prepared: dict[tuple, PreparedQuery] = {}
@@ -478,6 +484,8 @@ class Database:
                 self._extra_facts = value
                 self._generation += 1
                 self._epoch += 1
+                self._notify({"type": "reset", "generation": self._generation})
+                self._gen_cond.notify_all()
 
     @property
     def workers(self) -> int | None:
@@ -497,6 +505,8 @@ class Database:
             self._workers = value
             self._generation += 1
             self._epoch += 1
+            self._notify({"type": "reset", "generation": self._generation})
+            self._gen_cond.notify_all()
             pool, self._worker_pool = self._worker_pool, None
         if pool is not None:
             pool.close()
@@ -554,16 +564,24 @@ class Database:
             # dict is journaled and then published, so the WAL can never
             # diverge from what recovery must restore
             new_rel_gens = {n: self._rel_gens.get(n, 0) + 1 for n in changes}
+            record: dict | None = None
+            if storage is not None or self._listeners:
+                # one wire-format record serves both the journal and the
+                # replication feed, so neither can drift from the other
+                record = encode_delta_record(changes, self._generation + 1, new_rel_gens)
             if storage is not None:
                 # journal before publish; encoding errors raise here,
                 # before any in-memory state has changed
-                offset = storage.log_delta(changes, self._generation + 1, new_rel_gens)
+                offset = storage.append_record(record)
             _indexes.derive_context(self._instance, new, changes)
             self._instance = new
             self._generation += 1
             self._rel_gens.update(new_rel_gens)
             self._core_flag = None
             count = sum(len(added) + len(removed) for added, removed in changes.values())
+            if record is not None and self._listeners:
+                self._notify({"type": "delta", "record": record})
+            self._gen_cond.notify_all()
         if offset is not None:
             storage.sync(offset)  # the durability point, outside the lock
             if storage.should_compact():
@@ -605,6 +623,9 @@ class Database:
             self._results.clear()
             if self._storage is not None:
                 self._storage.checkpoint(self._snapshot_state())
+            # no WAL record carries this transition: replicas must resync
+            self._notify({"type": "reset", "generation": self._generation})
+            self._gen_cond.notify_all()
 
     # ------------------------------------------------------------------
     # durability
@@ -647,6 +668,125 @@ class Database:
             return False
         with self._lock:
             return self._storage.checkpoint(self._snapshot_state())
+
+    # ------------------------------------------------------------------
+    # replication hooks
+    # ------------------------------------------------------------------
+
+    def add_listener(self, listener: Callable[[dict], None]) -> None:
+        """Register a mutation observer (the replication feed is one).
+
+        Listeners are called **under the session lock**, so the event
+        order they see is exactly the publish order: a ``delta`` event
+        carries the same wire-format record the WAL journals
+        (``{"g", "rg", "adds", "removes"}``), a ``reset`` event marks a
+        transition no WAL record describes (:meth:`replace`, knob
+        assignments, :meth:`restore`) after which the stream is no
+        longer dense.  Listeners must be fast and must not re-enter the
+        session's mutation API.
+        """
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[dict], None]) -> None:
+        """Unregister a mutation observer (idempotent)."""
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+    def _notify(self, event: dict) -> None:
+        """Deliver one event to every listener (caller holds the lock)."""
+        for listener in list(self._listeners):
+            try:
+                listener(event)
+            except Exception:  # noqa: BLE001 - a broken observer must not fail writers
+                pass
+
+    @property
+    def position(self) -> dict:
+        """The applied replication position: ``{"generation", "rel_generations"}``.
+
+        Read atomically under the lock — the two counters always belong
+        to the same published state.
+        """
+        with self._lock:
+            return {
+                "generation": self._generation,
+                "rel_generations": dict(self._rel_gens),
+            }
+
+    def wait_for_generation(
+        self,
+        generation: int | None = None,
+        rel_generations: Mapping[str, int] | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> bool:
+        """Block until the session's counters reach the given floor(s).
+
+        The staleness-bounded read primitive: a replica serving a query
+        with ``min_generation`` parks here until its tailer has applied
+        enough of the primary's stream (or the deadline passes —
+        returns ``False``, and the server turns that into a typed
+        ``stale`` error).  On a primary this returns immediately unless
+        the caller asks for a future generation.
+        """
+        floors = dict(rel_generations or {})
+        deadline = None if timeout is None else monotonic() + timeout
+        with self._gen_cond:
+            while True:
+                caught_up = (
+                    generation is None or self._generation >= generation
+                ) and all(self._rel_gens.get(n, 0) >= g for n, g in floors.items())
+                if caught_up:
+                    return True
+                if deadline is None:
+                    self._gen_cond.wait()
+                else:
+                    remaining = deadline - monotonic()
+                    if remaining <= 0:
+                        return False
+                    self._gen_cond.wait(remaining)
+
+    def restore(self, instance, generation: int, rel_generations: Mapping[str, int]) -> None:
+        """Install replicated state **verbatim** — counters included.
+
+        The replica-side bootstrap path: when the primary's WAL no
+        longer reaches back to this session's position, the feed ships a
+        full snapshot and this method makes it the session's state in
+        one transition.  Unlike :meth:`replace` the counters come from
+        the *primary*, so subsequent delta frames apply densely.  On a
+        durable session the new state is checkpointed immediately
+        (recovery must never resurrect the pre-restore timeline).
+        """
+        if not isinstance(instance, Instance):
+            instance = Instance(instance)
+        with self._lock:
+            self._instance = instance
+            self._generation = int(generation)
+            self._rel_gens = {
+                str(name): int(gen) for name, gen in (rel_generations or {}).items()
+            }
+            self._epoch += 1
+            self._core_flag = None
+            self._results.clear()
+            self._batch_pool_key = None
+            if self._storage is not None:
+                self._storage.checkpoint(self._snapshot_state())
+            self._notify({"type": "reset", "generation": self._generation})
+            self._gen_cond.notify_all()
+
+    def raw_wal_records(self) -> list[dict]:
+        """The wire-format records currently in the WAL (oldest first).
+
+        Empty for memory-only sessions.  The replication feed seeds its
+        ring buffer from this under the session lock, so the tail it
+        then receives as listener events continues densely.
+        """
+        if self._storage is None:
+            return []
+        return self._storage.raw_records()
 
     # ------------------------------------------------------------------
     # the result cache

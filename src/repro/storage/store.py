@@ -34,7 +34,7 @@ from repro.data.jsonio import decode_row, encode_row
 from repro.storage.snapshot import SnapshotState, read_snapshot, write_snapshot
 from repro.storage.wal import WriteAheadLog
 
-__all__ = ["RecoveryInfo", "Storage"]
+__all__ = ["RecoveryInfo", "Storage", "encode_delta_record"]
 
 SNAPSHOT_NAME = "snapshot.repro"
 WAL_NAME = "wal.repro"
@@ -71,6 +71,32 @@ def _encode_side(changes: Mapping[str, frozenset], index: int) -> dict[str, list
         if rows:
             out[name] = [encode_row(name, row) for row in sorted(rows, key=repr)]
     return out
+
+
+def encode_delta_record(
+    changes: Mapping[str, tuple[frozenset, frozenset]],
+    generation: int,
+    rel_gens: Mapping[str, int],
+) -> dict:
+    """One effective delta as the WAL's wire-format record.
+
+    ``changes`` is exactly what :meth:`Instance.with_delta` reported
+    (effective adds/removes per touched relation); ``generation`` and
+    ``rel_gens`` are the counters *after* the write, so replay restores
+    them bit-identically.  The same record is journaled locally and
+    shipped to replicas — one encoding, zero drift.
+    """
+    record: dict = {
+        "g": generation,
+        "rg": {name: rel_gens[name] for name in sorted(changes)},
+    }
+    adds = _encode_side(changes, 0)
+    removes = _encode_side(changes, 1)
+    if adds:
+        record["adds"] = adds
+    if removes:
+        record["removes"] = removes
+    return record
 
 
 class Storage:
@@ -180,17 +206,20 @@ class Storage:
         bytes are written: a non-JSON-representable cell raises before
         the session publishes anything.
         """
-        record: dict = {
-            "g": generation,
-            "rg": {name: rel_gens[name] for name in sorted(changes)},
-        }
-        adds = _encode_side(changes, 0)
-        removes = _encode_side(changes, 1)
-        if adds:
-            record["adds"] = adds
-        if removes:
-            record["removes"] = removes
+        return self.append_record(encode_delta_record(changes, generation, rel_gens))
+
+    def append_record(self, record: dict) -> int:
+        """Append an already-encoded record (see :func:`encode_delta_record`)."""
         return self.wal.append(record)
+
+    def raw_records(self) -> list[dict]:
+        """The wire-format records currently in the log, oldest first.
+
+        Unlike :meth:`trace` this is safe on a **live** log: it re-reads
+        the file without disturbing the append position (the replication
+        feed seeds from it under the session lock).
+        """
+        return self.wal.buffered_records()
 
     def sync(self, upto: int) -> None:
         """Group-commit fsync up to ``upto`` (the durability point)."""

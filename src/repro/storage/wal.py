@@ -192,6 +192,41 @@ class WriteAheadLog:
             self._first_append = time.monotonic()
         return records, len(blob) - good
 
+    def buffered_records(self) -> list[dict]:
+        """Every complete record currently in the log, without side effects.
+
+        Unlike :meth:`replay` this does **not** reposition the log or
+        touch the append-side counters, so it is safe on a log that is
+        open for appending (buffered writes are flushed first so the
+        file read sees them).  The caller serialises against concurrent
+        appends — the replication feed reads under the session lock.
+        Torn or missing tails are simply not returned; :meth:`replay`
+        owns corruption detection at open time.
+        """
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+        try:
+            blob = self.path.read_bytes()
+        except FileNotFoundError:
+            return []
+        if len(blob) < _HEADER.size:
+            return []
+        records: list[dict] = []
+        pos = _HEADER.size
+        while pos + _U32.size <= len(blob):
+            (length,) = _U32.unpack_from(blob, pos)
+            end = pos + _U32.size + length + _U32.size
+            if end > len(blob):
+                break
+            payload = blob[pos + _U32.size : pos + _U32.size + length]
+            (crc,) = _U32.unpack_from(blob, end - _U32.size)
+            if zlib.crc32(payload) != crc:
+                break
+            records.append(json.loads(payload))
+            pos = end
+        return records
+
     # ------------------------------------------------------------------
     # writing
     # ------------------------------------------------------------------

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import time
 
 import pytest
 
@@ -237,3 +238,59 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "certain answer: True" in out and "ctable" in out
+
+
+class TestClusterCommands:
+    """`repro cluster` against in-process served nodes (real sockets)."""
+
+    def test_status_lists_primary_and_replicas(self, capsys):
+        from repro.server import serve
+        from repro.session import Database
+
+        primary_db = Database({"R": [(1, 2)]})
+        with serve(primary_db) as primary:
+            primary_addr = f"{primary.address[0]}:{primary.address[1]}"
+            replica_db = Database()
+            with serve(replica_db, replicate_from=primary_addr) as replica:
+                replica_addr = f"{replica.address[0]}:{replica.address[1]}"
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    if primary.service.feed.stats["replicas"]:
+                        break
+                    time.sleep(0.01)
+                assert main(["cluster", "status", primary_addr]) == 0
+                table = capsys.readouterr().out
+                assert primary_addr in table and "primary" in table
+                assert replica_addr in table and "replica" in table
+
+                # --json from the replica's point of view finds the primary
+                assert main(["cluster", "status", replica_addr, "--json"]) == 0
+                report = json.loads(capsys.readouterr().out)
+                roles = {row["node"]: row["role"] for row in report["rows"]}
+                assert roles[primary_addr] == "primary"
+                assert roles[replica_addr] == "replica"
+            replica_db.close()
+        primary_db.close()
+
+    def test_promote_round_trip(self, capsys):
+        from repro.server import serve
+        from repro.session import Database
+
+        primary_db = Database({"R": [(1, 2)]})
+        with serve(primary_db) as primary:
+            primary_addr = f"{primary.address[0]}:{primary.address[1]}"
+            replica_db = Database()
+            with serve(replica_db, replicate_from=primary_addr) as replica:
+                replica_addr = f"{replica.address[0]}:{replica.address[1]}"
+                assert main(["cluster", "promote", replica_addr]) == 0
+                assert "promoted to primary" in capsys.readouterr().out
+                # promoting a primary is a no-op, reported as such
+                assert main(["cluster", "promote", replica_addr]) == 0
+                assert "already a primary" in capsys.readouterr().out
+            replica_db.close()
+        primary_db.close()
+
+    def test_status_unreachable_node_fails_cleanly(self, capsys):
+        code = main(["cluster", "status", "127.0.0.1:9"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -10,6 +10,7 @@ order: the durability contract is "acknowledged means survived".
 
 import json
 import os
+import random
 import signal
 import socket
 import subprocess
@@ -20,12 +21,18 @@ from pathlib import Path
 from repro.cli import main as cli_main
 from repro.data.jsonio import instance_from_json
 from repro.data.values import Null
+from repro.replication import ReplicationFeed, apply_frame
 from repro.session import Database
 
 SRC = str(Path(__file__).resolve().parent.parent / "src")
 
+# Nightly fuzz knobs (.github/workflows/nightly.yml): REPRO_FUZZ multiplies
+# the replica-crash stream length and the trace-replay trial count
+FUZZ = max(1, int(os.environ.get("REPRO_FUZZ", "1")))
+FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
 
-def start_server(data_dir) -> tuple[subprocess.Popen, tuple[str, int]]:
+
+def start_server(data_dir, *extra) -> tuple[subprocess.Popen, tuple[str, int]]:
     """Launch ``repro serve`` as a real subprocess; returns (proc, address)."""
     env = {**os.environ, "PYTHONPATH": SRC}
     proc = subprocess.Popen(
@@ -39,6 +46,7 @@ def start_server(data_dir) -> tuple[subprocess.Popen, tuple[str, int]]:
             "0",
             "--data-dir",
             str(data_dir),
+            *extra,
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -215,3 +223,83 @@ def test_kill9_before_any_checkpoint_then_checkpoint_then_kill9_again(tmp_path):
     info = recovered.recovery_info
     assert info.had_snapshot and info.snapshot_generation == 8 and info.wal_records == 12
     recovered.close()
+
+
+def test_sigkill_replica_mid_stream_restart_converges_bit_identically(tmp_path):
+    """The replication durability contract, mirror image of the primary's:
+    SIGKILL a live replica while the primary keeps streaming at it, restart
+    it from its own data directory, and the recovered replica must converge
+    **bit-identically** — rows, ``generation``, per-relation
+    ``rel_generation`` — with the primary, with no gap and no double-apply
+    (dense generations make either show up as a counter mismatch)."""
+    n_total = 24 + 8 * min(FUZZ, 47)  # nightly REPRO_FUZZ lengthens the stream
+    primary_proc, primary_address = start_server(tmp_path / "primary")
+    primary_hostport = f"{primary_address[0]}:{primary_address[1]}"
+    replica_proc, replica_address = start_server(
+        tmp_path / "replica", "--replica-of", primary_hostport
+    )
+    try:
+        client = Client(primary_address)
+        for i, request in enumerate(mutation_stream(n_total)):
+            if i == n_total // 2:
+                # no atexit, no flush, no position handoff: the replica's
+                # own WAL alone must carry its durable position
+                os.kill(replica_proc.pid, signal.SIGKILL)
+                replica_proc.wait(timeout=30)
+            client.call(**request)
+        target = client.call(op="stats")
+
+        replica_proc2, replica_address2 = start_server(
+            tmp_path / "replica", "--replica-of", primary_hostport
+        )
+        try:
+            replica_client = Client(replica_address2)
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                stats = replica_client.call(op="stats")
+                if stats["generation"] == target["generation"]:
+                    break
+                time.sleep(0.02)
+            assert stats["generation"] == target["generation"]
+            assert (
+                stats["replication"]["position"] == target["replication"]["position"]
+            )  # generation *and* every rel_generation
+            assert replica_client.call(op="dump")["instance"] == client.call(op="dump")["instance"]
+            replica_client.close()
+        finally:
+            replica_proc2.kill()
+            replica_proc2.wait(timeout=30)
+        client.close()
+    finally:
+        for proc in (primary_proc, replica_proc):
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+
+def test_trace_replay_through_feed_reproduces_counters_exactly(tmp_path):
+    """Property: the feed's wire frames are a *complete* description of the
+    session — replaying them through :func:`apply_frame` onto a fresh
+    session reproduces rows, ``generation``, and every ``rel_generation``
+    exactly, and every frame lands as ``"applied"`` (a skip, gap, or
+    divergence would mean the stream and the WAL disagree)."""
+    rng = random.Random(0xFEED + FUZZ_SEED)
+    for trial in range(2 * FUZZ):
+        source = Database(path=tmp_path / f"trial{trial}")
+        for _ in range(rng.randrange(5, 40)):
+            relation = rng.choice("RST")
+            row = (rng.randrange(6), rng.randrange(6))
+            if rng.random() < 0.3:
+                source.delete(relation, row)  # often ineffective: no WAL record
+            else:
+                source.insert(relation, row)
+        # Storage.trace() and the feed describe the same log
+        assert len(list(source._storage.trace())) == len(source.raw_wal_records())
+
+        feed = ReplicationFeed(source)
+        frames = [json.loads(line) for _g, line, _size in feed._records]
+        replica = Database()
+        assert [apply_frame(replica, frame) for frame in frames] == ["applied"] * len(frames)
+        assert session_state(replica) == session_state(source)
+        feed.close()
+        source.close()
