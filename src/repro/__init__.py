@@ -64,9 +64,9 @@ from repro.semantics import (
     PowersetCWA,
     get_semantics,
 )
-from repro.session import Database, PreparedQuery
+from repro.session import Database, DegradedError, PreparedQuery
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Backend",
@@ -86,6 +86,7 @@ __all__ = [
     "possible_holds",
     "register_backend",
     "Database",
+    "DegradedError",
     "PreparedQuery",
     "Instance",
     "Null",

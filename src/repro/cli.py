@@ -40,6 +40,15 @@ import argparse
 import json
 import sys
 
+from repro.client import (
+    Client,
+    ClientError,
+    DegradedServerError,
+    ReadOnlyServerError,
+    ServerError,
+    StaleReadError,
+    TransportError,
+)
 from repro.core import analyze, evaluate
 from repro.core.analyzer import FIGURE_1
 from repro.core.backends import available_backends
@@ -225,7 +234,10 @@ def _cmd_serve(args) -> int:
     finally:
         if previous is not None:
             signal.signal(signal.SIGTERM, previous)
-        server.shutdown()
+        # graceful drain: in-flight requests get --drain-timeout-s to
+        # finish (and have their responses written) before connections
+        # are torn down; only then does the shutdown checkpoint run
+        server.shutdown(drain_timeout_s=max(0.0, args.drain_timeout_s))
         if db.checkpoint():
             # graceful-shutdown snapshot: the next start reads one
             # snapshot instead of replaying the whole log
@@ -235,18 +247,16 @@ def _cmd_serve(args) -> int:
 
 
 def _rpc(address: str, request: dict, timeout: float = 10.0) -> dict:
-    """One-shot JSON-lines exchange with a serving node."""
-    import socket
+    """One resilient JSON-lines exchange with a serving node.
 
-    from repro.replication.replica import parse_address
-
-    with socket.create_connection(parse_address(address), timeout=timeout) as sock:
-        sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
-        reader = sock.makefile("r", encoding="utf-8", newline="\n")
-        line = reader.readline()
-    if not line:
-        raise OSError(f"{address}: connection closed without a response")
-    return json.loads(line)
+    Routed through :class:`repro.client.Client`: idempotent reads get
+    capped-exponential retry with jitter, mutations are sent at most
+    once, and typed error frames (``degraded``, ``read_only``,
+    ``stale``) surface as typed exceptions that :func:`main` maps to
+    distinct exit codes — no raw tracebacks, no prose parsing.
+    """
+    with Client(address, timeout=timeout) as client:
+        return client.request(request)
 
 
 def _print_table(headers: list[str], rows: list[list]) -> None:
@@ -280,7 +290,7 @@ def _cluster_peer_row(address: str | None, reported: dict) -> dict:
             row["facts"] = stats.get("fact_count")
             tailer = replication.get("tailer") or {}
             row["state"] = "streaming" if tailer.get("connected") else "disconnected"
-        except (OSError, ValueError):
+        except (OSError, ValueError, ClientError):
             row["state"] = "unreachable"
     return row
 
@@ -319,7 +329,7 @@ def _cmd_cluster_status(args) -> int:
                 "lag_bytes": "-",
                 "state": "serving",
             })
-        except (OSError, ValueError):
+        except (OSError, ValueError, ClientError):
             rows.insert(0, {
                 "node": tailer["primary"], "role": "primary", "generation": "?",
                 "facts": "?", "lag_generations": "-", "lag_bytes": "-",
@@ -568,6 +578,14 @@ def main(argv: list[str] | None = None) -> int:
         "writes with a typed read_only error until 'cluster promote'; combine "
         "with --data-dir so the replica's position survives restarts",
     )
+    p_serve.add_argument(
+        "--drain-timeout-s",
+        dest="drain_timeout_s",
+        type=float,
+        default=5.0,
+        help="graceful-shutdown drain window: in-flight requests get this many "
+        "seconds to finish before connections close (0 = immediate hard close)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_cluster = sub.add_parser(
@@ -628,9 +646,30 @@ def main(argv: list[str] | None = None) -> int:
     p_recover.set_defaults(func=_cmd_recover)
 
     args = parser.parse_args(argv)
+    # exit codes: 0 ok · 2 bad input / untyped error · 3 node degraded ·
+    # 4 node read-only (writes go to the reported primary) · 5 stale read
+    # (staleness bound unmet) · 6 node unreachable — scripts can branch on
+    # the class of failure without parsing stderr
     try:
         return args.func(args)
-    except (ValueError, OSError, ExpansionLimitError) as err:
+    except DegradedServerError as err:
+        print(f"error (degraded): {err}", file=sys.stderr)
+        return 3
+    except ReadOnlyServerError as err:
+        primary = err.primary
+        hint = f"; writes go to {primary}" if primary else ""
+        print(f"error (read_only): {err}{hint}", file=sys.stderr)
+        return 4
+    except StaleReadError as err:
+        print(f"error (stale): {err}", file=sys.stderr)
+        return 5
+    except TransportError as err:
+        print(f"error (unreachable): {err}", file=sys.stderr)
+        return 6
+    except ServerError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    except (ValueError, OSError, ExpansionLimitError, ClientError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
 

@@ -1,0 +1,491 @@
+"""A self-healing wire client for the JSON-lines serving protocol.
+
+:class:`Client` wraps the raw socket conversation of
+``docs/wire-protocol.md`` in the retry/deadline/failover policy a
+caller facing real networks needs:
+
+* **per-op deadlines** — every public method is bounded by ``timeout``
+  seconds of wall clock, connection attempts included; a blown deadline
+  raises :class:`DeadlineExceeded`, never hangs;
+* **capped-exponential retry with jitter** for *idempotent* requests
+  (reads, ``ping``, admin ops): transport errors and injected drops are
+  retried against the next endpoint in rotation, so a primary kill is
+  invisible to readers as long as any replica still answers;
+* **typed-error passthrough** for mutations: a ``degraded`` frame
+  (the durability layer refused the write — see
+  :class:`repro.session.DegradedError`) or a ``stale`` frame surfaces
+  as a typed exception carrying the server's structured fields, never
+  as prose to re-parse; a ``read_only`` frame triggers one redirect to
+  the primary the replica announced;
+* **bounded-staleness reads** — the client tracks the highest
+  generation any of its own acknowledged writes reached and stamps it
+  as ``min_generation`` on subsequent reads (read-your-writes), so a
+  read failing over to a lagging replica either waits for the write it
+  just made or fails ``stale`` and rotates, never silently rewinds;
+* **honest write semantics** — a mutation is retried only while the
+  client can prove it never reached a server (connection refused before
+  anything was sent).  Once request bytes may have left, a transport
+  failure raises :class:`IndeterminateWriteError`: the write may or may
+  not have applied, and only the caller knows whether re-issuing it is
+  idempotent for their data.
+
+>>> from repro.client import Client
+>>> from repro.server import serve
+>>> from repro.session import Database
+>>> with serve(Database({"R": [(1, 2)]})) as server:
+...     client = Client(server.address)
+...     client.query("R(x, y)")["answers"]
+...     client.insert("R", [[3, 4]])["changed"]
+...     client.close()
+[[1, 2]]
+1
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+from time import monotonic, sleep
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.replication.replica import parse_address
+
+__all__ = [
+    "Client",
+    "ClientError",
+    "DeadlineExceeded",
+    "DegradedServerError",
+    "IndeterminateWriteError",
+    "ReadOnlyServerError",
+    "ServerError",
+    "StaleReadError",
+    "TransportError",
+]
+
+
+class ClientError(Exception):
+    """Base class for everything :class:`Client` raises on purpose."""
+
+
+class TransportError(ClientError):
+    """No server could be reached (or kept its connection) in time."""
+
+
+class DeadlineExceeded(TransportError):
+    """The per-op deadline expired before any server answered."""
+
+
+class IndeterminateWriteError(ClientError):
+    """A mutation was sent but its fate is unknown (connection died).
+
+    The server may or may not have applied the write.  The client never
+    auto-retries out of this state — re-issuing is the caller's call,
+    made safe by checking generation counters (``stats``/``health``) or
+    by the mutation's natural idempotence (set semantics: re-inserting
+    a present row changes nothing).
+    """
+
+
+class ServerError(ClientError):
+    """The server answered with an error frame; ``fields`` carries it.
+
+    ``error_type`` is the structured discriminator (``"degraded"``,
+    ``"read_only"``, ``"stale"``, or ``None`` for untyped errors).
+    """
+
+    def __init__(self, fields: dict):
+        super().__init__(fields.get("error", "server error"))
+        self.fields = fields
+        self.error_type: str | None = fields.get("error_type")
+
+
+class DegradedServerError(ServerError):
+    """The node is in degraded read-only mode; the write was refused.
+
+    The write was **not** applied.  ``fields["health"]`` carries the
+    node's health record; an operator ``checkpoint`` heals the node.
+    """
+
+
+class ReadOnlyServerError(ServerError):
+    """The node is a replica; ``primary`` names where writes go."""
+
+    @property
+    def primary(self) -> str | None:
+        return self.fields.get("primary")
+
+
+class StaleReadError(ServerError):
+    """The node could not reach the requested ``min_generation`` in time."""
+
+
+def _typed_error(response: dict) -> ServerError:
+    kind = response.get("error_type")
+    if kind == "degraded":
+        return DegradedServerError(response)
+    if kind == "read_only":
+        return ReadOnlyServerError(response)
+    if kind == "stale":
+        return StaleReadError(response)
+    return ServerError(response)
+
+
+#: ops safe to re-send after an ambiguous failure (no server-side effects,
+#: or effects that are idempotent by definition, like ``checkpoint``)
+IDEMPOTENT_OPS = frozenset(
+    {"ping", "query", "batch", "explain", "dump", "stats", "health", "checkpoint", "promote"}
+)
+#: idempotent ops that may be answered by *any* endpoint in the rotation
+FAILOVER_OPS = frozenset({"ping", "query", "batch", "explain", "dump"})
+
+
+class Client:
+    """A resilient JSON-lines client over one primary and its replicas.
+
+    Parameters
+    ----------
+    primary:
+        ``"host:port"`` (or an ``(host, port)`` pair) of the node that
+        accepts writes;
+    replicas:
+        additional read endpoints; idempotent reads rotate across
+        ``[primary, *replicas]`` on failure;
+    timeout:
+        per-operation wall-clock deadline in seconds (connects, sends,
+        retries and backoff sleeps all count against it);
+    retries:
+        attempts per idempotent operation beyond the first;
+    backoff_base / backoff_cap:
+        capped exponential retry schedule: attempt *n* sleeps roughly
+        ``min(base * 2**n, cap)`` seconds, jittered to half;
+    read_your_writes:
+        stamp the client's own highest acknowledged write generation as
+        ``min_generation`` on reads that do not set one (default on);
+    wait_timeout_s:
+        how long a server may block to satisfy a ``min_generation``
+        floor before answering ``stale``;
+    jitter:
+        a ``() -> float in [0, 1)`` hook, injectable for deterministic
+        tests.
+
+    One socket per endpoint is kept open and reused across requests;
+    any transport error tears that connection down so the next attempt
+    reconnects from scratch.  Instances are **not** thread-safe — use
+    one per thread (the server multiplexes fine).
+    """
+
+    def __init__(
+        self,
+        primary: str | tuple,
+        replicas: Iterable[str | tuple] = (),
+        *,
+        timeout: float = 5.0,
+        connect_timeout: float = 1.0,
+        retries: int = 5,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+        read_your_writes: bool = True,
+        wait_timeout_s: float = 2.0,
+        jitter: Callable[[], float] = random.random,
+    ):
+        self._primary = parse_address(primary)
+        self._endpoints: list[tuple[str, int]] = [self._primary]
+        for replica in replicas:
+            addr = parse_address(replica)
+            if addr not in self._endpoints:
+                self._endpoints.append(addr)
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.retries = max(0, retries)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.read_your_writes = read_your_writes
+        self.wait_timeout_s = wait_timeout_s
+        self._jitter = jitter
+        self._rotation = 0
+        #: highest generation an acknowledged write of *this client* reached
+        self.last_write_generation = 0
+        self._conns: dict[tuple[str, int], tuple[socket.socket, object]] = {}
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # connection plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def primary_address(self) -> str:
+        host, port = self._primary
+        return f"{host}:{port}"
+
+    @property
+    def endpoints(self) -> list[str]:
+        return [f"{host}:{port}" for host, port in self._endpoints]
+
+    def close(self) -> None:
+        """Close every cached connection (idempotent)."""
+        for sock, _reader in self._conns.values():
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._conns.clear()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _drop(self, endpoint: tuple[str, int]) -> None:
+        conn = self._conns.pop(endpoint, None)
+        if conn is not None:
+            try:
+                conn[0].close()
+            except OSError:
+                pass
+
+    def _connect(self, endpoint: tuple[str, int], deadline: float):
+        cached = self._conns.get(endpoint)
+        if cached is not None:
+            return cached
+        budget = min(self.connect_timeout, deadline - monotonic())
+        if budget <= 0:
+            raise DeadlineExceeded(f"deadline expired connecting to {endpoint}")
+        try:
+            sock = socket.create_connection(endpoint, timeout=budget)
+        except OSError as err:
+            raise TransportError(f"cannot connect to {endpoint}: {err}") from err
+        reader = sock.makefile("r", encoding="utf-8", newline="\n")
+        self._conns[endpoint] = (sock, reader)
+        return sock, reader
+
+    def _exchange(self, endpoint: tuple[str, int], payload: dict, deadline: float) -> dict:
+        """One request/response on one endpoint; raises on any failure.
+
+        Transport failures *after* the request bytes may have left are
+        tagged by re-raising :class:`IndeterminateWriteError` — the
+        caller decides whether its op makes that ambiguity safe.
+        """
+        sock, reader = self._connect(endpoint, deadline)
+        remaining = deadline - monotonic()
+        if remaining <= 0:
+            raise DeadlineExceeded(f"deadline expired before sending to {endpoint}")
+        line = json.dumps(payload) + "\n"
+        try:
+            sock.settimeout(remaining)
+            sock.sendall(line.encode("utf-8"))
+            response = reader.readline()
+        except OSError as err:
+            self._drop(endpoint)
+            if isinstance(err, socket.timeout):
+                raise IndeterminateWriteError(
+                    f"no response from {endpoint} within the deadline"
+                ) from err
+            raise IndeterminateWriteError(
+                f"connection to {endpoint} failed mid-request: {err}"
+            ) from err
+        if not response:
+            # clean EOF: the server closed without answering (drained,
+            # crashed, or an injected drop) — the request's fate is unknown
+            self._drop(endpoint)
+            raise IndeterminateWriteError(f"{endpoint} closed the connection mid-request")
+        try:
+            return json.loads(response)
+        except ValueError as err:
+            self._drop(endpoint)
+            raise TransportError(f"undecodable response from {endpoint}: {err}") from err
+
+    def _sleep(self, attempt: int, deadline: float) -> None:
+        delay = min(self.backoff_base * (2**attempt), self.backoff_cap)
+        delay *= 0.5 + 0.5 * min(1.0, max(0.0, self._jitter()))
+        remaining = deadline - monotonic()
+        if remaining <= 0:
+            raise DeadlineExceeded("retry budget exhausted")
+        sleep(min(delay, remaining))
+
+    # ------------------------------------------------------------------
+    # the request core
+    # ------------------------------------------------------------------
+
+    def request(self, payload: dict, *, endpoint: str | tuple | None = None) -> dict:
+        """Send one raw request object with the full resilience policy.
+
+        The escape hatch the typed helpers build on.  ``endpoint`` pins
+        the request to one node (admin ops on a specific replica);
+        otherwise idempotent reads rotate over every endpoint and
+        mutations go to the primary.  Returns the decoded ``ok: true``
+        response; raises a typed :class:`ClientError` otherwise.
+        """
+        op = payload.get("op")
+        self._seq += 1
+        payload = {"id": self._seq, **payload}
+        deadline = monotonic() + self.timeout
+        pinned = parse_address(endpoint) if endpoint is not None else None
+        if op in IDEMPOTENT_OPS:
+            return self._request_idempotent(payload, deadline, pinned)
+        return self._request_mutation(payload, deadline, pinned)
+
+    def _stamp_read_floor(self, payload: dict) -> dict:
+        if (
+            self.read_your_writes
+            and payload.get("op") in ("query", "batch")
+            and self.last_write_generation > 0
+            and "min_generation" not in payload
+        ):
+            payload = {
+                **payload,
+                "min_generation": self.last_write_generation,
+                "wait_timeout_s": self.wait_timeout_s,
+            }
+        return payload
+
+    def _request_idempotent(
+        self, payload: dict, deadline: float, pinned: tuple[str, int] | None
+    ) -> dict:
+        payload = self._stamp_read_floor(payload)
+        can_rotate = pinned is None and payload.get("op") in FAILOVER_OPS
+        endpoints = [pinned] if pinned is not None else self._endpoints
+        last_error: ClientError | None = None
+        for attempt in range(self.retries + 1):
+            if can_rotate:
+                endpoint = endpoints[self._rotation % len(endpoints)]
+            else:
+                endpoint = endpoints[0] if pinned is not None else self._primary
+            try:
+                response = self._exchange(endpoint, payload, deadline)
+            except DeadlineExceeded:
+                raise
+            except (TransportError, IndeterminateWriteError) as err:
+                # idempotent: ambiguity is free to retry — rotate away
+                last_error = (
+                    err
+                    if isinstance(err, TransportError)
+                    else TransportError(str(err))
+                )
+                if can_rotate:
+                    self._rotation += 1
+            else:
+                if response.get("ok"):
+                    return response
+                error = _typed_error(response)
+                if isinstance(error, StaleReadError) and can_rotate and len(endpoints) > 1:
+                    # this node is lagging; another may have caught up
+                    last_error = error
+                    self._rotation += 1
+                else:
+                    raise error
+            if attempt < self.retries:
+                self._sleep(attempt, deadline)
+        raise last_error if last_error is not None else TransportError("no endpoints")
+
+    def _request_mutation(
+        self, payload: dict, deadline: float, pinned: tuple[str, int] | None
+    ) -> dict:
+        endpoint = pinned if pinned is not None else self._primary
+        redirected = False
+        last_error: ClientError | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                response = self._exchange(endpoint, payload, deadline)
+            except DeadlineExceeded:
+                raise
+            except TransportError as err:
+                # the connect itself failed: nothing was sent, retry is safe
+                last_error = err
+            except IndeterminateWriteError:
+                # bytes may have left — surface the ambiguity, never re-send
+                raise
+            else:
+                if response.get("ok"):
+                    generation = response.get("generation")
+                    if isinstance(generation, int):
+                        self.last_write_generation = max(
+                            self.last_write_generation, generation
+                        )
+                    return response
+                error = _typed_error(response)
+                if (
+                    isinstance(error, ReadOnlyServerError)
+                    and error.primary
+                    and not redirected
+                    and pinned is None
+                ):
+                    # the write was refused, not applied: following the
+                    # announced primary once is safe
+                    endpoint = parse_address(error.primary)
+                    self._primary = endpoint
+                    if endpoint not in self._endpoints:
+                        self._endpoints.insert(0, endpoint)
+                    redirected = True
+                    continue
+                raise error
+            if attempt < self.retries:
+                self._sleep(attempt, deadline)
+        raise last_error if last_error is not None else TransportError("no endpoints")
+
+    # ------------------------------------------------------------------
+    # typed helpers
+    # ------------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def query(
+        self,
+        query: str,
+        *,
+        vars: Sequence[str] | None = None,
+        semantics: str | None = None,
+        mode: str = "auto",
+        min_generation: int | None = None,
+        min_rel_generation: Mapping[str, int] | None = None,
+    ) -> dict:
+        payload: dict = {"op": "query", "query": query, "mode": mode}
+        if vars is not None:
+            payload["vars"] = list(vars)
+        if semantics is not None:
+            payload["semantics"] = semantics
+        if min_generation is not None:
+            payload["min_generation"] = min_generation
+            payload["wait_timeout_s"] = self.wait_timeout_s
+        if min_rel_generation:
+            payload["min_rel_generation"] = dict(min_rel_generation)
+            payload.setdefault("wait_timeout_s", self.wait_timeout_s)
+        return self.request(payload)
+
+    def insert(self, relation: str, rows: Iterable[Sequence]) -> dict:
+        return self.request({"op": "insert", "relation": relation, "rows": list(rows)})
+
+    def delete(self, relation: str, rows: Iterable[Sequence]) -> dict:
+        return self.request({"op": "delete", "relation": relation, "rows": list(rows)})
+
+    def apply_delta(
+        self,
+        adds: Mapping[str, list] | None = None,
+        removes: Mapping[str, list] | None = None,
+    ) -> dict:
+        payload: dict = {"op": "delta"}
+        if adds:
+            payload["adds"] = dict(adds)
+        if removes:
+            payload["removes"] = dict(removes)
+        return self.request(payload)
+
+    def checkpoint(self, *, endpoint: str | tuple | None = None) -> dict:
+        """Force a snapshot (the degraded-mode healing op)."""
+        return self.request({"op": "checkpoint"}, endpoint=endpoint)
+
+    def promote(self, endpoint: str | tuple) -> dict:
+        """Flip the replica at ``endpoint`` writable and adopt it as primary."""
+        response = self.request({"op": "promote"}, endpoint=endpoint)
+        self._primary = parse_address(endpoint)
+        if self._primary not in self._endpoints:
+            self._endpoints.insert(0, self._primary)
+        return response
+
+    def stats(self, *, endpoint: str | tuple | None = None) -> dict:
+        return self.request({"op": "stats"}, endpoint=endpoint)
+
+    def health(self, *, endpoint: str | tuple | None = None) -> dict:
+        return self.request({"op": "health"}, endpoint=endpoint)

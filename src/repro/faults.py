@@ -1,0 +1,413 @@
+"""Deterministic failpoint injection for the serving stack.
+
+Every layer that touches the outside world — the write-ahead log, the
+snapshot publisher, the TCP server, the replication feed and tailer —
+asks this module "should I fail *here*, *now*?" at a small set of named
+**failpoints** before doing the real work.  In production the registry
+is empty and the check is one attribute read; under test (or chaos CI)
+failpoints are armed with a trigger and an error payload, so the exact
+partial failures a real deployment meets — disk full, failed fsync, a
+write torn mid-frame, a dropped or hung socket — happen on demand and
+deterministically.
+
+Arming failpoints
+-----------------
+
+Via the environment (read once, at first use — the chaos tests set it
+before launching ``repro serve`` subprocesses)::
+
+    REPRO_FAILPOINTS="wal.fsync=once:eio;server.send=prob(0.05,42):drop-conn"
+
+or programmatically::
+
+    >>> from repro.faults import FaultRegistry
+    >>> reg = FaultRegistry("wal.append=every(3):enospc")
+    >>> reg.describe()
+    ['wal.append=every(3):enospc']
+
+and per-session: ``Database(faults=...)`` threads a registry into that
+session's storage layer only, while the process-global registry (the
+env one) drives the transport-level sites.
+
+Spec grammar (entries separated by ``;``)::
+
+    point '=' trigger ':' action
+    trigger := 'once' | 'every(N)' | 'prob(P[,SEED])'
+    action  := 'enospc' | 'eio' | 'torn-write' | 'drop-conn' | 'hang(MS)'
+
+Triggers are deterministic: ``once`` fires on the first evaluation then
+disarms; ``every(n)`` fires on every n-th evaluation; ``prob(p, seed)``
+draws from its own seeded RNG, so a chaos run replays bit-identically
+from its seed.
+
+The failpoint catalog (what each site does when it fires) is
+documented in ``docs/fault-tolerance.md``; :data:`KNOWN_POINTS` is the
+authoritative list and unknown names are rejected at parse time so a
+typo cannot silently disarm a chaos run.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import os
+import random
+import re
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "ENV_VAR",
+    "KNOWN_POINTS",
+    "FaultAction",
+    "FaultSpecError",
+    "FaultRegistry",
+    "InjectedDropConnection",
+    "fire",
+    "global_registry",
+    "install",
+]
+
+#: the environment variable the global registry is parsed from
+ENV_VAR = "REPRO_FAILPOINTS"
+
+#: every injection site in the codebase, with the layer that owns it.
+#: Parse-time validation checks against this set so a misspelled point
+#: fails loudly instead of never firing.
+KNOWN_POINTS = frozenset(
+    {
+        # storage/wal.py
+        "wal.append",
+        "wal.fsync",
+        "wal.truncate",
+        # storage/snapshot.py
+        "snapshot.write",
+        "snapshot.replace",
+        "snapshot.dir_fsync",
+        # server.py
+        "server.accept",
+        "server.recv",
+        "server.send",
+        # replication/feed.py and replication/replica.py
+        "feed.yield",
+        "replica.apply",
+    }
+)
+
+_ERRNO_ACTIONS = {"enospc": _errno.ENOSPC, "eio": _errno.EIO}
+
+
+class FaultSpecError(ValueError):
+    """A failpoint spec string does not parse (bad point/trigger/action)."""
+
+
+class InjectedDropConnection(ConnectionResetError):
+    """The ``drop-conn`` payload: sites treat it as a peer going away.
+
+    A subclass of :class:`ConnectionResetError` (hence ``OSError``), so
+    every existing socket error path handles it without special cases —
+    the type exists only so logs and tests can tell an injected drop
+    from a real one.
+    """
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """What an armed failpoint does when its trigger fires.
+
+    ``kind`` is one of ``"errno"`` (raise ``OSError(code)``),
+    ``"torn-write"`` (the site writes a partial frame, then raises),
+    ``"hang"`` (sleep ``ms`` milliseconds, then continue) or
+    ``"drop-conn"`` (raise :class:`InjectedDropConnection`).
+    """
+
+    kind: str
+    code: int = 0
+    ms: float = 0.0
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultAction":
+        word = text.strip().lower()
+        if word in _ERRNO_ACTIONS:
+            return cls("errno", code=_ERRNO_ACTIONS[word])
+        if word == "torn-write":
+            return cls("torn-write")
+        if word == "drop-conn":
+            return cls("drop-conn")
+        match = re.fullmatch(r"hang\((\d+(?:\.\d+)?)\)", word)
+        if match:
+            return cls("hang", ms=float(match.group(1)))
+        raise FaultSpecError(
+            f"unknown fault action {text!r}; expected one of "
+            f"enospc, eio, torn-write, drop-conn, hang(MS)"
+        )
+
+    def describe(self) -> str:
+        if self.kind == "errno":
+            return _errno.errorcode.get(self.code, str(self.code)).lower()
+        if self.kind == "hang":
+            ms = int(self.ms) if self.ms == int(self.ms) else self.ms
+            return f"hang({ms})"
+        return self.kind
+
+
+class _Armed:
+    """One armed failpoint: its trigger state plus hit counters."""
+
+    __slots__ = ("trigger", "n", "p", "rng", "action", "evaluations", "fired", "spent")
+
+    def __init__(self, trigger: str, n: int, p: float, seed: int, action: FaultAction):
+        self.trigger = trigger  # "once" | "every" | "prob"
+        self.n = n
+        self.p = p
+        self.rng = random.Random(seed)
+        self.action = action
+        self.evaluations = 0
+        self.fired = 0
+        self.spent = False  # a spent `once` stays registered for stats
+
+    def evaluate(self) -> FaultAction | None:
+        self.evaluations += 1
+        if self.trigger == "once":
+            if self.spent:
+                return None
+            self.spent = True
+        elif self.trigger == "every":
+            if self.evaluations % self.n:
+                return None
+        elif self.trigger == "prob":
+            if self.rng.random() >= self.p:
+                return None
+        self.fired += 1
+        return self.action
+
+    def describe(self) -> str:
+        if self.trigger == "once":
+            trig = "once"
+        elif self.trigger == "every":
+            trig = f"every({self.n})"
+        else:
+            p = int(self.p) if self.p == int(self.p) else self.p
+            trig = f"prob({p})"
+        return f"{trig}:{self.action.describe()}"
+
+
+def _parse_trigger(text: str) -> tuple[str, int, float, int]:
+    """``trigger`` text → ``(kind, n, p, seed)``."""
+    word = text.strip().lower()
+    if word == "once":
+        return "once", 1, 0.0, 0
+    match = re.fullmatch(r"every\((\d+)\)", word)
+    if match:
+        n = int(match.group(1))
+        if n < 1:
+            raise FaultSpecError(f"every(n) needs n >= 1, got {text!r}")
+        return "every", n, 0.0, 0
+    match = re.fullmatch(r"prob\((\d+(?:\.\d+)?|\.\d+)(?:,\s*(\d+))?\)", word)
+    if match:
+        p = float(match.group(1))
+        if not 0.0 <= p <= 1.0:
+            raise FaultSpecError(f"prob(p) needs 0 <= p <= 1, got {text!r}")
+        seed = int(match.group(2)) if match.group(2) is not None else 0
+        return "prob", 1, p, seed
+    raise FaultSpecError(
+        f"unknown fault trigger {text!r}; expected once, every(N) or prob(P[,SEED])"
+    )
+
+
+class FaultRegistry:
+    """Named failpoints, their triggers, and hit accounting (thread-safe).
+
+    The empty registry is the production configuration:
+    :meth:`evaluate` returns ``None`` after a single truthiness check,
+    so leaving the call sites compiled in costs nothing measurable.
+
+    >>> reg = FaultRegistry()
+    >>> reg.arm("wal.fsync", "once", "eio")
+    >>> reg.evaluate("wal.fsync")
+    FaultAction(kind='errno', code=5, ms=0.0)
+    >>> reg.evaluate("wal.fsync") is None  # `once` has disarmed itself
+    True
+    >>> reg.stats()["wal.fsync"]
+    {'armed': 'once:eio', 'evaluations': 2, 'fired': 1}
+    """
+
+    def __init__(self, spec: str | None = None):
+        self._lock = threading.Lock()
+        self._points: dict[str, _Armed] = {}
+        if spec:
+            self.load(spec)
+
+    def __bool__(self) -> bool:
+        return bool(self._points)
+
+    # ------------------------------------------------------------------
+    # arming
+    # ------------------------------------------------------------------
+
+    def load(self, spec: str) -> "FaultRegistry":
+        """Arm every entry of a spec string (see the module docstring)."""
+        for entry in spec.split(";"):
+            entry = entry.strip()
+            if not entry:
+                continue
+            point, eq, rest = entry.partition("=")
+            trigger, colon, action = rest.partition(":")
+            if not eq or not colon:
+                raise FaultSpecError(
+                    f"bad failpoint entry {entry!r}; expected point=trigger:action"
+                )
+            self.arm(point.strip(), trigger, action)
+        return self
+
+    def arm(self, point: str, trigger: str, action: str | FaultAction) -> None:
+        """Arm one failpoint (replacing whatever was armed there)."""
+        if point not in KNOWN_POINTS:
+            raise FaultSpecError(
+                f"unknown failpoint {point!r}; known points: {', '.join(sorted(KNOWN_POINTS))}"
+            )
+        kind, n, p, seed = _parse_trigger(trigger)
+        if not isinstance(action, FaultAction):
+            action = FaultAction.parse(action)
+        with self._lock:
+            self._points[point] = _Armed(kind, n, p, seed, action)
+
+    def disarm(self, point: str | None = None) -> None:
+        """Disarm one failpoint, or every one when ``point`` is ``None``."""
+        with self._lock:
+            if point is None:
+                self._points.clear()
+            else:
+                self._points.pop(point, None)
+
+    clear = disarm
+
+    # ------------------------------------------------------------------
+    # firing
+    # ------------------------------------------------------------------
+
+    def evaluate(self, point: str) -> FaultAction | None:
+        """Tick ``point``'s trigger; the action when it fires, else ``None``.
+
+        Pure decision — no raising, no sleeping.  Sites that need full
+        control over the payload (the WAL's torn write) call this and
+        interpret the action themselves; everything else uses
+        :meth:`fire`.
+        """
+        if not self._points:
+            return None
+        with self._lock:
+            armed = self._points.get(point)
+            if armed is None:
+                return None
+            return armed.evaluate()
+
+    def fire(self, point: str, *, tearable: bool = False) -> FaultAction | None:
+        """Evaluate ``point`` and *deliver* the payload.
+
+        ``errno`` payloads raise ``OSError(code)``; ``drop-conn`` raises
+        :class:`InjectedDropConnection`; ``hang`` sleeps its duration
+        and then returns the action (the operation proceeds, late).  A
+        ``torn-write`` is returned to the caller when ``tearable=True``
+        (the site writes a partial frame and raises itself); sites that
+        have no frame to tear get a plain ``EIO`` instead, so arming
+        ``torn-write`` on them still means "this I/O failed".
+        """
+        action = self.evaluate(point)
+        if action is None:
+            return None
+        if action.kind == "hang":
+            time.sleep(action.ms / 1000.0)
+            return action
+        if action.kind == "drop-conn":
+            raise InjectedDropConnection(
+                _errno.ECONNRESET, f"failpoint {point}: injected connection drop"
+            )
+        if action.kind == "torn-write" and not tearable:
+            raise OSError(_errno.EIO, f"failpoint {point}: injected torn write")
+        if action.kind == "errno":
+            raise OSError(action.code, f"failpoint {point}: injected {action.describe()}")
+        return action  # torn-write, to a tearable site
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, dict]:
+        """Per-point accounting: what is armed, evaluations, fires."""
+        with self._lock:
+            return {
+                point: {
+                    "armed": armed.describe(),
+                    "evaluations": armed.evaluations,
+                    "fired": armed.fired,
+                }
+                for point, armed in sorted(self._points.items())
+            }
+
+    def describe(self) -> list[str]:
+        """The armed entries, re-rendered in spec syntax."""
+        with self._lock:
+            return [
+                f"{point}={armed.describe()}"
+                for point, armed in sorted(self._points.items())
+            ]
+
+    def __repr__(self) -> str:
+        return f"FaultRegistry({';'.join(self.describe())!r})"
+
+
+# ----------------------------------------------------------------------
+# the process-global registry (transport-level sites use this)
+# ----------------------------------------------------------------------
+
+_global: FaultRegistry | None = None
+_global_lock = threading.Lock()
+
+
+def global_registry() -> FaultRegistry:
+    """The process-wide registry, parsed from ``REPRO_FAILPOINTS`` once.
+
+    Transport-level sites (the TCP server, the replication feed and
+    tailer) always consult this one; storage sites consult whatever
+    registry their session was built with, which defaults to this one
+    too — so setting the env var before ``repro serve`` arms the whole
+    process.
+    """
+    global _global
+    if _global is None:
+        with _global_lock:
+            if _global is None:
+                _global = FaultRegistry(os.environ.get(ENV_VAR))
+    return _global
+
+
+def install(spec: str | FaultRegistry | None) -> FaultRegistry:
+    """Replace the global registry (tests use this; pass ``None`` to clear)."""
+    global _global
+    with _global_lock:
+        if spec is None:
+            _global = FaultRegistry()
+        elif isinstance(spec, FaultRegistry):
+            _global = spec
+        else:
+            _global = FaultRegistry(spec)
+        return _global
+
+
+def fire(point: str, *, tearable: bool = False) -> FaultAction | None:
+    """:meth:`FaultRegistry.fire` on the global registry."""
+    return global_registry().fire(point, tearable=tearable)
+
+
+def coerce(faults: "FaultRegistry | str | None") -> FaultRegistry:
+    """Normalise a ``faults=`` argument: registry, spec string, or default.
+
+    ``None`` means the process-global registry, so ``REPRO_FAILPOINTS``
+    reaches sessions that never mention faults explicitly.
+    """
+    if faults is None:
+        return global_registry()
+    if isinstance(faults, FaultRegistry):
+        return faults
+    return FaultRegistry(faults)

@@ -34,6 +34,7 @@ from itertools import islice
 from time import monotonic
 from typing import TYPE_CHECKING, Iterator
 
+from repro import faults as _faults
 from repro.data.jsonio import encode_row
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
@@ -164,7 +165,18 @@ class ReplicationFeed:
         the latter.  Never yields while holding the feed lock.  Ends
         when the feed is closed (server shutdown); socket errors on the
         consumer side simply abandon the generator.
+
+        The ``feed.yield`` failpoint fires before every frame ships —
+        an injected ``drop-conn`` kills this one stream (the replica
+        reconnects from its durable position), a ``hang`` stalls it.
         """
+        for frame in self._stream(int(from_generation), link, resync=resync):
+            _faults.fire("feed.yield")
+            yield frame
+
+    def _stream(
+        self, from_generation: int, link: ReplicaLink, *, resync: bool = False
+    ) -> Iterator[dict | str]:
         sent = int(from_generation)
         # position 0 is "never synced": generation 0 on the primary may be a
         # *seeded* instance, so the empty state cannot be assumed equivalent

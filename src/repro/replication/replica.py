@@ -32,8 +32,10 @@ import threading
 from time import monotonic
 from typing import TYPE_CHECKING, Callable
 
+from repro import faults as _faults
 from repro.data.instance import Instance
 from repro.data.jsonio import decode_row
+from repro.session import DegradedError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
     from repro.session import Database
@@ -77,6 +79,10 @@ def apply_frame(db: Database, frame: dict) -> str:
     kind = frame.get("frame")
     if kind in ("hello", "heartbeat"):
         return kind
+    # the ``replica.apply`` failpoint fires before any state lands: an
+    # injected error aborts this tail session (the frame re-ships on
+    # reconnect — dense generations make re-application idempotent)
+    _faults.fire("replica.apply")
     if kind == "snapshot":
         relations = frame.get("instance") or {}
         instance = Instance(
@@ -198,7 +204,10 @@ class ReplicaTailer:
             progressed = False
             try:
                 progressed = self._tail_once()
-            except (OSError, ValueError, ReplicationError) as err:
+            except (OSError, ValueError, ReplicationError, DegradedError) as err:
+                # DegradedError: the *local* session refused the apply
+                # (its own disk is failing) — keep tailing with backoff;
+                # once an operator checkpoint heals it, frames land again
                 with self._state_lock:
                     self._last_error = f"{type(err).__name__}: {err}"
             if self._stop.is_set():

@@ -56,14 +56,15 @@ import json
 import queue
 import socket
 import threading
-from time import perf_counter
+from time import monotonic, perf_counter
 from typing import Iterator
 
+from repro import faults as _faults
 from repro.core.analyzer import FIGURE_1
 from repro.data.jsonio import decode_row, encode_row, instance_to_json
 from repro.replication.feed import ReplicationFeed
 from repro.replication.replica import ReplicaTailer
-from repro.session import Database, PreparedQuery
+from repro.session import Database, DegradedError, PreparedQuery
 
 __all__ = ["QueryService", "Server", "serve"]
 
@@ -234,6 +235,18 @@ class QueryService:
             with self._lock:
                 self._counters["errors"] += 1
             response = {"ok": False, **err.fields}
+        except DegradedError as err:
+            # the durability layer refused the write: a *typed* error so
+            # clients can distinguish "not applied" from a generic 500
+            with self._lock:
+                self._counters["errors"] += 1
+            response = {
+                "ok": False,
+                "error": str(err),
+                "error_type": "degraded",
+                "health": self.db.health,
+                "role": self.role,
+            }
         except Exception as err:  # noqa: BLE001 - service boundary: a bad
             # request (parse recursion, schema violation, expansion limit,
             # …) must become an error *response*, never kill the worker
@@ -493,6 +506,21 @@ class QueryService:
             response["storage"] = stats
         return response
 
+    def _op_health(self, request: dict) -> dict:
+        """The session's health state machine, for monitors and clients.
+
+        ``state`` is ``"ok"`` or ``"degraded"`` (mutations refused, see
+        :class:`~repro.session.DegradedError`); while degraded,
+        ``reason``/``since`` describe the durability failure and a
+        successful ``checkpoint`` op heals the node.
+        """
+        return {
+            "ok": True,
+            **self.db.health,
+            "role": self.role,
+            "generation": self.db.generation,
+        }
+
     def _op_promote(self, request: dict) -> dict:
         """Flip a replica writable: stop the tailer, checkpoint, serve writes.
 
@@ -546,6 +574,7 @@ class QueryService:
             "semantics": db.semantics.key,
             "durable": db.path is not None,
             "role": self.role,
+            "health": db.health,
         }
         replication: dict = {"role": self.role, "position": db.position}
         if self.tailer is not None:
@@ -606,6 +635,12 @@ class Server:
         self._thread: threading.Thread | None = None
         self._conns: set[socket.socket] = set()
         self._conns_lock = threading.Lock()
+        # graceful drain: requests currently being served (replication
+        # streams excluded — they are long-lived and ended by
+        # service.close(), not by the drain window)
+        self._draining = threading.Event()
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -620,6 +655,16 @@ class Server:
                 continue
             except OSError:
                 break  # listener closed under us during shutdown
+            try:
+                _faults.fire("server.accept")
+            except OSError:
+                # injected accept failure: the brand-new connection is
+                # dropped before ever reaching a worker
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                continue
             self._queue.put(conn)
 
     def start(self) -> "Server":
@@ -628,13 +673,31 @@ class Server:
         self._thread.start()
         return self
 
-    def shutdown(self) -> None:
-        """Stop accepting, close the listener and live connections, drain threads."""
+    def shutdown(self, drain_timeout_s: float = 0.0) -> None:
+        """Stop accepting, optionally drain in-flight requests, then close.
+
+        With ``drain_timeout_s > 0`` the shutdown is **graceful**: the
+        listener closes immediately (no new connections), requests
+        already being served get up to the drain window to finish and
+        have their responses written, and only then are the remaining
+        connections torn down.  Replication streams never count as
+        in-flight — they are long-lived by design and are ended by the
+        service shutdown regardless.
+        """
         self._shutdown.set()
+        self._draining.set()
         try:
             self._listener.close()
         except OSError:
             pass
+        if drain_timeout_s > 0:
+            deadline = monotonic() + drain_timeout_s
+            with self._inflight_cond:
+                while self._inflight > 0:
+                    remaining = deadline - monotonic()
+                    if remaining <= 0:
+                        break  # window exhausted: fall through to hard close
+                    self._inflight_cond.wait(remaining)
         # end replication streams first: their worker threads are parked
         # inside the feed and would otherwise never reach a poison pill
         self.service.close()
@@ -689,6 +752,12 @@ class Server:
             except Exception:  # noqa: BLE001 - a broken connection must
                 pass  # never take the worker (and its queue slot) down
 
+    def _request_done(self) -> None:
+        with self._inflight_cond:
+            self._inflight -= 1
+            if self._inflight <= 0:
+                self._inflight_cond.notify_all()
+
     def _client(self, conn: socket.socket) -> None:
         with self._conns_lock:
             self._conns.add(conn)
@@ -697,26 +766,48 @@ class Server:
                 reader = conn.makefile("r", encoding="utf-8", newline="\n")
                 writer = conn.makefile("w", encoding="utf-8", newline="\n")
                 for line in reader:
+                    # an injected recv failure loses the request *before*
+                    # any processing — the client never learns its fate
+                    _faults.fire("server.recv")
                     line = line.strip()
                     if not line:
                         continue
-                    response, stream = self.service.handle_or_stream(line)
-                    if stream is not None:
-                        # the connection becomes a replication stream and
-                        # occupies this worker slot until it ends
-                        try:
-                            for frame in stream:
-                                data = frame if isinstance(frame, str) else json.dumps(frame)
-                                writer.write(data + "\n")
-                                writer.flush()
-                        finally:
-                            stream.close()  # unregister the replica link
-                        break
+                    if self._draining.is_set():
+                        break  # draining: no new requests on this connection
+                    with self._inflight_cond:
+                        self._inflight += 1
+                    tracked = True
                     try:
-                        writer.write(response + "\n")
-                        writer.flush()
-                    except (OSError, ValueError):
-                        break  # client went away mid-response
+                        response, stream = self.service.handle_or_stream(line)
+                        if stream is not None:
+                            # the connection becomes a replication stream
+                            # and occupies this worker slot until it ends;
+                            # hand the in-flight slot back first so a drain
+                            # never waits on a stream
+                            self._request_done()
+                            tracked = False
+                            try:
+                                for frame in stream:
+                                    data = (
+                                        frame if isinstance(frame, str) else json.dumps(frame)
+                                    )
+                                    writer.write(data + "\n")
+                                    writer.flush()
+                            finally:
+                                stream.close()  # unregister the replica link
+                            break
+                        try:
+                            # an injected send failure loses the *response*:
+                            # the request was processed, the client cannot
+                            # know — the indeterminate-write case
+                            _faults.fire("server.send")
+                            writer.write(response + "\n")
+                            writer.flush()
+                        except (OSError, ValueError):
+                            break  # client went away mid-response
+                    finally:
+                        if tracked:
+                            self._request_done()
         except OSError:
             pass  # connection torn down during shutdown
         finally:

@@ -47,7 +47,7 @@ from __future__ import annotations
 
 import threading
 from importlib import import_module
-from time import monotonic, perf_counter
+from time import monotonic, perf_counter, time
 from typing import Callable, Hashable, Iterable, Mapping, Sequence
 
 from repro.core import analyzer as _analyzer
@@ -74,7 +74,30 @@ from repro.storage.store import RecoveryInfo, Storage, encode_delta_record
 # attribute, so the module object must come from the import system.
 _homs_core = import_module("repro.homs.core")
 
-__all__ = ["Database", "PreparedQuery", "as_query"]
+__all__ = ["Database", "DegradedError", "PreparedQuery", "as_query"]
+
+
+class DegradedError(RuntimeError):
+    """The session refuses mutations: a durability write failed.
+
+    Raised *instead of* acknowledging a write whenever the journal
+    cannot make it durable (failed append, failed fsync, failed
+    snapshot publish) — the caller must treat the write as **not
+    applied durably**, and every subsequent mutation is refused with
+    this error until an operator :meth:`Database.checkpoint` succeeds
+    (typically after the disk recovers).  Reads keep working: degraded
+    mode is read-only serving, not a crash.
+
+    The two entry paths differ in what the failed write means:
+
+    * **append failed** — the delta never published; the write is
+      definitively absent from the session and from recovery;
+    * **fsync failed** — the delta already published in memory (group
+      commit cannot take it back), so the write is *indeterminate*: it
+      is visible to reads now and becomes durable at the healing
+      checkpoint, but a crash before that checkpoint loses it.  Either
+      way the caller was told "not acknowledged", which stays truthful.
+    """
 
 
 def as_query(source, vars=None, name: str | None = None) -> Query:
@@ -339,7 +362,18 @@ class Database:
         compaction triggers: after an acknowledged write whose log has
         grown past ``wal_max_bytes`` (or is older than
         ``wal_max_age_s`` seconds, when set), a fresh snapshot is
-        written and the log truncated (:meth:`checkpoint`).
+        written and the log truncated (:meth:`checkpoint`);
+    faults:
+        a :class:`repro.faults.FaultRegistry` (or spec string) for
+        deterministic fault injection into the storage layer; ``None``
+        uses the process-global registry armed via the
+        ``REPRO_FAILPOINTS`` environment variable.
+
+    When a durability write fails (injected or real), the session
+    flips to **degraded read-only mode**: the failed write is *never*
+    acknowledged, subsequent mutations raise :class:`DegradedError`,
+    reads keep serving, and a successful :meth:`checkpoint` (operator-
+    triggered once the disk recovers) restores writability.
 
     Mutation is **incremental**: :meth:`insert`, :meth:`delete` and
     :meth:`apply_delta` derive the next instance value via
@@ -364,6 +398,7 @@ class Database:
         fsync: bool = True,
         wal_max_bytes: int = 4 * 1024 * 1024,
         wal_max_age_s: float | None = None,
+        faults=None,
     ):
         seeded = instance is not None
         if instance is None:
@@ -372,9 +407,19 @@ class Database:
             instance = Instance(instance)
         self._storage: Storage | None = None
         recovered: SnapshotState | None = None
+        #: health state machine: "ok" → "degraded" on a durability
+        #: failure, back to "ok" on the next successful checkpoint
+        self._health_state = "ok"
+        self._health_reason: str | None = None
+        self._health_since: float | None = None
+        self._degraded_count = 0
         if path is not None:
             self._storage = Storage(
-                path, fsync=fsync, wal_max_bytes=wal_max_bytes, wal_max_age_s=wal_max_age_s
+                path,
+                fsync=fsync,
+                wal_max_bytes=wal_max_bytes,
+                wal_max_age_s=wal_max_age_s,
+                faults=faults,
             )
             recovered = self._storage.open()
             info = self._storage.recovery
@@ -556,6 +601,11 @@ class Database:
         """
         offset: int | None = None
         with self._lock:
+            if self._health_state == "degraded":
+                raise DegradedError(
+                    f"session is degraded ({self._health_reason}); mutations are "
+                    f"refused until a checkpoint succeeds"
+                )
             storage = self._storage
             new, changes = self._instance.with_delta(adds, removes)
             if not changes:
@@ -572,7 +622,15 @@ class Database:
             if storage is not None:
                 # journal before publish; encoding errors raise here,
                 # before any in-memory state has changed
-                offset = storage.append_record(record)
+                try:
+                    offset = storage.append_record(record)
+                except OSError as err:
+                    # nothing published: the write is definitively absent
+                    self._degrade(f"wal append failed: {err}")
+                    raise DegradedError(
+                        f"write not acknowledged: wal append failed ({err}); "
+                        f"session is degraded (read-only) until a checkpoint succeeds"
+                    ) from err
             _indexes.derive_context(self._instance, new, changes)
             self._instance = new
             self._generation += 1
@@ -583,9 +641,26 @@ class Database:
                 self._notify({"type": "delta", "record": record})
             self._gen_cond.notify_all()
         if offset is not None:
-            storage.sync(offset)  # the durability point, outside the lock
+            try:
+                storage.sync(offset)  # the durability point, outside the lock
+            except OSError as err:
+                # already published — group commit cannot take it back, so
+                # the in-memory timeline stays truth and the write becomes
+                # durable at the healing checkpoint; but the *caller* gets
+                # a typed refusal, never an ack for a non-durable write
+                self._degrade(f"wal fsync failed: {err}")
+                raise DegradedError(
+                    f"write not acknowledged: wal fsync failed ({err}); "
+                    f"session is degraded (read-only) until a checkpoint succeeds"
+                ) from err
             if storage.should_compact():
-                self.checkpoint()
+                try:
+                    self.checkpoint()
+                except DegradedError:
+                    # the write itself is durable and acknowledged; a
+                    # failed auto-compaction degrades the session but
+                    # must not turn that ack into an error
+                    pass
         return count
 
     def insert(self, relation: str, *rows: Sequence[Hashable]) -> int:
@@ -621,11 +696,13 @@ class Database:
             self._epoch += 1
             self._core_flag = None
             self._results.clear()
-            if self._storage is not None:
-                self._storage.checkpoint(self._snapshot_state())
             # no WAL record carries this transition: replicas must resync
             self._notify({"type": "reset", "generation": self._generation})
             self._gen_cond.notify_all()
+            if self._storage is not None:
+                # after the notifies: the in-memory swap stands even when
+                # persisting it fails (the session degrades instead)
+                self._checkpoint_locked()
 
     # ------------------------------------------------------------------
     # durability
@@ -663,11 +740,65 @@ class Database:
         lock so the snapshot and the truncation see one consistent
         state.  Returns ``False`` on a memory-only session or when the
         current state is already fully snapshotted.
+
+        Doubles as the **healing** step of degraded mode: a successful
+        checkpoint proves the disk can persist the full current state
+        again, so the session flips back to ``ok`` and accepts
+        mutations.  A failing checkpoint raises :class:`DegradedError`
+        (and keeps/puts the session in degraded mode).
         """
         if self._storage is None:
             return False
         with self._lock:
-            return self._storage.checkpoint(self._snapshot_state())
+            return self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> bool:
+        """Checkpoint + health transition (caller holds the session lock)."""
+        try:
+            result = self._storage.checkpoint(self._snapshot_state())
+        except OSError as err:
+            self._degrade(f"checkpoint failed: {err}")
+            raise DegradedError(
+                f"checkpoint failed ({err}); session is degraded (read-only) "
+                f"until a checkpoint succeeds"
+            ) from err
+        self._heal()
+        return result
+
+    def _degrade(self, reason: str) -> None:
+        """Enter degraded read-only mode (idempotent; keeps the first reason)."""
+        with self._lock:
+            if self._health_state != "degraded":
+                self._health_state = "degraded"
+                self._health_reason = reason
+                self._health_since = time()
+                self._degraded_count += 1
+
+    def _heal(self) -> None:
+        """Leave degraded mode after a proven-durable checkpoint."""
+        with self._lock:
+            if self._health_state == "degraded":
+                self._health_state = "ok"
+                self._health_reason = None
+                self._health_since = None
+
+    @property
+    def health(self) -> dict:
+        """The session's health state machine, as one atomic reading.
+
+        ``state`` is ``"ok"`` or ``"degraded"``; while degraded,
+        ``reason`` names the durability failure that caused it and
+        ``since`` is its wall-clock timestamp.  ``degraded_count``
+        counts ok→degraded transitions over the session's lifetime
+        (it survives healing, so monitors can spot flapping disks).
+        """
+        with self._lock:
+            return {
+                "state": self._health_state,
+                "reason": self._health_reason,
+                "since": self._health_since,
+                "degraded_count": self._degraded_count,
+            }
 
     # ------------------------------------------------------------------
     # replication hooks
@@ -772,10 +903,12 @@ class Database:
             self._core_flag = None
             self._results.clear()
             self._batch_pool_key = None
-            if self._storage is not None:
-                self._storage.checkpoint(self._snapshot_state())
             self._notify({"type": "reset", "generation": self._generation})
             self._gen_cond.notify_all()
+            if self._storage is not None:
+                # after the notifies: the restored state is the session's
+                # truth even when persisting it fails (degrade instead)
+                self._checkpoint_locked()
 
     def raw_wal_records(self) -> list[dict]:
         """The wire-format records currently in the WAL (oldest first).

@@ -28,6 +28,7 @@ instead of loading garbage.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import struct
@@ -35,6 +36,7 @@ import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import faults as _faults
 from repro.data.instance import Instance
 from repro.data.jsonio import decode_row, encode_row
 
@@ -75,13 +77,26 @@ def _fsync_dir(path: Path) -> None:
         os.close(fd)
 
 
-def write_snapshot(path: str | os.PathLike, state: SnapshotState, *, fsync: bool = True) -> int:
+def write_snapshot(
+    path: str | os.PathLike,
+    state: SnapshotState,
+    *,
+    fsync: bool = True,
+    faults: "_faults.FaultRegistry | None" = None,
+) -> int:
     """Atomically write ``state`` to ``path``; returns the byte size.
 
     The write goes to ``<path>.tmp`` first and is published with
     ``os.replace``, so readers (and a crash) only ever see either the
-    previous complete snapshot or the new one.
+    previous complete snapshot or the new one.  A failed write leaves
+    the previous snapshot untouched and removes the temporary file
+    (best-effort), so a full disk does not accumulate half-snapshots.
+
+    Failpoints: ``snapshot.write`` (errno, or ``torn-write`` — half the
+    blob reaches the temporary file, which is then discarded),
+    ``snapshot.replace`` (the publish itself), ``snapshot.dir_fsync``.
     """
+    registry = _faults.coerce(faults)
     instance = state.instance
     names = list(instance.relations)  # sorted by Instance
     frames: list[bytes] = []
@@ -103,13 +118,31 @@ def write_snapshot(path: str | os.PathLike, state: SnapshotState, *, fsync: bool
 
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as handle:
-        handle.write(blob)
-        handle.flush()
-        if fsync:
-            os.fsync(handle.fileno())
-    os.replace(tmp, path)
+    try:
+        action = registry.fire("snapshot.write", tearable=True)
+        with open(tmp, "wb") as handle:
+            if action is not None:  # torn-write: half the blob lands
+                handle.write(blob[: len(blob) // 2])
+                handle.flush()
+                raise OSError(
+                    errno.EIO,
+                    f"failpoint snapshot.write: injected torn write "
+                    f"({len(blob) // 2} of {len(blob)} bytes flushed)",
+                )
+            handle.write(blob)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        registry.fire("snapshot.replace")
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass  # best-effort cleanup; the torn tmp is never published
+        raise
     if fsync:
+        registry.fire("snapshot.dir_fsync")
         _fsync_dir(path.parent)
     return len(blob)
 

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Hashable, Iterator, Mapping
 
+from repro import faults as _faults
 from repro.data.instance import Instance
 from repro.data.jsonio import decode_row, encode_row
 from repro.storage.snapshot import SnapshotState, read_snapshot, write_snapshot
@@ -115,14 +116,18 @@ class Storage:
         fsync: bool = True,
         wal_max_bytes: int = 4 * 1024 * 1024,
         wal_max_age_s: float | None = None,
+        faults: "_faults.FaultRegistry | None" = None,
     ):
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
         self.fsync = fsync
         self.wal_max_bytes = wal_max_bytes
         self.wal_max_age_s = wal_max_age_s
+        #: failpoint registry threaded into the WAL and snapshot writer
+        #: (``None`` = the process-global one, armed via REPRO_FAILPOINTS)
+        self.faults = _faults.coerce(faults)
         self.snapshot_path = self.path / SNAPSHOT_NAME
-        self.wal = WriteAheadLog(self.path / WAL_NAME, fsync=fsync)
+        self.wal = WriteAheadLog(self.path / WAL_NAME, fsync=fsync, faults=self.faults)
         self.recovery: RecoveryInfo | None = None
         self._snapshot_generation = 0
 
@@ -246,12 +251,18 @@ class Storage:
         the truncate, and replay skips WAL records the snapshot already
         covers — so a crash between the two steps double-applies
         nothing.  Returns ``False`` when the state is already fully
-        snapshotted and the log is empty (nothing to do).
+        snapshotted and the log is empty (nothing to do) — unless a
+        failed append left the log's tail dirty, in which case the
+        truncation must happen regardless.
         """
-        if self.wal.record_count == 0 and self._snapshot_generation == state.generation:
+        if (
+            self.wal.record_count == 0
+            and not self.wal.dirty_tail
+            and self._snapshot_generation == state.generation
+        ):
             if self.snapshot_path.exists():
                 return False
-        write_snapshot(self.snapshot_path, state, fsync=self.fsync)
+        write_snapshot(self.snapshot_path, state, fsync=self.fsync, faults=self.faults)
         self._snapshot_generation = state.generation
         self.wal.truncate()
         return True

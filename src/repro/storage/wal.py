@@ -35,6 +35,7 @@ leader/follower shape as the serving layer's ``_BatchGate``).
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import struct
@@ -43,6 +44,8 @@ import time
 import zlib
 from pathlib import Path
 from typing import Iterator
+
+from repro import faults as _faults
 
 __all__ = ["WalError", "WriteAheadLog", "MAGIC", "FORMAT_VERSION"]
 
@@ -99,11 +102,27 @@ class WriteAheadLog:
     ``fsync=False`` keeps the framing and replay behaviour but makes
     :meth:`sync` a buffered flush only — the benchmark harness uses it
     to measure what durability itself costs.
+
+    Failpoints (``faults`` defaults to the process-global registry):
+    ``wal.append`` (errno, or ``torn-write`` — a partial frame is
+    flushed and the tail marked dirty), ``wal.fsync`` (fails the group
+    commit: no waiter is acknowledged), ``wal.truncate``.
     """
 
-    def __init__(self, path: str | os.PathLike, *, fsync: bool = True):
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        fsync: bool = True,
+        faults: "_faults.FaultRegistry | None" = None,
+    ):
         self.path = Path(path)
         self.fsync = fsync
+        self.faults = _faults.coerce(faults)
+        # a failed/torn append left non-record bytes at the file position:
+        # appending after them would bury garbage between valid frames
+        # (mid-log corruption, which replay refuses); truncate() clears it
+        self._dirty_tail = False
         self._file = None  # opened lazily by open_for_append()
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
@@ -255,6 +274,7 @@ class WriteAheadLog:
             else:
                 self._file.seek(self._size)
                 self._file.truncate()  # drop the torn tail, if any
+            self._dirty_tail = False
 
     def append(self, record: dict) -> int:
         """Buffer one record; returns the offset :meth:`sync` must reach.
@@ -262,13 +282,39 @@ class WriteAheadLog:
         The caller is expected to hold whatever lock serialises its own
         state transitions (the session lock) so record order matches
         publish order; the log's internal lock only protects the file.
+
+        A failed write (real or injected) marks the tail **dirty**: the
+        file position may hold a partial frame, and appending after it
+        would bury garbage between valid records — which replay rightly
+        refuses as corruption.  Further appends raise until
+        :meth:`truncate` (a checkpoint) resets the log; the session's
+        degraded mode enforces exactly that ordering.
         """
         payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
         frame = _U32.pack(len(payload)) + payload + _U32.pack(zlib.crc32(payload))
         with self._lock:
             if self._file is None:
                 raise WalError(f"{self.path}: log is not open for appending")
-            self._file.write(frame)
+            if self._dirty_tail:
+                raise OSError(
+                    errno.EIO,
+                    f"{self.path}: a failed append left a dirty tail; "
+                    f"checkpoint (truncate) before appending again",
+                )
+            action = self.faults.fire("wal.append", tearable=True)
+            try:
+                if action is not None:  # torn-write: flush half a frame
+                    self._file.write(frame[: max(1, len(frame) // 2)])
+                    self._file.flush()
+                    raise OSError(
+                        errno.EIO,
+                        f"failpoint wal.append: injected torn write "
+                        f"({len(frame) // 2} of {len(frame)} bytes flushed)",
+                    )
+                self._file.write(frame)
+            except OSError:
+                self._dirty_tail = True
+                raise
             self._size += len(frame)
             self._records += 1
             if self._first_append is None:
@@ -312,6 +358,7 @@ class WriteAheadLog:
             if file is not None:
                 try:
                     file.flush()
+                    self.faults.fire("wal.fsync")
                     if self.fsync:
                         os.fsync(file.fileno())
                 except ValueError:
@@ -325,10 +372,16 @@ class WriteAheadLog:
                 self._cond.notify_all()
 
     def truncate(self) -> None:
-        """Drop every record (after a checkpoint made them redundant)."""
+        """Drop every record (after a checkpoint made them redundant).
+
+        Also the recovery step for a dirty tail: truncating discards
+        whatever a failed append left behind, so the log is clean for
+        appending again.
+        """
         with self._lock:
             if self._file is None:
                 raise WalError(f"{self.path}: log is not open for appending")
+            self.faults.fire("wal.truncate")
             self._file.seek(_HEADER.size)
             self._file.truncate()
             self._file.flush()
@@ -338,6 +391,7 @@ class WriteAheadLog:
             self._trunc_epoch += 1
             self._records = 0
             self._first_append = None
+            self._dirty_tail = False
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -360,6 +414,16 @@ class WriteAheadLog:
         """Complete records currently in the log (replayed + appended)."""
         with self._lock:
             return self._records
+
+    @property
+    def dirty_tail(self) -> bool:
+        """Did a failed append leave non-record bytes at the file position?
+
+        While true, appends are refused and a checkpoint must not take
+        the nothing-to-do fast path — only :meth:`truncate` clears it.
+        """
+        with self._lock:
+            return self._dirty_tail
 
     def age_seconds(self) -> float:
         """Seconds since the oldest un-checkpointed record was appended."""

@@ -1,0 +1,265 @@
+"""Fault-injection acceptance: a live server under REPRO_FAILPOINTS.
+
+The chaos counterpart of ``test_recovery.py``: a real ``repro serve``
+subprocess with failpoints armed via the environment, driven over a
+real socket.  The contracts under test are the ones that matter when
+the disk misbehaves mid-write-stream:
+
+* every **acked** write survives a ``kill -9`` and recovery;
+* every **lost** write is answered with a typed ``degraded`` error —
+  never with success;
+* the server keeps serving **reads** while degraded, and an operator
+  ``checkpoint`` op heals it without a restart;
+* a replication stream that keeps dropping its connection still
+  converges (the replica reconnects and resumes);
+* injected socket hangs surface as latency, not failure, to a
+  :class:`repro.client.Client` with a sane deadline.
+
+Scaled by ``REPRO_FUZZ`` (stream lengths) and re-seeded per nightly
+run via ``REPRO_FUZZ_SEED`` — see ``.github/workflows/nightly.yml``.
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.session import Database
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+FUZZ = max(1, int(os.environ.get("REPRO_FUZZ", "1")))
+FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
+
+
+def start_server(data_dir, *extra, failpoints=None):
+    """``repro serve`` subprocess with failpoints armed via the env."""
+    env = {**os.environ, "PYTHONPATH": SRC}
+    env.pop("REPRO_FAILPOINTS", None)  # never inherit the suite's own env
+    if failpoints:
+        env["REPRO_FAILPOINTS"] = failpoints
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--data-dir",
+            str(data_dir),
+            *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError(f"server died during startup (rc={proc.poll()})")
+        if "listening on" in line:
+            host, port = line.strip().rsplit(" ", 1)[-1].rsplit(":", 1)
+            return proc, (host, int(port))
+    proc.kill()
+    raise RuntimeError("server did not announce its address in time")
+
+
+class RawClient:
+    """A socket client that returns error frames instead of asserting."""
+
+    def __init__(self, address):
+        self.sock = socket.create_connection(address, timeout=30)
+        self.reader = self.sock.makefile("r", encoding="utf-8")
+        self.writer = self.sock.makefile("w", encoding="utf-8")
+
+    def call(self, **request) -> dict:
+        self.writer.write(json.dumps(request) + "\n")
+        self.writer.flush()
+        line = self.reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def close(self):
+        self.sock.close()
+
+
+def drive_write_stream(tmp_path, failpoints: str, n: int):
+    """Insert ``n`` unique rows against a faulty server; classify each.
+
+    Returns ``(acked, refused, recovered_rows)`` where *acked*/*refused*
+    are the row keys that were acknowledged / answered with a typed
+    ``degraded`` frame, and *recovered_rows* is the set of rows a fresh
+    session recovers from the data directory after ``kill -9``.
+    """
+    proc, address = start_server(tmp_path, failpoints=failpoints)
+    acked, refused = set(), set()
+    saw_degraded_health = False
+    try:
+        client = RawClient(address)
+        for i in range(n):
+            response = client.call(op="insert", relation="R", rows=[[i, i]])
+            if response.get("ok"):
+                acked.add(i)
+                continue
+            # a lost write must carry the typed degraded frame — never
+            # an untyped error, and never a success
+            assert response.get("error_type") == "degraded", response
+            assert response["health"]["state"] == "degraded", response
+            refused.add(i)
+            # the degraded node keeps serving reads ...
+            answers = client.call(op="query", query="R(x, y)")
+            assert answers.get("ok"), answers
+            assert client.call(op="health")["state"] == "degraded"
+            saw_degraded_health = True
+            # ... and the operator checkpoint heals it without a restart
+            healed = client.call(op="checkpoint")
+            assert healed.get("ok"), healed
+            assert client.call(op="health")["state"] == "ok"
+        client.close()
+    finally:
+        proc.kill()
+        proc.wait(timeout=30)
+    assert acked and refused, (
+        f"failpoint spec {failpoints!r} produced a degenerate run "
+        f"({len(acked)} acked, {len(refused)} refused of {n})"
+    )
+    assert saw_degraded_health
+    recovered = Database(path=str(tmp_path))
+    rows = set(recovered.instance.tuples("R")) if "R" in recovered.instance.relations else set()
+    recovered.close()
+    return acked, refused, rows
+
+
+class TestDegradedServing:
+    def test_fsync_failures_acked_writes_survive_kill(self, tmp_path):
+        """Failed fsyncs mid-stream: acked ⊆ recovered, lost writes typed."""
+        acked, refused, rows = drive_write_stream(
+            tmp_path, "wal.fsync=every(7):eio", n=20 + 10 * FUZZ
+        )
+        missing = {i for i in acked if (i, i) not in rows}
+        assert not missing, f"acked writes lost in recovery: {sorted(missing)}"
+        # fsync-refused writes are *indeterminate*: they were published
+        # before the failed fsync and become durable at the healing
+        # checkpoint — the contract is only that they were never acked
+
+    def test_enospc_on_append_refused_writes_are_absent(self, tmp_path):
+        """ENOSPC on append: the lost write is definitively absent."""
+        acked, refused, rows = drive_write_stream(
+            tmp_path, "wal.append=every(7):enospc", n=20 + 10 * FUZZ
+        )
+        assert all((i, i) in rows for i in acked)
+        ghosts = {i for i in refused if (i, i) in rows}
+        assert not ghosts, f"refused writes resurfaced after recovery: {sorted(ghosts)}"
+
+    def test_torn_append_refused_writes_are_absent(self, tmp_path):
+        """A torn append dirties the WAL tail; checkpoint truncates it."""
+        acked, refused, rows = drive_write_stream(
+            tmp_path, "wal.append=every(9):torn-write", n=20 + 10 * FUZZ
+        )
+        assert all((i, i) in rows for i in acked)
+        assert not any((i, i) in rows for i in refused)
+
+
+class TestReplicationChaos:
+    def test_stream_converges_through_injected_drops(self, tmp_path):
+        """drop-conn on every 13th feed frame: the replica still converges."""
+        primary_dir = tmp_path / "primary"
+        replica_dir = tmp_path / "replica"
+        primary_proc, primary_addr = start_server(
+            primary_dir, failpoints="feed.yield=every(13):drop-conn"
+        )
+        replica_proc = None
+        try:
+            replica_proc, replica_addr = start_server(
+                replica_dir, "--replica-of", f"{primary_addr[0]}:{primary_addr[1]}"
+            )
+            writer = RawClient(primary_addr)
+            n = 30 + 20 * FUZZ
+            last = None
+            for i in range(n):
+                last = writer.call(op="insert", relation="R", rows=[[i, i]])
+                assert last.get("ok"), last
+            target = last["generation"]
+            writer.close()
+
+            reader = RawClient(replica_addr)
+            deadline = time.monotonic() + 60
+            position = -1
+            while time.monotonic() < deadline:
+                position = reader.call(op="health")["generation"]
+                if position >= target:
+                    break
+                time.sleep(0.05)
+            assert position >= target, (
+                f"replica stuck at generation {position} < {target} "
+                f"despite reconnects"
+            )
+            answers = reader.call(op="query", query="R(x, y)")
+            assert answers.get("ok") and len(answers["answers"]) == n
+            reader.close()
+        finally:
+            if replica_proc is not None:
+                replica_proc.kill()
+                replica_proc.wait(timeout=30)
+            primary_proc.kill()
+            primary_proc.wait(timeout=30)
+
+
+class TestHangTolerance:
+    def test_injected_hangs_are_latency_not_failure(self, tmp_path):
+        """A hung socket shows up as slowness; the client's deadline holds."""
+        from repro.client import Client
+
+        spec = f"server.recv=prob(0.3,{FUZZ_SEED + 1}):hang(80)"
+        proc, address = start_server(tmp_path, failpoints=spec)
+        try:
+            with Client(address, timeout=30.0) as client:
+                for i in range(10 + 2 * FUZZ):
+                    assert client.insert("R", [[i, i]])["changed"] == 1
+                    assert len(client.query("R(x, y)")["answers"]) == i + 1
+        finally:
+            proc.kill()
+            proc.wait(timeout=30)
+
+
+@pytest.mark.parametrize("spec", ["server.send=prob(0.2,%d):drop-conn" % (FUZZ_SEED + 2)])
+def test_dropped_responses_never_double_apply(tmp_path, spec):
+    """Lost responses + caller retries: generation proves single application.
+
+    The client inserts unique rows and, on an indeterminate outcome,
+    re-issues the same insert (set semantics make that safe).  At the
+    end the server's generation must equal the number of *effective*
+    writes — each row applied exactly once no matter how many retries
+    its acknowledgement took.
+    """
+    from repro.client import Client, IndeterminateWriteError
+
+    proc, address = start_server(tmp_path, failpoints=spec)
+    n = 15 + 5 * FUZZ
+    try:
+        with Client(address, timeout=30.0) as client:
+            for i in range(n):
+                for _attempt in range(10):
+                    try:
+                        client.insert("R", [[i, i]])
+                        break
+                    except IndeterminateWriteError:
+                        continue  # set semantics: the re-insert is a no-op
+                else:
+                    raise AssertionError(f"row {i} never acknowledged")
+            stats = client.stats()
+            assert stats["generation"] == n
+            assert len(client.query("R(x, y)")["answers"]) == n
+    finally:
+        proc.kill()
+        proc.wait(timeout=30)

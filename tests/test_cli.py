@@ -292,5 +292,5 @@ class TestClusterCommands:
 
     def test_status_unreachable_node_fails_cleanly(self, capsys):
         code = main(["cluster", "status", "127.0.0.1:9"])
-        assert code == 2
-        assert "error:" in capsys.readouterr().err
+        assert code == 6  # the typed "unreachable" exit code
+        assert "unreachable" in capsys.readouterr().err

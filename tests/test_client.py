@@ -1,0 +1,207 @@
+"""The self-healing client: deadlines, retries, failover, honest writes.
+
+The acceptance scenario rides at the bottom: reads keep succeeding
+through a primary kill plus replica failover without the caller ever
+seeing a transport error, and an indeterminate mutation retried by the
+caller never double-applies (verified via generation counters).
+"""
+
+import time
+
+import pytest
+
+from repro import faults
+from repro.client import (
+    Client,
+    DegradedServerError,
+    IndeterminateWriteError,
+    ReadOnlyServerError,
+    ServerError,
+    TransportError,
+)
+from repro.server import serve
+from repro.session import Database
+
+
+def wait_until(predicate, timeout=10.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def address_of(server) -> str:
+    return f"{server.address[0]}:{server.address[1]}"
+
+
+@pytest.fixture(autouse=True)
+def clean_global_failpoints():
+    yield
+    faults.install(None)
+
+
+class TestBasics:
+    def test_roundtrip_and_read_your_writes(self):
+        with serve(Database({"R": [(1, 2)]})) as server:
+            with Client(server.address) as client:
+                assert client.query("R(x, y)")["answers"] == [[1, 2]]
+                ack = client.insert("R", [[3, 4]])
+                assert ack["changed"] == 1
+                assert client.last_write_generation == ack["generation"]
+                # the read floor is stamped automatically: this query
+                # carries min_generation = the write's generation
+                answers = client.query("R(x, y)")["answers"]
+                assert {tuple(row) for row in answers} == {(1, 2), (3, 4)}
+
+    def test_typed_server_error_passthrough(self):
+        with serve(Database()) as server:
+            with Client(server.address) as client:
+                with pytest.raises(ServerError) as err:
+                    client.query("R(x,")  # parse error: untyped server error
+                assert err.value.error_type is None
+
+    def test_degraded_error_is_typed_and_carries_health(self, tmp_path):
+        db = Database(path=str(tmp_path), faults="wal.fsync=once:eio")
+        with serve(db) as server:
+            with Client(server.address) as client:
+                with pytest.raises(DegradedServerError) as err:
+                    client.insert("R", [[1, 2]])
+                assert err.value.fields["health"]["state"] == "degraded"
+                # reads keep working against the degraded node
+                assert client.query("R(x, y)", min_generation=0)["ok"]
+                # checkpoint heals it, writes flow again
+                assert client.checkpoint()["ok"]
+                assert client.health()["state"] == "ok"
+                assert client.insert("R", [[3, 4]])["changed"] == 1
+        db.close()
+
+    def test_unreachable_endpoint_raises_transport_error(self):
+        client = Client(
+            "127.0.0.1:9", timeout=1.0, connect_timeout=0.2, retries=1
+        )
+        with pytest.raises(TransportError):
+            client.ping()
+        client.close()
+
+    def test_health_op_round_trips(self):
+        with serve(Database()) as server:
+            with Client(server.address) as client:
+                health = client.health()
+                assert health["state"] == "ok" and health["degraded_count"] == 0
+
+
+class TestWriteSemantics:
+    def test_write_to_replica_redirects_to_the_announced_primary(self):
+        primary_db = Database({"R": [(1, 2)]})
+        with serve(primary_db) as primary:
+            replica_db = Database()
+            with serve(replica_db, replicate_from=address_of(primary)) as replica:
+                # the replica knows its primary from configuration, so the
+                # redirect works even before the stream catches up
+                with Client(replica.address) as client:
+                    assert client.insert("R", [[3, 4]])["changed"] == 1
+                    assert client.primary_address == address_of(primary)
+            replica_db.close()
+        primary_db.close()
+
+    def test_lost_response_is_indeterminate_and_retry_does_not_double_apply(self):
+        db = Database({"R": [(1, 2)]})
+        with serve(db) as server:
+            # the server processes the insert, then the response is lost
+            faults.install("server.send=once:drop-conn")
+            with Client(server.address) as client:
+                before = db.generation
+                with pytest.raises(IndeterminateWriteError):
+                    client.insert("R", [[3, 4]])
+                # the caller decides the retry is safe (set semantics) and
+                # re-issues: the row is already present, so the generation
+                # counter proves single application
+                assert client.insert("R", [[3, 4]])["changed"] == 0
+                assert db.generation == before + 1
+        db.close()
+
+    def test_lost_request_is_indeterminate_and_was_never_applied(self):
+        db = Database({"R": [(1, 2)]})
+        with serve(db) as server:
+            # the request is dropped before any processing happens
+            faults.install("server.recv=once:drop-conn")
+            with Client(server.address) as client:
+                before = db.generation
+                with pytest.raises(IndeterminateWriteError):
+                    client.insert("R", [[3, 4]])
+                assert db.generation == before  # nothing applied
+                assert client.insert("R", [[3, 4]])["changed"] == 1
+                assert db.generation == before + 1
+        db.close()
+
+
+class TestFailover:
+    def test_reads_survive_primary_kill_and_replica_failover(self):
+        """The acceptance demo: no caller-visible transport error."""
+        primary_db = Database({"R": [(1, 2)]})
+        primary = serve(primary_db)
+        replica_db = Database()
+        replica = serve(replica_db, replicate_from=address_of(primary))
+        try:
+            client = Client(
+                primary.address,
+                replicas=[address_of(replica)],
+                timeout=10.0,
+                retries=6,
+            )
+            ack = client.insert("R", [[3, 4]])
+            assert ack["changed"] == 1
+            # wait for the replica to apply the write the client just made
+            assert wait_until(lambda: replica_db.generation >= ack["generation"])
+            assert client.query("R(x, y)")["answers"] == [[1, 2], [3, 4]]
+
+            # kill the primary: reads must fail over to the replica without
+            # the caller seeing anything but a (possibly slower) answer
+            primary.shutdown()
+            primary_db.close()
+            answers = client.query("R(x, y)")["answers"]
+            assert answers == [[1, 2], [3, 4]]
+
+            # writes are still refused (replica), with the typed error
+            with pytest.raises((ReadOnlyServerError, TransportError)):
+                client.insert("R", [[5, 6]])
+
+            # failover completes: promote the replica, writes flow again
+            assert client.promote(address_of(replica))["role"] == "primary"
+            assert client.insert("R", [[5, 6]])["changed"] == 1
+            assert client.query("R(x, y)")["answers"] == [[1, 2], [3, 4], [5, 6]]
+            client.close()
+        finally:
+            replica.shutdown()
+            replica_db.close()
+
+    def test_stale_replica_rotates_to_a_caught_up_endpoint(self):
+        primary_db = Database({"R": [(1, 2)]})
+        with serve(primary_db) as primary:
+            # a lagging "replica" that will never catch up: a plain
+            # independent node at generation 0 serving the replicate op
+            lagging_db = Database()
+            with serve(lagging_db) as lagging:
+                client = Client(
+                    lagging.address,
+                    replicas=[address_of(primary)],
+                    timeout=10.0,
+                    wait_timeout_s=0.1,
+                )
+                # a write through the lagging node redirects nowhere (it
+                # is a primary too) — so write via rotation to the real
+                # primary by pinning the read floor instead: issue the
+                # write against the real primary directly
+                ack = client.request(
+                    {"op": "insert", "relation": "R", "rows": [[3, 4]]},
+                    endpoint=address_of(primary),
+                )
+                # reads with the write's floor: the lagging node answers
+                # stale, the client rotates to the caught-up primary
+                response = client.query("R(x, y)", min_generation=ack["generation"])
+                assert [[3, 4]] == [r for r in response["answers"] if r == [3, 4]]
+                client.close()
+            lagging_db.close()
+        primary_db.close()

@@ -1,0 +1,290 @@
+"""The failpoint registry, and what injection exposes in the storage stack.
+
+Two layers of coverage: the registry itself (spec grammar, trigger
+determinism, payload delivery), and the degraded-mode contract of a
+durable session under injected storage failures — a failed append or
+fsync must never be acknowledged, must flip the session read-only with
+a typed :class:`~repro.session.DegradedError`, and a successful
+``checkpoint`` must restore writability with a bit-identically
+recoverable state.
+"""
+
+import errno
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    FaultAction,
+    FaultRegistry,
+    FaultSpecError,
+    InjectedDropConnection,
+)
+from repro.session import Database, DegradedError
+from repro.storage.snapshot import write_snapshot
+from repro.storage.wal import WriteAheadLog
+
+
+class TestSpecGrammar:
+    def test_load_round_trips_through_describe(self):
+        spec = "wal.append=every(3):enospc;wal.fsync=once:eio"
+        assert FaultRegistry(spec).describe() == [
+            "wal.append=every(3):enospc",
+            "wal.fsync=once:eio",
+        ]
+
+    def test_unknown_point_is_rejected_at_parse_time(self):
+        with pytest.raises(FaultSpecError, match="unknown failpoint"):
+            FaultRegistry("wal.fsyncc=once:eio")
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "wal.fsync=eio",  # missing trigger
+            "wal.fsync=sometimes:eio",  # unknown trigger
+            "wal.fsync=every(0):eio",  # n < 1
+            "wal.fsync=prob(1.5):eio",  # p out of range
+            "wal.fsync=once:explode",  # unknown action
+        ],
+    )
+    def test_malformed_entries_raise(self, spec):
+        with pytest.raises(FaultSpecError):
+            FaultRegistry(spec)
+
+    def test_empty_spec_is_the_production_configuration(self):
+        registry = FaultRegistry("")
+        assert not registry
+        assert registry.evaluate("wal.fsync") is None
+
+    def test_actions_parse(self):
+        assert FaultAction.parse("enospc").code == errno.ENOSPC
+        assert FaultAction.parse("eio").code == errno.EIO
+        assert FaultAction.parse("torn-write").kind == "torn-write"
+        assert FaultAction.parse("drop-conn").kind == "drop-conn"
+        assert FaultAction.parse("hang(250)").ms == 250.0
+
+
+class TestTriggers:
+    def test_once_fires_exactly_once(self):
+        registry = FaultRegistry("wal.fsync=once:eio")
+        assert registry.evaluate("wal.fsync") is not None
+        assert all(registry.evaluate("wal.fsync") is None for _ in range(10))
+        assert registry.stats()["wal.fsync"]["fired"] == 1
+
+    def test_every_n_fires_on_every_nth_evaluation(self):
+        registry = FaultRegistry("wal.append=every(3):eio")
+        outcomes = [registry.evaluate("wal.append") is not None for _ in range(9)]
+        assert outcomes == [False, False, True] * 3
+
+    def test_prob_is_deterministic_per_seed(self):
+        draws = []
+        for _ in range(2):
+            registry = FaultRegistry("server.send=prob(0.5,42):drop-conn")
+            draws.append(
+                [registry.evaluate("server.send") is not None for _ in range(64)]
+            )
+        assert draws[0] == draws[1]
+        assert any(draws[0]) and not all(draws[0])
+
+    def test_unarmed_points_never_fire(self):
+        registry = FaultRegistry("wal.fsync=once:eio")
+        assert registry.evaluate("wal.append") is None
+
+
+class TestPayloadDelivery:
+    def test_errno_payload_raises_oserror_with_that_code(self):
+        registry = FaultRegistry("wal.append=once:enospc")
+        with pytest.raises(OSError) as err:
+            registry.fire("wal.append")
+        assert err.value.errno == errno.ENOSPC
+
+    def test_drop_conn_raises_the_typed_connection_reset(self):
+        registry = FaultRegistry("server.send=once:drop-conn")
+        with pytest.raises(InjectedDropConnection):
+            registry.fire("server.send")
+
+    def test_torn_write_is_returned_only_to_tearable_sites(self):
+        registry = FaultRegistry("wal.append=every(1):torn-write")
+        action = registry.fire("wal.append", tearable=True)
+        assert action is not None and action.kind == "torn-write"
+        with pytest.raises(OSError) as err:  # non-tearable sites get EIO
+            registry.fire("wal.append")
+        assert err.value.errno == errno.EIO
+
+    def test_hang_sleeps_then_proceeds(self):
+        from time import monotonic
+
+        registry = FaultRegistry("server.recv=once:hang(30)")
+        start = monotonic()
+        assert registry.fire("server.recv").kind == "hang"
+        assert monotonic() - start >= 0.025
+
+    def test_global_registry_install_and_coerce(self):
+        installed = faults.install("wal.fsync=once:eio")
+        try:
+            assert faults.coerce(None) is installed
+            own = faults.coerce("wal.append=once:eio")
+            assert own is not installed and own.describe() == ["wal.append=once:eio"]
+            assert faults.coerce(own) is own
+        finally:
+            faults.install(None)
+        assert not faults.global_registry()
+
+
+class TestWalInjection:
+    def test_fsync_failure_leaves_synced_watermark_behind(self, tmp_path):
+        wal = WriteAheadLog(
+            tmp_path / "wal.repro", faults=FaultRegistry("wal.fsync=once:eio")
+        )
+        wal.open_for_append()
+        offset = wal.append({"g": 1, "rg": {"R": 1}})
+        with pytest.raises(OSError):
+            wal.sync(offset)
+        wal.sync(offset)  # the failpoint has spent itself: now durable
+        records, torn = wal.replay()
+        assert [r["g"] for r in records] == [1] and torn == 0
+        wal.close()
+
+    def test_torn_append_flushes_a_partial_frame_and_marks_the_tail(self, tmp_path):
+        wal = WriteAheadLog(
+            tmp_path / "wal.repro",
+            faults=FaultRegistry("wal.append=every(2):torn-write"),
+        )
+        wal.open_for_append()
+        wal.append({"g": 1, "rg": {"R": 1}})  # evaluation 1: no fire
+        with pytest.raises(OSError):
+            wal.append({"g": 2, "rg": {"R": 2}})
+        assert wal.dirty_tail
+        # the dirty tail refuses further appends until truncation
+        with pytest.raises(OSError):
+            wal.append({"g": 3, "rg": {"R": 3}})
+        records, torn = wal.replay()  # replay sees one good record + garbage
+        assert [r["g"] for r in records] == [1] and torn > 0
+        wal.open_for_append()
+        wal.truncate()
+        assert not wal.dirty_tail
+        wal.append({"g": 2, "rg": {"R": 2}})
+        wal.close()
+
+    def test_snapshot_write_failure_keeps_the_previous_snapshot(self, tmp_path):
+        from repro.data.instance import Instance
+        from repro.storage.snapshot import SnapshotState, read_snapshot
+
+        path = tmp_path / "snapshot.repro"
+        write_snapshot(path, SnapshotState(Instance({"R": [(1, 2)]}), 1, {"R": 1}))
+        registry = FaultRegistry("snapshot.write=once:torn-write")
+        with pytest.raises(OSError):
+            write_snapshot(
+                path,
+                SnapshotState(Instance({"R": [(1, 2), (3, 4)]}), 2, {"R": 2}),
+                faults=registry,
+            )
+        assert not path.with_name(path.name + ".tmp").exists()  # no half-snapshot
+        assert read_snapshot(path).generation == 1  # old snapshot intact
+
+
+class TestDegradedMode:
+    """The session-level contract: never ack, degrade, heal by checkpoint."""
+
+    @pytest.mark.parametrize("action", ["enospc", "eio"])
+    def test_append_failure_is_never_acked_and_never_published(self, tmp_path, action):
+        db = Database(path=str(tmp_path), faults=f"wal.append=once:{action}")
+        with pytest.raises(DegradedError):
+            db.insert("R", (1, 2))
+        # nothing published: the lost write is definitively absent
+        assert db.instance.fact_count() == 0 and db.generation == 0
+        assert db.health["state"] == "degraded"
+        with pytest.raises(DegradedError):  # still read-only
+            db.insert("R", (3, 4))
+        db.close()
+
+    @pytest.mark.parametrize("action", ["enospc", "eio"])
+    def test_fsync_failure_is_never_acked_but_stays_visible(self, tmp_path, action):
+        db = Database(path=str(tmp_path), faults=f"wal.fsync=once:{action}")
+        with pytest.raises(DegradedError):
+            db.insert("R", (1, 2))
+        # published before the fsync: in-memory truth keeps the write
+        # (indeterminate until the healing checkpoint persists it) but
+        # the caller was told "not acknowledged"
+        assert db.instance.fact_count() == 1
+        assert db.health["state"] == "degraded"
+        assert db.health["reason"].startswith("wal fsync failed")
+        db.close()
+
+    def test_snapshot_publish_failure_degrades_the_checkpoint(self, tmp_path):
+        db = Database(path=str(tmp_path), faults="snapshot.write=once:enospc")
+        db.insert("R", (1, 2))  # journaled fine
+        with pytest.raises(DegradedError):
+            db.checkpoint()
+        assert db.health["state"] == "degraded"
+        with pytest.raises(DegradedError):
+            db.insert("R", (3, 4))
+        db.close()
+
+    def test_checkpoint_heals_and_recovery_is_bit_identical(self, tmp_path):
+        db = Database(path=str(tmp_path), faults="wal.fsync=every(2):eio")
+        db.insert("R", (1, 2))
+        with pytest.raises(DegradedError):
+            db.insert("R", (3, 4))  # the injected failure
+        assert db.health["state"] == "degraded"
+        # the failpoint was `once`: the disk has "recovered", so the
+        # operator checkpoint succeeds and heals the session
+        assert db.checkpoint() is True
+        assert db.health == {
+            "state": "ok",
+            "reason": None,
+            "since": None,
+            "degraded_count": 1,
+        }
+        assert db.insert("R", (5, 6)) == 1  # writable again
+        expected = (
+            set(db.instance.tuples("R")),
+            db.generation,
+            {"R": db.rel_generation("R")},
+        )
+        db.close()
+        recovered = Database(path=str(tmp_path))
+        assert (
+            set(recovered.instance.tuples("R")),
+            recovered.generation,
+            {"R": recovered.rel_generation("R")},
+        ) == expected
+        recovered.close()
+
+    def test_torn_append_heals_through_checkpoint(self, tmp_path):
+        db = Database(path=str(tmp_path), faults="wal.append=every(2):torn-write")
+        db.insert("R", (1, 2))
+        with pytest.raises(DegradedError):
+            db.insert("R", (3, 4))
+        # the checkpoint must truncate the torn tail even though the
+        # snapshot already covers every published write
+        assert db.checkpoint() is True
+        assert db.insert("R", (5, 6)) == 1
+        state = (set(db.instance.tuples("R")), db.generation)
+        db.close()
+        recovered = Database(path=str(tmp_path))
+        assert (set(recovered.instance.tuples("R")), recovered.generation) == state
+        recovered.close()
+
+    def test_failed_auto_compaction_degrades_but_keeps_the_ack(self, tmp_path):
+        # a tiny WAL budget forces a checkpoint after the first write;
+        # its snapshot fails — but the write itself was fsync'd and acked
+        db = Database(
+            path=str(tmp_path),
+            wal_max_bytes=1,
+            faults="snapshot.write=once:enospc",
+        )
+        assert db.insert("R", (1, 2)) == 1  # acked despite the compaction failure
+        assert db.health["state"] == "degraded"
+        db.checkpoint()
+        assert db.health["state"] == "ok"
+        db.close()
+        recovered = Database(path=str(tmp_path))
+        assert recovered.instance.fact_count() == 1  # the acked write survived
+        recovered.close()
+
+    def test_memory_only_sessions_never_degrade(self):
+        db = Database(faults="wal.append=every(1):enospc")
+        assert db.insert("R", (1, 2)) == 1  # no storage: nothing to inject into
+        assert db.health["state"] == "ok"
+        db.close()
