@@ -35,6 +35,7 @@ GATED_SECTIONS = (
     "serving",
     "serving_durable",
     "replication",
+    "qos",
 )
 
 #: a timing metric is any numeric field with one of these suffixes

@@ -1075,6 +1075,213 @@ def replication(quick: bool) -> list[dict]:
     return rows
 
 
+# ----------------------------------------------------------------------
+# PR 9: the asyncio serving core — QoS under connection load
+# ----------------------------------------------------------------------
+
+def _percentiles(latencies: list[float]) -> tuple[float, float, float]:
+    latencies = sorted(latencies)
+    return (
+        latencies[len(latencies) // 2],
+        latencies[int(len(latencies) * 0.95)],
+        latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))],
+    )
+
+
+def _qos_stream(address, n_conns: int, per_conn: int, rate: float) -> tuple:
+    """Open ``n_conns`` long-lived connections, then offer a fixed
+    ``rate`` requests/second of mixed traffic (85% cached reads, 15%
+    single-fact inserts) spread across all of them with jittered
+    per-connection think time.
+
+    Holding the *offered load* constant while the connection count
+    climbs is the point: the measured latency then prices what carrying
+    idle-ish connections costs the serving core, not the unbounded
+    queueing a closed loop would manufacture on one CPU.
+
+    Returns ``(per-request latencies, connection-setup seconds)``.
+    """
+    import asyncio
+
+    texts = [
+        "exists z (R(x, z) & R(z, y))",
+        "exists x, y (R(x, y) & R(y, x))",
+        "exists x (R(x, 3))",
+    ]
+
+    async def drive():
+        gate = asyncio.Semaphore(100)  # connect burst stays under the backlog
+        latencies: list[float] = []
+
+        async def open_conn():
+            async with gate:
+                last: OSError | None = None
+                for attempt in range(5):
+                    try:
+                        return await asyncio.open_connection(*address)
+                    except OSError as err:
+                        last = err
+                        await asyncio.sleep(0.05 * (attempt + 1))
+                raise last
+
+        start = time.perf_counter()
+        conns = await asyncio.gather(*(open_conn() for _ in range(n_conns)))
+        connect_s = time.perf_counter() - start
+        interval = n_conns / rate  # mean think time ⇒ n_conns/interval ≈ rate
+
+        async def run(i, reader, writer):
+            local = random.Random(0x905 + i)
+            await asyncio.sleep(local.uniform(0, interval))  # desynchronise
+            for k in range(per_conn):
+                if local.random() < 0.15:
+                    request = {"op": "insert", "relation": "S",
+                               "rows": [[i * 10_000 + k]]}
+                else:
+                    request = {"op": "query",
+                               "query": texts[local.randrange(len(texts))]}
+                data = (json.dumps(request) + "\n").encode("utf-8")
+                t0 = time.perf_counter()
+                writer.write(data)
+                await writer.drain()
+                line = await reader.readline()
+                latencies.append(time.perf_counter() - t0)
+                response = json.loads(line)
+                assert response.get("ok"), response
+                await asyncio.sleep(local.uniform(0.5, 1.5) * interval)
+
+        await asyncio.gather(*(run(i, r, w) for i, (r, w) in enumerate(conns)))
+        for _reader, writer in conns:
+            writer.close()
+        return latencies, connect_s
+
+    return asyncio.run(drive())
+
+
+def qos(quick: bool) -> list[dict]:
+    """PR 9's QoS numbers: request latency through the asyncio core as the
+    connection count climbs past anything a thread-per-connection server
+    can hold, against the threaded shim at its comfortable 64 connections
+    — plus a deterministic proof that overload is answered with typed
+    ``overloaded`` frames, never a hang or a dropped connection.
+
+    The load generator shares this process with the servers, so CPython's
+    cycle collector is paused for the latency sweep: a generator-side GC
+    pause freezing 5000 client coroutines would be billed to the server
+    under test.  (Server-side GC cost is real and documented in
+    ``docs/serving.md`` — soak it with ``benchmarks/qos_soak.py``, where
+    the server is a separate process with default GC.)"""
+    heading("QOS — async core at 100/1k/5k connections vs threaded at 64")
+    import gc
+
+    from repro.server import FEATURES, AsyncServer, QueryService, serve
+    from repro.session import Database
+
+    rng = random.Random(0x905)
+    r_rows = list({(rng.randrange(24), rng.randrange(24)) for _ in range(200)})[:96]
+    rows: list[dict] = []
+    rate = 200.0 if quick else 400.0  # offered req/s, identical for every row
+
+    print(f"{'core':<12} {'conns':>7} {'reqs':>7} {'p50':>9} {'p95':>9} "
+          f"{'p99':>9} {'conn setup':>11}")
+    rule()
+
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        # the baseline: the threaded shim at its one-thread-per-conn scale
+        base_per_conn = 10 if quick else 30
+        with serve(Database({"R": list(r_rows)}), max_threads=64) as server:
+            latencies, connect_s = _qos_stream(server.address, 64, base_per_conn, rate)
+        threaded_p50, threaded_p95, threaded_p99 = _percentiles(latencies)
+        print(f"{'threaded':<12} {64:>7} {len(latencies):>7} {threaded_p50 * 1e3:>7.2f}ms "
+              f"{threaded_p95 * 1e3:>7.2f}ms {threaded_p99 * 1e3:>7.2f}ms {connect_s:>10.2f}s")
+        rows.append(
+            {
+                "workload": "qos_latency",
+                "core": "threaded",
+                "n_conns": 64,
+                "n_requests": len(latencies),
+                "p50_ms": round(threaded_p50 * 1e3, 4),
+                "p95_ms": round(threaded_p95 * 1e3, 4),
+                "p99_ms": round(threaded_p99 * 1e3, 4),
+            }
+        )
+
+        sweeps = ((50, 8), (200, 6)) if quick else ((100, 8), (1000, 4), (5000, 3))
+        for n_conns, per_conn in sweeps:
+            service = QueryService(Database({"R": list(r_rows)}), features=FEATURES)
+            server = AsyncServer(
+                service, max_inflight=128, max_conns=n_conns + 16
+            ).start()
+            try:
+                latencies, connect_s = _qos_stream(server.address, n_conns, per_conn, rate)
+            finally:
+                server.shutdown()
+            p50, p95, p99 = _percentiles(latencies)
+            print(f"{'async':<12} {n_conns:>7} {len(latencies):>7} {p50 * 1e3:>7.2f}ms "
+                  f"{p95 * 1e3:>7.2f}ms {p99 * 1e3:>7.2f}ms {connect_s:>10.2f}s")
+            # the acceptance bar: holding 1000 connections — ~15× past
+            # where the threaded core stops accepting — must not cost more
+            # than 2× its tail latency at the 64-conn comfort point
+            if n_conns == 1000:
+                assert p99 <= 2 * threaded_p99, (
+                    f"async p99 {p99 * 1e3:.2f}ms at {n_conns} conns exceeds 2× "
+                    f"threaded p99 {threaded_p99 * 1e3:.2f}ms"
+                )
+            rows.append(
+                {
+                    "workload": "qos_latency",
+                    "core": "async",
+                    "n_conns": n_conns,
+                    "n_requests": len(latencies),
+                    "p50_ms": round(p50 * 1e3, 4),
+                    "p95_ms": round(p95 * 1e3, 4),
+                    "p99_ms": round(p99 * 1e3, 4),
+                }
+            )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        gc.collect()
+
+    # deterministic overload shed: one admission slot, eight pipelined
+    # slot-holding queries — exactly seven typed overloaded frames, all
+    # eight answered, nothing hung, nothing dropped
+    import socket as socket_mod
+
+    service = QueryService(Database({"R": [(1, 2)]}), features=FEATURES)
+    server = AsyncServer(service, max_inflight=1).start()
+    try:
+        sock = socket_mod.create_connection(server.address, timeout=30)
+        reader = sock.makefile("r", encoding="utf-8")
+        n_sent = 8
+        for i in range(n_sent):
+            frame = json.dumps({
+                "id": i, "op": "query", "query": "R(x, y)",
+                "min_generation": 99, "wait_timeout_s": 0.2,
+            }) + "\n"
+            sock.sendall(frame.encode("utf-8"))
+        answers = [json.loads(reader.readline()) for _ in range(n_sent)]
+        sock.close()
+    finally:
+        server.shutdown()
+    shed = sum(1 for a in answers if a.get("error_type") == "overloaded")
+    assert shed == n_sent - 1, f"expected {n_sent - 1} sheds, saw {shed}"
+    assert {a["id"] for a in answers} == set(range(n_sent))  # every one answered
+    print(f"\n{'overload shed':<28} {n_sent} pipelined vs 1 slot → "
+          f"{shed} typed overloaded frames, {n_sent} answered, 0 dropped")
+    rows.append(
+        {
+            "workload": "qos_overload_shed",
+            "max_inflight": 1,
+            "sent": n_sent,
+            "shed": shed,
+            "answered": len(answers),
+        }
+    )
+    return rows
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="fewer trials")
@@ -1100,6 +1307,7 @@ def main() -> int:
     serving_rows = serving(args.quick)
     durable_rows = serving_durable(args.quick)
     replication_rows = replication(args.quick)
+    qos_rows = qos(args.quick)
     if args.json:
         payload = {
             "meta": {
@@ -1115,6 +1323,7 @@ def main() -> int:
             "serving": serving_rows,
             "serving_durable": durable_rows,
             "replication": replication_rows,
+            "qos": qos_rows,
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)

@@ -1,0 +1,213 @@
+"""Nightly QoS soak: a thousand connections against a faulty server.
+
+Runs a real ``repro serve`` subprocess (the asyncio core) with
+failpoints armed via ``REPRO_FAILPOINTS`` — hung reads and dropped
+responses at a low probability — then holds ``--conns`` long-lived
+client connections against it for ``--duration`` seconds, each running
+a mixed read/write stream with client-side reconnects.
+
+The invariants enforced (exit 1 on violation):
+
+* **no hangs** — every request is either answered or fails with a
+  visible transport error within ``--request-timeout`` seconds;
+* **typed shedding** — overload answers are ``overloaded`` frames that
+  arrive promptly, never silence;
+* **the server survives** — after the storm it still answers ``stats``
+  on a fresh connection, and its counters are internally consistent.
+
+Injected connection drops are *expected* (that is the point); they are
+counted and reported, not failed on.
+
+Usage::
+
+    python benchmarks/qos_soak.py --conns 1000 --duration 60
+    python benchmarks/qos_soak.py --conns 50 --duration 5 --seed 7   # smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import random
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+
+def spawn_server(seed: int, max_conns: int) -> tuple[subprocess.Popen, tuple[str, int]]:
+    src = Path(__file__).resolve().parent.parent / "src"
+    failpoints = (
+        f"server.recv=prob(0.002,{seed}):hang(200);"
+        f"server.send=prob(0.001,{seed + 1}):drop-conn"
+    )
+    env = {**os.environ, "PYTHONPATH": str(src), "REPRO_FAILPOINTS": failpoints}
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-u", "-m", "repro", "serve", "--port", "0",
+            "--max-conns", str(max_conns + 64), "--max-inflight", "128",
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError(f"repro serve died during startup (rc={proc.poll()})")
+        if "listening on" in line:
+            host, port = line.strip().rsplit(" ", 1)[-1].rsplit(":", 1)
+            return proc, (host, int(port))
+    raise RuntimeError("repro serve did not announce its address in time")
+
+
+async def soak(address, n_conns: int, duration: float, request_timeout: float,
+               seed: int) -> dict:
+    stop_at = time.monotonic() + duration
+    sem = asyncio.Semaphore(64)       # outstanding-request cap (closed loop)
+    gate = asyncio.Semaphore(100)     # connect burst stays under the backlog
+    stats = {
+        "requests": 0, "ok": 0, "overloaded": 0, "server_errors": 0,
+        "reconnects": 0, "hangs": 0,
+    }
+    latencies: list[float] = []
+    texts = [
+        "exists z (R(x, z) & R(z, y))",
+        "exists x, y (R(x, y) & R(y, x))",
+    ]
+
+    async def connect():
+        async with gate:
+            last: OSError | None = None
+            for attempt in range(8):
+                try:
+                    return await asyncio.open_connection(*address)
+                except OSError as err:
+                    last = err
+                    await asyncio.sleep(0.1 * (attempt + 1))
+            raise last
+
+    async def worker(i: int) -> None:
+        rng = random.Random(seed * 100_003 + i)
+        reader = writer = None
+        while time.monotonic() < stop_at:
+            if writer is None:
+                try:
+                    reader, writer = await connect()
+                except OSError:
+                    stats["reconnects"] += 1
+                    continue
+            if rng.random() < 0.1:
+                request = {"op": "insert", "relation": "S",
+                           "rows": [[i * 1_000_000 + stats["requests"]]]}
+            else:
+                request = {"op": "query", "query": texts[rng.randrange(len(texts))]}
+            data = (json.dumps(request) + "\n").encode("utf-8")
+            async with sem:
+                stats["requests"] += 1
+                t0 = time.perf_counter()
+                try:
+                    writer.write(data)
+                    await writer.drain()
+                    line = await asyncio.wait_for(
+                        reader.readline(), timeout=request_timeout
+                    )
+                except asyncio.TimeoutError:
+                    stats["hangs"] += 1  # the one thing that must not happen
+                    writer.close()
+                    writer = None
+                    continue
+                except OSError:
+                    line = b""
+                latencies.append(time.perf_counter() - t0)
+            if not line:  # injected drop (or reap): reconnect and move on
+                stats["reconnects"] += 1
+                writer.close()
+                writer = None
+                continue
+            response = json.loads(line)
+            if response.get("ok"):
+                stats["ok"] += 1
+            elif response.get("error_type") == "overloaded":
+                stats["overloaded"] += 1
+            else:
+                stats["server_errors"] += 1
+            await asyncio.sleep(rng.uniform(0.2, 1.0))
+        if writer is not None:
+            writer.close()
+
+    await asyncio.gather(*(worker(i) for i in range(n_conns)))
+    latencies.sort()
+    if latencies:
+        stats["p50_ms"] = round(latencies[len(latencies) // 2] * 1e3, 3)
+        stats["p95_ms"] = round(latencies[int(len(latencies) * 0.95)] * 1e3, 3)
+        stats["p99_ms"] = round(
+            latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))] * 1e3, 3
+        )
+    return stats
+
+
+async def final_probe(address) -> dict:
+    reader, writer = await asyncio.open_connection(*address)
+    writer.write(b'{"op": "stats"}\n')
+    await writer.drain()
+    response = json.loads(await asyncio.wait_for(reader.readline(), timeout=30))
+    writer.close()
+    return response
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--conns", type=int, default=1000)
+    parser.add_argument("--duration", type=float, default=60.0)
+    parser.add_argument("--request-timeout", type=float, default=30.0)
+    parser.add_argument("--seed", type=int, default=None)
+    args = parser.parse_args(argv)
+    seed = args.seed if args.seed is not None else int(time.time()) % 100_000
+
+    proc, address = spawn_server(seed, args.conns)
+    try:
+        # seed the instance the read stream queries
+        async def seed_rows():
+            reader, writer = await asyncio.open_connection(*address)
+            rng = random.Random(seed)
+            rows = sorted({(rng.randrange(24), rng.randrange(24)) for _ in range(150)})
+            writer.write((json.dumps(
+                {"op": "insert", "relation": "R", "rows": [list(r) for r in rows]}
+            ) + "\n").encode("utf-8"))
+            await writer.drain()
+            assert json.loads(await reader.readline())["ok"]
+            writer.close()
+
+        asyncio.run(seed_rows())
+        print(f"soak: {args.conns} conns for {args.duration:.0f}s "
+              f"against {address[0]}:{address[1]} (seed {seed})")
+        stats = asyncio.run(
+            soak(address, args.conns, args.duration, args.request_timeout, seed)
+        )
+        probe = asyncio.run(final_probe(address))
+        stats["server_alive"] = bool(probe.get("ok"))
+        stats["server_requests"] = probe.get("requests")
+        print(json.dumps(stats, indent=2))
+        failures = []
+        if stats["hangs"]:
+            failures.append(f"{stats['hangs']} request(s) hung past the timeout")
+        if not stats["server_alive"]:
+            failures.append("server no longer answers stats after the soak")
+        if stats["server_errors"]:
+            failures.append(f"{stats['server_errors']} untyped server error(s)")
+        if not stats["ok"]:
+            failures.append("no request succeeded at all")
+        if failures:
+            print("SOAK FAILED: " + "; ".join(failures))
+            return 1
+        print("soak passed: no hangs, typed shedding only, server healthy")
+        return 0
+    finally:
+        proc.kill()
+        proc.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,7 +66,23 @@ from repro.semantics import (
 )
 from repro.session import Database, DegradedError, PreparedQuery
 
-__version__ = "1.3.0"
+# the wire clients and their unified exception hierarchy: everything a
+# caller can catch is a ClientError, shared by Client and AsyncClient
+from repro.client import (  # noqa: E402 - needs repro.session above
+    AsyncClient,
+    Client,
+    ClientError,
+    DeadlineExceeded,
+    DegradedServerError,
+    IndeterminateWriteError,
+    OverloadedServerError,
+    ReadOnlyServerError,
+    ServerError,
+    StaleReadError,
+    TransportError,
+)
+
+__version__ = "1.4.0"
 
 __all__ = [
     "Backend",
@@ -108,5 +124,16 @@ __all__ = [
     "MinPowersetCWA",
     "PowersetCWA",
     "get_semantics",
+    "AsyncClient",
+    "Client",
+    "ClientError",
+    "DeadlineExceeded",
+    "DegradedServerError",
+    "IndeterminateWriteError",
+    "OverloadedServerError",
+    "ReadOnlyServerError",
+    "ServerError",
+    "StaleReadError",
+    "TransportError",
     "__version__",
 ]

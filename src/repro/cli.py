@@ -180,7 +180,7 @@ def _cmd_serve(args) -> int:
 
     from repro.replication.feed import ReplicationFeed
     from repro.replication.replica import ReplicaTailer
-    from repro.server import QueryService, Server
+    from repro.server import FEATURES, AsyncServer, QueryService, Server
 
     # an instance file seeds a *fresh* data dir only; with neither, the
     # session starts empty (or recovers whatever --data-dir holds)
@@ -202,8 +202,26 @@ def _cmd_serve(args) -> int:
     # every node serves the `replicate` op, so replicas can be chained
     feed = ReplicationFeed(db)
     tailer = ReplicaTailer(db, args.replica_of) if args.replica_of else None
-    service = QueryService(db, batch=not args.no_batch, feed=feed, tailer=tailer)
-    server = Server(service, host=args.host, port=args.port, max_threads=args.threads)
+    if args.threaded:
+        # the original thread-per-connection shim: in-order pipelining
+        # only, no admission control, no server-side deadlines
+        service = QueryService(db, batch=not args.no_batch, feed=feed, tailer=tailer)
+        server = Server(
+            service, host=args.host, port=args.port, max_threads=args.threads
+        )
+    else:
+        service = QueryService(
+            db, batch=not args.no_batch, feed=feed, tailer=tailer, features=FEATURES
+        )
+        server = AsyncServer(
+            service,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            max_conns=args.max_conns,
+            idle_timeout_s=max(0.0, args.idle_timeout_s),
+            executor_threads=args.threads,
+        ).start()
     address = f"{server.address[0]}:{server.address[1]}"
     print(f"repro serve: listening on {address}", flush=True)
     print("protocol: one JSON request per line, one JSON response per line", flush=True)
@@ -554,7 +572,41 @@ def main(argv: list[str] | None = None) -> int:
         "--port", type=int, default=7453, help="TCP port (0 = pick a free one)"
     )
     p_serve.add_argument(
-        "--threads", type=int, default=8, help="max concurrent client connections"
+        "--threads",
+        type=int,
+        default=8,
+        help="executor threads evaluating requests (async core), or max "
+        "concurrent client connections (--threaded)",
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        dest="max_inflight",
+        type=int,
+        default=64,
+        help="admission control: requests allowed in flight at once before the "
+        "async server sheds load with a typed 'overloaded' frame",
+    )
+    p_serve.add_argument(
+        "--max-conns",
+        dest="max_conns",
+        type=int,
+        default=1024,
+        help="connections accepted at once; the next one is refused with a typed "
+        "'overloaded' frame instead of being queued silently",
+    )
+    p_serve.add_argument(
+        "--idle-timeout-s",
+        dest="idle_timeout_s",
+        type=float,
+        default=0.0,
+        help="reap a connection idle (or stalled mid-frame) this long "
+        "(0 = never; slowloris defence)",
+    )
+    p_serve.add_argument(
+        "--threaded",
+        action="store_true",
+        help="serve on the original thread-per-connection core instead of the "
+        "asyncio core (no admission control, no deadline_ms)",
     )
     p_serve.add_argument("--workers", type=int, default=None, help=workers_help)
     p_serve.add_argument(

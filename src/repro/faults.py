@@ -48,6 +48,7 @@ typo cannot silently disarm a chaos run.
 
 from __future__ import annotations
 
+import asyncio
 import errno as _errno
 import os
 import random
@@ -63,6 +64,7 @@ __all__ = [
     "FaultSpecError",
     "FaultRegistry",
     "InjectedDropConnection",
+    "async_fire",
     "fire",
     "global_registry",
     "install",
@@ -398,6 +400,32 @@ def install(spec: str | FaultRegistry | None) -> FaultRegistry:
 def fire(point: str, *, tearable: bool = False) -> FaultAction | None:
     """:meth:`FaultRegistry.fire` on the global registry."""
     return global_registry().fire(point, tearable=tearable)
+
+
+async def async_fire(point: str, *, tearable: bool = False) -> FaultAction | None:
+    """:func:`fire` for coroutine sites: ``hang`` awaits, never blocks.
+
+    The async server's accept/recv/send sites run *on the event loop*,
+    where the synchronous ``time.sleep`` a ``hang(MS)`` payload performs
+    would stall every connection at once instead of the one being
+    injected.  This variant delivers ``hang`` via ``asyncio.sleep`` and
+    every other payload exactly as :meth:`FaultRegistry.fire` does.
+    """
+    action = global_registry().evaluate(point)
+    if action is None:
+        return None
+    if action.kind == "hang":
+        await asyncio.sleep(action.ms / 1000.0)
+        return action
+    if action.kind == "drop-conn":
+        raise InjectedDropConnection(
+            _errno.ECONNRESET, f"failpoint {point}: injected connection drop"
+        )
+    if action.kind == "torn-write" and not tearable:
+        raise OSError(_errno.EIO, f"failpoint {point}: injected torn write")
+    if action.kind == "errno":
+        raise OSError(action.code, f"failpoint {point}: injected {action.describe()}")
+    return action  # torn-write, to a tearable site
 
 
 def coerce(faults: "FaultRegistry | str | None") -> FaultRegistry:

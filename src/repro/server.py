@@ -10,10 +10,16 @@ long-lived service:
   group-commit gate, so compatible certain-answer requests that arrive
   while another batch is running share one pool build and one core
   check;
-* :class:`Server` — a small TCP front end: one JSON request per line,
-  one JSON response per line, connections multiplexed over a bounded
-  thread pool.  ``repro serve`` (:mod:`repro.cli`) wires it to a
-  command line; ``examples/serving.py`` is a complete client.
+* :class:`AsyncServer` — the serving core: one asyncio event loop
+  multiplexing thousands of connections with per-connection request
+  **pipelining** (``id``-correlated, out-of-order responses),
+  semaphore-bounded **admission control** (typed ``overloaded`` frames
+  instead of unbounded queueing), server-enforced ``deadline_ms``, and
+  ``drain()`` backpressure.  ``repro serve`` (:mod:`repro.cli`) wires
+  it to a command line; ``docs/serving.md`` is the architecture tour;
+* :class:`Server` — the original thread-per-connection front end, kept
+  as a compatibility shim (``repro serve --threaded``); it serves the
+  same protocol in request order.
 
 Concurrency model: the :class:`~repro.session.Database` is already
 thread-safe (immutable instance snapshots + per-relation generation
@@ -52,10 +58,12 @@ null ⊥x, ``"??x"`` the constant ``"?x"``)::
 
 from __future__ import annotations
 
+import asyncio
 import json
 import queue
 import socket
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from time import monotonic, perf_counter
 from typing import Iterator
 
@@ -66,7 +74,26 @@ from repro.replication.feed import ReplicationFeed
 from repro.replication.replica import ReplicaTailer
 from repro.session import Database, DegradedError, PreparedQuery
 
-__all__ = ["QueryService", "Server", "serve"]
+__all__ = [
+    "FEATURES",
+    "PROTO_VERSION",
+    "AsyncServer",
+    "QueryService",
+    "Server",
+    "async_serve",
+    "serve",
+]
+
+#: wire-protocol version reported by ``ping`` and ``stats``.  v2 added
+#: the ``id``-echo pipelining contract, the typed ``overloaded`` frame
+#: and the ``deadline_ms`` request field (see ``docs/wire-protocol.md``)
+PROTO_VERSION = 2
+
+#: every optional protocol feature this codebase knows how to serve.
+#: A node advertises the subset its *transport* actually honours:
+#: the async server all of them, the threaded shim only ``pipelining``
+#: (in-order), a bare :class:`QueryService` likewise.
+FEATURES = ("pipelining", "deadline_ms")
 
 
 class _Reject(Exception):
@@ -189,6 +216,7 @@ class QueryService:
         batch: bool = True,
         feed: ReplicationFeed | None = None,
         tailer: ReplicaTailer | None = None,
+        features: tuple[str, ...] = ("pipelining",),
     ):
         self.db = db
         self._batch = _BatchGate(db) if batch else None
@@ -197,6 +225,10 @@ class QueryService:
         #: the tailer streaming from an upstream primary; its presence
         #: makes this node a replica (writes rejected) until ``promote``
         self.tailer = tailer
+        #: protocol features the transport in front of this service
+        #: honours, advertised by ``ping``/``stats`` (the async server
+        #: passes the full :data:`FEATURES`)
+        self.features = tuple(features)
         self._replica_mode = tailer is not None
         self._lock = threading.Lock()
         self._counters = {
@@ -205,6 +237,8 @@ class QueryService:
             "mutations": 0,
             "batched_requests": 0,
             "replicate_streams": 0,
+            "overloaded": 0,
+            "deadline_expired": 0,
             "errors": 0,
         }
         self._started = perf_counter()
@@ -373,8 +407,24 @@ class QueryService:
     # ops
     # ------------------------------------------------------------------
 
+    def bump(self, counter: str, by: int = 1) -> None:
+        """Thread-safely increment a service counter (transport hooks).
+
+        The async transport accounts for work the service never sees —
+        requests shed at admission (``overloaded``), deadlines that
+        expired while an op was still running (``deadline_expired``) —
+        so ``stats`` reports them alongside the served ops.
+        """
+        with self._lock:
+            self._counters[counter] = self._counters.get(counter, 0) + by
+
     def _op_ping(self, request: dict) -> dict:
-        return {"ok": True, "pong": True}
+        return {
+            "ok": True,
+            "pong": True,
+            "proto": PROTO_VERSION,
+            "features": list(self.features),
+        }
 
     def _prepare(self, request: dict) -> PreparedQuery:
         text = request.get("query")
@@ -565,6 +615,8 @@ class QueryService:
         db = self.db
         response = {
             "ok": True,
+            "proto": PROTO_VERSION,
+            "features": list(self.features),
             "uptime_s": perf_counter() - self._started,
             "requests": counters,
             "result_cache": db.cache_stats,
@@ -865,6 +917,485 @@ def serve(
         )
     service = QueryService(db, batch=batch, feed=replication_feed, tailer=tailer)
     server = Server(service, host=host, port=port, max_threads=max_threads).start()
+    if tailer is not None:
+        tailer.announce = f"{server.address[0]}:{server.address[1]}"
+        tailer.start()
+    return server
+
+
+class _AsyncConn:
+    """Per-connection state on the event loop: writer + in-flight tasks."""
+
+    __slots__ = ("reader", "writer", "write_lock", "tasks")
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+        #: serialises response writes: pipelined tasks finish in any
+        #: order, but each response line must hit the socket whole
+        self.write_lock = asyncio.Lock()
+        self.tasks: set[asyncio.Task] = set()
+
+
+class AsyncServer:
+    """An asyncio front end for a :class:`QueryService` (protocol v2).
+
+    One event loop multiplexes every connection, so an idle client
+    costs a heap object instead of a parked thread; the blocking
+    session work still runs on a bounded :class:`ThreadPoolExecutor`,
+    feeding the same :class:`_BatchGate` group-commit the threaded
+    server uses.  What the new transport adds:
+
+    * **pipelining** — each request line becomes its own task; a client
+      may send N requests before reading anything, and responses are
+      written as they finish, **out of order**, correlated by the
+      echoed ``id``;
+    * **admission control** — at most ``max_inflight`` requests may
+      occupy executor slots; the next one is shed *immediately* with a
+      typed ``overloaded`` frame (never queued unboundedly, never a
+      silent drop), and ``max_conns`` bounds accepted connections the
+      same way;
+    * **deadlines** — a request carrying ``deadline_ms`` gets at most
+      that long of server residency; past it the client receives a
+      typed ``deadline`` frame while the already-running op finishes
+      in the background (its admission slot is held until it does);
+    * **backpressure** — every write awaits ``drain()``, so a client
+      that stops reading suspends its own responses instead of
+      ballooning server memory, and ``idle_timeout_s`` reaps
+      connections (slowloris included) that go silent mid-frame.
+
+    Replication rides along: a ``replicate`` request hands its
+    connection to a dedicated pump thread that walks the blocking
+    :meth:`QueryService.replicate_stream` generator and ships frames
+    through the loop, so one slow replica never stalls queries.
+
+    Runs purely async (``await server.start_async()`` /
+    ``await server.shutdown_async()``) or behind the same sync facade
+    as the threaded :class:`Server` (``start()`` spins a daemon thread
+    owning the loop; ``shutdown()`` joins it), so ``repro serve``,
+    tests and benchmarks drive both servers identically.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_inflight: int = 64,
+        max_conns: int = 1024,
+        idle_timeout_s: float = 0.0,
+        executor_threads: int = 8,
+    ):
+        self.service = service
+        self._host = host
+        self._port = port
+        self.max_inflight = max(1, max_inflight)
+        self.max_conns = max(1, max_conns)
+        self.idle_timeout_s = idle_timeout_s
+        self.executor_threads = max(1, executor_threads)
+        self.address: tuple[str, int] | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._conns: set[_AsyncConn] = set()
+        self._tasks: set[asyncio.Task] = set()
+        self._inflight = 0
+        self._draining = False
+        # sync-facade state
+        self._thread: threading.Thread | None = None
+        self._stop_requested: asyncio.Event | None = None
+        self._drain_timeout_s = 0.0
+        self._startup_error: BaseException | None = None
+        self._done = threading.Event()
+
+    # ------------------------------------------------------------------
+    # async lifecycle
+    # ------------------------------------------------------------------
+
+    async def start_async(self) -> "AsyncServer":
+        """Bind and start accepting on the running event loop."""
+        self._loop = asyncio.get_running_loop()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.executor_threads, thread_name_prefix="repro-async"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_conn, self._host, self._port
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+        return self
+
+    async def shutdown_async(self, drain_timeout_s: float = 0.0) -> None:
+        """Stop accepting, optionally drain in-flight requests, then close.
+
+        Same contract as the threaded :meth:`Server.shutdown`:
+        replication streams never count as in-flight (they are ended by
+        ``service.close()``), and past the drain window remaining
+        connections are torn down hard.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = {task for task in self._tasks if not task.done()}
+        if drain_timeout_s > 0 and pending:
+            await asyncio.wait(pending, timeout=drain_timeout_s)
+        # end replication streams first: their pump threads are parked
+        # inside the feed and exit when it closes
+        self.service.close()
+        for conn in list(self._conns):
+            conn.writer.close()
+        await asyncio.sleep(0)  # let per-connection loops notice
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # sync facade (mirrors the threaded Server)
+    # ------------------------------------------------------------------
+
+    def start(self) -> "AsyncServer":
+        """Run the event loop on a daemon thread and block until bound."""
+        started = threading.Event()
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main(started)),
+            daemon=True,
+            name="repro-async-loop",
+        )
+        self._thread.start()
+        started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    async def _main(self, started: threading.Event) -> None:
+        try:
+            try:
+                await self.start_async()
+                self._stop_requested = asyncio.Event()
+            except BaseException as err:  # noqa: BLE001 - reported in start()
+                self._startup_error = err
+                return
+            finally:
+                started.set()
+            await self._stop_requested.wait()
+            await self.shutdown_async(self._drain_timeout_s)
+        finally:
+            self._done.set()
+
+    def serve_forever(self) -> None:
+        """Park the calling thread until :meth:`shutdown` (the CLI's loop).
+
+        The event loop runs on its own thread; this wait keeps the main
+        thread interruptible, so Ctrl-C / ``SIGTERM`` land here and the
+        caller's ``finally`` can run a graceful :meth:`shutdown`.
+        """
+        while not self._done.wait(0.2):
+            pass
+
+    def shutdown(self, drain_timeout_s: float = 0.0) -> None:
+        """Thread-safe shutdown of a :meth:`start`-ed server (idempotent)."""
+        thread, self._thread = self._thread, None
+        if thread is None:
+            return
+        self._drain_timeout_s = drain_timeout_s
+        loop, stop = self._loop, self._stop_requested
+        if loop is not None and stop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:
+                pass  # loop already closing
+        thread.join(timeout=drain_timeout_s + 10)
+
+    def __enter__(self) -> "AsyncServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # per-connection loop
+    # ------------------------------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _AsyncConn(reader, writer)
+        try:
+            try:
+                await _faults.async_fire("server.accept")
+            except OSError:
+                return  # injected accept failure: dropped before serving
+            if self._draining or len(self._conns) >= self.max_conns:
+                # typed refusal, never a silent drop: the client learns
+                # *why* before the connection closes
+                self.service.bump("requests")
+                self.service.bump("overloaded")
+                self.service.bump("errors")
+                await self._write(
+                    conn,
+                    json.dumps(
+                        {
+                            "ok": False,
+                            "error": f"overloaded: connection limit "
+                            f"({self.max_conns}) reached",
+                            "error_type": "overloaded",
+                            "max_conns": self.max_conns,
+                        }
+                    ),
+                )
+                return
+            self._conns.add(conn)
+            await self._read_requests(conn)
+        except Exception:  # noqa: BLE001 - a broken connection must never
+            pass  # surface as an unhandled-task error
+        finally:
+            if conn.tasks:
+                # half-close etiquette: in-flight pipelined responses are
+                # still written (or fail against the closed socket)
+                await asyncio.gather(*list(conn.tasks), return_exceptions=True)
+            self._conns.discard(conn)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+
+    async def _read_requests(self, conn: _AsyncConn) -> None:
+        while True:
+            try:
+                if self.idle_timeout_s > 0:
+                    line = await asyncio.wait_for(
+                        conn.reader.readline(), self.idle_timeout_s
+                    )
+                else:
+                    line = await conn.reader.readline()
+            except asyncio.TimeoutError:
+                return  # idle (or slowloris mid-frame): reap the connection
+            except (OSError, ValueError):
+                return
+            if not line:
+                return  # EOF
+            try:
+                # an injected recv failure loses the request *before* any
+                # processing — the client never learns its fate
+                await _faults.async_fire("server.recv")
+            except OSError:
+                return
+            text = line.decode("utf-8", errors="replace").strip()
+            if not text:
+                continue
+            if self._draining:
+                return  # draining: no new requests on this connection
+            try:
+                request = json.loads(text)
+            except ValueError:
+                request = None
+            if isinstance(request, dict) and request.get("op") == "replicate":
+                # the connection becomes a replication stream until EOF
+                await self._serve_replicate(conn, request)
+                return
+            task = asyncio.create_task(self._serve_request(conn, request, text))
+            conn.tasks.add(task)
+            self._tasks.add(task)
+            task.add_done_callback(conn.tasks.discard)
+            task.add_done_callback(self._tasks.discard)
+
+    # ------------------------------------------------------------------
+    # per-request task
+    # ------------------------------------------------------------------
+
+    def _release_slot(self, fut: asyncio.Future) -> None:
+        self._inflight -= 1
+        if not fut.cancelled():
+            fut.exception()  # consume: handle() never raises
+
+    async def _serve_request(self, conn: _AsyncConn, request, text: str) -> None:
+        try:
+            if not isinstance(request, dict):
+                # malformed JSON (or a non-object): the service's own
+                # error path, inline — it never touches the session
+                await self._respond(conn, self.service.handle_line(text))
+                return
+            rid = request.get("id")
+            deadline_ms = request.get("deadline_ms")
+            if deadline_ms is not None and (
+                isinstance(deadline_ms, bool)
+                or not isinstance(deadline_ms, (int, float))
+                or deadline_ms <= 0
+            ):
+                self.service.bump("requests")
+                self.service.bump("errors")
+                await self._respond_obj(
+                    conn,
+                    {"ok": False, "error": "'deadline_ms' must be a positive number"},
+                    rid,
+                )
+                return
+            if self._inflight >= self.max_inflight:
+                # admission control: shed *now* with a typed frame rather
+                # than queue without bound — the client knows nothing ran
+                self.service.bump("requests")
+                self.service.bump("overloaded")
+                self.service.bump("errors")
+                await self._respond_obj(
+                    conn,
+                    {
+                        "ok": False,
+                        "error": f"overloaded: {self.max_inflight} requests "
+                        f"already in flight",
+                        "error_type": "overloaded",
+                        "max_inflight": self.max_inflight,
+                    },
+                    rid,
+                )
+                return
+            self._inflight += 1
+            fut = self._loop.run_in_executor(
+                self._executor, self.service.handle, request
+            )
+            fut.add_done_callback(self._release_slot)
+            if deadline_ms is not None:
+                try:
+                    # shield: the executor job cannot be interrupted, so a
+                    # blown deadline abandons the wait (the slot stays
+                    # held until the job truly finishes) and answers now
+                    response = await asyncio.wait_for(
+                        asyncio.shield(fut), deadline_ms / 1000.0
+                    )
+                except asyncio.TimeoutError:
+                    self.service.bump("deadline_expired")
+                    response = {
+                        "ok": False,
+                        "error": f"deadline: request exceeded its "
+                        f"deadline_ms={deadline_ms} budget",
+                        "error_type": "deadline",
+                        "deadline_ms": deadline_ms,
+                    }
+            else:
+                response = await fut
+            await self._respond_obj(conn, response, rid)
+        except Exception:  # noqa: BLE001 - client went away mid-response;
+            pass  # the response is lost, the connection already dead
+
+    async def _write(self, conn: _AsyncConn, data: str) -> None:
+        async with conn.write_lock:
+            conn.writer.write((data + "\n").encode("utf-8"))
+            await conn.writer.drain()  # socket-level backpressure
+
+    async def _respond(self, conn: _AsyncConn, data: str) -> None:
+        try:
+            # an injected send failure loses the *response*: the request
+            # was processed, the client cannot know — the
+            # indeterminate-write case
+            await _faults.async_fire("server.send")
+        except OSError:
+            conn.writer.close()  # the client sees EOF, not silence forever
+            return
+        await self._write(conn, data)
+
+    async def _respond_obj(self, conn: _AsyncConn, response: dict, rid) -> None:
+        if rid is not None and "id" not in response:
+            response["id"] = rid
+        await self._respond(conn, json.dumps(response))
+
+    # ------------------------------------------------------------------
+    # replication streaming
+    # ------------------------------------------------------------------
+
+    async def _serve_replicate(self, conn: _AsyncConn, request: dict) -> None:
+        """Pump the blocking frame generator through the loop, until EOF.
+
+        The generator (hello → deltas/snapshots/heartbeats, forever)
+        blocks inside the feed, so it runs on its own daemon thread and
+        ships each frame via ``run_coroutine_threadsafe`` — which blocks
+        the pump until the frame is drained, propagating socket
+        backpressure all the way into the feed's ring buffer.
+        """
+        loop = self._loop
+        stream = self.service.replicate_stream(request)
+
+        def pump() -> None:
+            try:
+                for frame in stream:
+                    data = frame if isinstance(frame, str) else json.dumps(frame)
+                    asyncio.run_coroutine_threadsafe(
+                        self._write(conn, data), loop
+                    ).result()
+            except BaseException:  # noqa: BLE001 - replica went away, loop
+                pass  # closed, or the feed ended the stream mid-frame
+            finally:
+                stream.close()  # unregister the replica link
+                try:
+                    loop.call_soon_threadsafe(conn.writer.close)
+                except RuntimeError:
+                    pass  # loop already closed at shutdown
+
+        threading.Thread(
+            target=pump, daemon=True, name="repro-async-replicate"
+        ).start()
+        try:
+            # the replica sends nothing further: park until it disconnects
+            while await conn.reader.read(4096):
+                pass
+        except (OSError, ValueError):
+            pass
+        conn.writer.close()  # ends the pump at its next frame
+
+
+def async_serve(
+    db: Database | None = None,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_inflight: int = 64,
+    max_conns: int = 1024,
+    idle_timeout_s: float = 0.0,
+    executor_threads: int = 8,
+    batch: bool = True,
+    instance=None,
+    semantics: str = "cwa",
+    workers: int | None = None,
+    path: str | None = None,
+    replicate_from: str | tuple | None = None,
+    feed: bool = True,
+    heartbeat_s: float = 2.0,
+    backoff_base: float = 0.2,
+    backoff_cap: float = 5.0,
+) -> AsyncServer:
+    """:func:`serve`, but on the asyncio core (protocol v2, full features).
+
+    Same session/replication wiring and the same started-server
+    contract; the extra knobs are the async transport's admission
+    controls.  The returned server runs its loop on a daemon thread —
+    callers that want to *own* the loop build an :class:`AsyncServer`
+    directly and ``await server.start_async()``.
+
+        with async_serve(Database({"R": [(1, 2)]})) as server:
+            ...  # connect to server.address
+
+    """
+    if db is None:
+        db = Database(instance, semantics=semantics, workers=workers, path=path)
+    if db.workers and db.workers > 1:
+        db.ensure_worker_pool()
+    replication_feed = ReplicationFeed(db, heartbeat_s=heartbeat_s) if feed else None
+    tailer = None
+    if replicate_from is not None:
+        tailer = ReplicaTailer(
+            db, replicate_from, backoff_base=backoff_base, backoff_cap=backoff_cap
+        )
+    service = QueryService(
+        db, batch=batch, feed=replication_feed, tailer=tailer, features=FEATURES
+    )
+    server = AsyncServer(
+        service,
+        host=host,
+        port=port,
+        max_inflight=max_inflight,
+        max_conns=max_conns,
+        idle_timeout_s=idle_timeout_s,
+        executor_threads=executor_threads,
+    ).start()
     if tailer is not None:
         tailer.announce = f"{server.address[0]}:{server.address[1]}"
         tailer.start()

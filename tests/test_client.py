@@ -13,6 +13,7 @@ import pytest
 from repro import faults
 from repro.client import (
     Client,
+    DeadlineExceeded,
     DegradedServerError,
     IndeterminateWriteError,
     ReadOnlyServerError,
@@ -135,6 +136,29 @@ class TestWriteSemantics:
                 assert client.insert("R", [[3, 4]])["changed"] == 1
                 assert db.generation == before + 1
         db.close()
+
+
+class TestRetryBackoff:
+    def test_backoff_sleep_never_overshoots_the_deadline(self):
+        """Regression: a backoff delay larger than the remaining budget
+        used to park the client past its own deadline.  Now the sleep is
+        clipped to the remainder and the deadline fires on schedule —
+        with no doomed extra attempt after the budget is gone."""
+        client = Client(
+            "127.0.0.1:9",  # discard port: connection refused instantly
+            timeout=0.5,
+            connect_timeout=0.2,
+            retries=10,
+            backoff_base=30.0,  # one un-clipped sleep would blow 60x past
+            backoff_cap=60.0,
+            jitter=lambda: 1.0,
+        )
+        started = time.monotonic()
+        with pytest.raises(DeadlineExceeded):
+            client.ping()
+        elapsed = time.monotonic() - started
+        assert elapsed < 2.0, f"slept {elapsed:.1f}s past a 0.5s deadline"
+        client.close()
 
 
 class TestFailover:

@@ -27,6 +27,7 @@ class TestQueryServiceOps:
     def test_ping(self, service):
         assert service.handle({"op": "ping", "id": 7}) == {
             "ok": True, "pong": True, "id": 7,
+            "proto": 2, "features": ["pipelining"],
         }
 
     def test_query_round_trip(self, service):
