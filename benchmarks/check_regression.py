@@ -30,6 +30,7 @@ from pathlib import Path
 GATED_SECTIONS = (
     "performance",
     "engine",
+    "columnar",
     "oracle_parallel",
     "homs",
     "serving",

@@ -48,7 +48,7 @@ verdict = analyze(rule1, "cwa")
 print(f"\n[{rule1.name}] in fragment {verdict.fragment}? sound={verdict.sound}")
 result = evaluate(rule1, log, semantics="cwa")
 print(f"  audit verdict (certain under CWA): {result.holds} (method={result.method})")
-assert result.method == "compiled" and result.exact
+assert result.method == "columnar" and result.exact
 
 # ----------------------------------------------------------------------
 # 3. Rule 2 — a *negative* rule is outside every sound fragment:

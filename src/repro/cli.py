@@ -156,7 +156,16 @@ def _cmd_explain(args) -> int:
         from repro.core.backends import get_backend
         from repro.logic.compile import compiled_query
 
-        if getattr(get_backend(plan.backend), "engine", None) == "compiled":
+        engine = getattr(get_backend(plan.backend), "engine", None)
+        if engine == "columnar":
+            from repro.logic.columnar import columnar_query
+
+            colq = columnar_query(query, instance)
+            order = colq.join_order()
+            operators = colq.describe()
+            if order:
+                operators += "\njoin order: " + " ⋈ ".join(order)
+        elif engine == "compiled":
             operators = compiled_query(query).describe()
         else:
             operators = f"(backend {plan.backend!r} does not run the compiled engine)"
@@ -551,7 +560,7 @@ def main(argv: list[str] | None = None) -> int:
     p_explain.add_argument(
         "--operators",
         action="store_true",
-        help="also show the compiled relational operator tree (joins, scans, …)",
+        help="also show the operator tree (chosen kernels, joins, join order, …)",
     )
     p_explain.set_defaults(func=_cmd_explain)
 

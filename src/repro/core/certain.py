@@ -57,15 +57,17 @@ images, by genericity.
 
 from __future__ import annotations
 
+from array import array
 from functools import lru_cache
 from typing import Hashable, Iterable, Iterator, Sequence
 
+from repro.data.dictionary import Dictionary
 from repro.data.indexes import TableContext
 from repro.data.instance import Instance
 from repro.data.schema import Schema
 from repro.data.values import Null, sort_key
 from repro.logic.ast import RelAtom
-from repro.logic.compile import CompiledQuery, compiled_query
+from repro.logic.compile import CompiledQuery, _compiled, compiled_query
 from repro.logic.queries import Query
 from repro.logic.transform import subformulas, substitute
 from repro.semantics.base import Semantics, guard_limit
@@ -218,6 +220,16 @@ class WorldSpec:
     relations, and the orbit structure (base choices vs fresh tail).
     Workers receive one ``WorldSpec`` at pool initialisation and reuse
     its static hash indexes across all their shards.
+
+    Pickling ships **int arrays, not object graphs**: every cell of the
+    heavy slots (row templates, static rows, active domain, pool) is
+    interned through a :class:`~repro.data.dictionary.Dictionary` and
+    travels as ``array('q')`` codes plus the dictionary's decode tables,
+    and the compiled plan travels as its ``(formula, answer_vars)``
+    source — each worker rebuilds it once through the memoised compiler.
+    Nulls cross the process boundary as dictionary codes (by label), so
+    no :class:`~repro.data.values.Null` object graph is ever serialised
+    per row.
     """
 
     __slots__ = (
@@ -256,11 +268,77 @@ class WorldSpec:
         self.seed_keys = seed_keys
 
     def __getstate__(self):
-        return tuple(getattr(self, s) for s in self.__slots__)
+        d = Dictionary()
+        enc = d.encode
+
+        def pack_rows(rows):
+            rows = list(rows)
+            arity = len(rows[0]) if rows else 0
+            return arity, len(rows), array("q", [enc(v) for row in rows for v in row])
+
+        # template cells compose two namespaces: odd ints are valuation
+        # slots (payload << 1 | 1), even ints are dictionary codes of
+        # constant cells (code << 1)
+        templates = {}
+        for name, specs in self.templates.items():
+            arity = len(specs[0]) if specs else 0
+            flat = array(
+                "q",
+                [
+                    (payload << 1) | 1 if is_null else (enc(payload) << 1)
+                    for spec in specs
+                    for is_null, payload in spec
+                ],
+            )
+            templates[name] = (arity, len(specs), flat)
+        return (
+            (self.cq.formula, self.cq.answer_vars),
+            templates,
+            self.dyn_names,
+            {name: pack_rows(rows) for name, rows in self.static.items()},
+            array("q", [enc(v) for v in self.base_adom]),
+            array("q", [enc(v) for v in self.read_base_cells]),
+            self.n_slots,
+            array("q", [enc(v) for v in self.base_choices]),
+            array("q", [enc(v) for v in self.fresh_tail]),
+            None if self.seed is None else pack_rows(self.seed),
+            self.seed_keys,
+            d.export_tables(),
+        )
 
     def __setstate__(self, state):
-        for slot, value in zip(self.__slots__, state):
-            setattr(self, slot, value)
+        (cq_src, templates, dyn_names, static, base_adom, read_cells,
+         n_slots, base_choices, fresh_tail, seed, seed_keys, tables) = state
+        d = Dictionary.from_tables(*tables)
+        dec = d.decode
+
+        def unpack_rows(packed):
+            arity, n, flat = packed
+            cells = [dec(c) for c in flat]
+            return frozenset(
+                tuple(cells[i * arity:(i + 1) * arity]) for i in range(n)
+            )
+
+        self.cq = _compiled(*cq_src)
+        self.templates = {
+            name: [
+                tuple(
+                    (True, cell >> 1) if cell & 1 else (False, dec(cell >> 1))
+                    for cell in flat[i * arity:(i + 1) * arity]
+                )
+                for i in range(n)
+            ]
+            for name, (arity, n, flat) in templates.items()
+        }
+        self.dyn_names = dyn_names
+        self.static = {name: unpack_rows(packed) for name, packed in static.items()}
+        self.base_adom = frozenset(map(dec, base_adom))
+        self.read_base_cells = frozenset(map(dec, read_cells))
+        self.n_slots = n_slots
+        self.base_choices = tuple(map(dec, base_choices))
+        self.fresh_tail = tuple(map(dec, fresh_tail))
+        self.seed = None if seed is None else unpack_rows(seed)
+        self.seed_keys = seed_keys
 
     def base_context(self) -> TableContext | None:
         return TableContext(self.static) if self.static else None

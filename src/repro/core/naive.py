@@ -5,11 +5,14 @@ nulls as ordinary values (syntactic equality).  Step two eliminates the
 answer tuples that contain nulls — a tuple with a null can never be a
 certain answer.  For Boolean queries step two is vacuous.
 
-Two engines implement step one:
+Three engines implement step one:
 
-* ``compiled`` (the default) — the set-at-a-time relational plan of
+* ``columnar`` — the compiled operator DAG executed over
+  dictionary-encoded int columns (:mod:`repro.logic.columnar`): array
+  kernels, sort-merge joins, stats-driven join ordering;
+* ``compiled`` — the set-at-a-time relational plan of
   :mod:`repro.logic.compile`: hash joins, semi-/anti-joins, per-instance
-  hash indexes;
+  hash indexes — retained as a differential baseline;
 * ``interp`` — the tuple-at-a-time tree walker of
   :mod:`repro.logic.eval`, retained as the differential-testing baseline
   (the ``naive-interp`` backend).
@@ -25,6 +28,7 @@ from typing import Hashable
 
 from repro.data.instance import Instance
 from repro.data.values import Null
+from repro.logic import columnar as _columnar
 from repro.logic import compile as _compile
 from repro.logic.queries import Query
 
@@ -49,12 +53,17 @@ def naive_eval(
     notation).  Boolean queries return ``{()}``/``frozenset()``.
     ``engine`` selects step one's implementation (see module doc).
     """
+    if engine == "columnar":
+        # the columnar executor drops null rows pre-decode (odd codes)
+        return _columnar.columnar_naive_eval(query, instance)
     if engine == "compiled":
         raw = _compile.compiled_query(query).answers(instance)
     elif engine == "interp":
         raw = query.eval_raw(instance)
     else:
-        raise ValueError(f"unknown naive engine {engine!r}; use 'compiled' or 'interp'")
+        raise ValueError(
+            f"unknown naive engine {engine!r}; use 'columnar', 'compiled' or 'interp'"
+        )
     return drop_null_tuples(raw)
 
 

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Hashable, Sequence
 
 from repro.core.analyzer import Verdict, analyze
-from repro.core.backends import get_backend, naive_is_certain
+from repro.core.backends import NAIVE_AUTO_BACKEND, get_backend, naive_is_certain
 from repro.data.instance import Instance
 from repro.homs.core import is_core
 from repro.logic.compile import compiled_query
@@ -229,8 +229,15 @@ def make_plan(
     if mode == "auto":
         core_needed = verdict.sound and verdict.over_cores_only
         if naive_is_certain(verdict, ensure_core() if core_needed else True):
-            # naive evaluation is provably exact — run it set-at-a-time
-            name = "compiled"
+            # naive evaluation is provably exact — run the columnar
+            # dictionary-encoded executor (compiled and naive-interp stay
+            # registered as forced differential baselines)
+            name = NAIVE_AUTO_BACKEND
+            notes.append(
+                "columnar executor: joins ordered by per-instance column "
+                "stats; `repro explain --operators` names the chosen "
+                "kernels and join order"
+            )
         else:
             name = "enumeration"
             if core_needed:
@@ -256,7 +263,9 @@ def make_plan(
                 f"the core check (not run)"
             )
         else:
-            auto_name = "compiled" if naive_is_certain(verdict, core_flag) else "enumeration"
+            auto_name = (
+                NAIVE_AUTO_BACKEND if naive_is_certain(verdict, core_flag) else "enumeration"
+            )
             if auto_name != name:
                 notes.append(f"forced backend {name!r}; auto would choose {auto_name!r}")
     if name == "enumeration" and not sem.enumeration_exact(extra_facts):

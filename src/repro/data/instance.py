@@ -38,7 +38,7 @@ class Instance:
     False
     """
 
-    __slots__ = ("_relations", "_hash", "_adom", "_sorted_adom", "_ctx")
+    __slots__ = ("_relations", "_hash", "_adom", "_sorted_adom", "_ctx", "_cols")
 
     def __init__(self, relations: Mapping[str, Iterable[tuple]] | None = None):
         rels: dict[str, frozenset[tuple]] = {}
@@ -63,6 +63,7 @@ class Instance:
         self._adom: frozenset[Hashable] | None = None
         self._sorted_adom: tuple[Hashable, ...] | None = None
         self._ctx = None  # execution context (repro.data.indexes)
+        self._cols = None  # columnar context (repro.data.dictionary)
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -297,6 +298,7 @@ class Instance:
         out._hash = None
         out._sorted_adom = None
         out._ctx = None
+        out._cols = None
         if self._adom is not None and not any(rem for _add, rem in changes.values()):
             # insert-only delta: the active domain only grows, so it can
             # be carried over incrementally; deletions force a lazy

@@ -1,0 +1,243 @@
+"""Array kernels over dictionary-encoded columns.
+
+The columnar executor (:mod:`repro.logic.columnar`) lowers the hottest
+operator shapes — base-relation joins and semi-joins on a single shared
+column — onto the kernels in this module.  Each kernel has two
+implementations:
+
+* a **vectorised** path over int64 numpy views of the encoded columns
+  (``argsort`` + ``searchsorted`` sort-merge, ``isin`` semi-join), used
+  when numpy is importable and the inputs are large enough to amortise
+  the array setup;
+* a **pure-Python** path over the relation's cached sorted runs and key
+  sets, always available — numpy is an optional accelerator, never a
+  dependency.
+
+Both paths return the same frozenset of encoded rows; the differential
+suite in ``tests/test_columnar.py`` runs the random-query matrix against
+each, and ``REPRO_PURE_KERNELS=1`` forces the pure path process-wide.
+
+Sort orders, numpy views and key sets are cached on the
+:class:`~repro.data.dictionary.EncodedRelation` itself, so the sort of a
+sort-merge join is paid once per relation per key column — every later
+join against the same column merges already-sorted runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.data.dictionary import EncodedRelation
+
+__all__ = [
+    "sort_merge_join",
+    "sort_merge_join_project",
+    "semi_join",
+    "numpy_enabled",
+    "kernel_suffix",
+]
+
+try:  # optional acceleration; the pure path below is always available
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via REPRO_PURE_KERNELS
+    _np = None
+
+if os.environ.get("REPRO_PURE_KERNELS"):
+    _np = None
+
+#: below this many rows (left + right) the vector path's array setup
+#: costs more than the pure merge saves
+MIN_VECTOR_ROWS = 64
+
+_EMPTY: frozenset[tuple[int, ...]] = frozenset()
+_UNIT: frozenset[tuple] = frozenset([()])
+
+
+def numpy_enabled() -> bool:
+    """True when the vectorised kernel paths are in effect."""
+    return _np is not None
+
+
+def kernel_suffix() -> str:
+    """EXPLAIN suffix naming the active implementation."""
+    return "vector" if numpy_enabled() else "pure"
+
+
+# ----------------------------------------------------------------------
+# sort-merge join
+# ----------------------------------------------------------------------
+
+def sort_merge_join(
+    left: EncodedRelation,
+    right: EncodedRelation,
+    l_pos: int,
+    r_pos: int,
+    extra: tuple[int, ...],
+) -> frozenset[tuple[int, ...]]:
+    """``{l + r[extra] : l ∈ left, r ∈ right, l[l_pos] == r[r_pos]}``.
+
+    Equivalent to the hash join of two plain scans on one shared column,
+    but runs off cached sorted runs instead of a hash build.
+    """
+    if not left.n_rows or not right.n_rows:
+        return _EMPTY
+    if _np is not None and left.n_rows + right.n_rows >= MIN_VECTOR_ROWS:
+        return _vector_sort_merge(left, right, l_pos, r_pos, extra)
+    return _pure_sort_merge(left, right, l_pos, r_pos, extra)
+
+
+def _vector_sort_merge(left, right, l_pos, r_pos, extra):
+    l_order, l_sorted = left.np_order(l_pos)
+    r_order, r_sorted = right.np_order(r_pos)
+    lo = _np.searchsorted(r_sorted, l_sorted, side="left")
+    hi = _np.searchsorted(r_sorted, l_sorted, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY
+    l_idx = _np.repeat(l_order, counts)
+    # within each left row's match range, offsets 0..count-1 off its lo
+    offsets = _np.arange(total) - _np.repeat(_np.cumsum(counts) - counts, counts)
+    r_idx = r_order[_np.repeat(lo, counts) + offsets]
+    width = left.arity + len(extra)
+    mat = _np.empty((total, width), dtype=_np.int64)
+    for j in range(left.arity):
+        mat[:, j] = left.np_column(j)[l_idx]
+    for k, pos in enumerate(extra):
+        mat[:, left.arity + k] = right.np_column(pos)[r_idx]
+    return frozenset(map(tuple, mat.tolist()))
+
+
+def _pure_sort_merge(left, right, l_pos, r_pos, extra):
+    l_rows = left.sorted_rows(l_pos)
+    r_rows = right.sorted_rows(r_pos)
+    n_left, n_right = len(l_rows), len(r_rows)
+    out: set[tuple[int, ...]] = set()
+    i = j = 0
+    while i < n_left and j < n_right:
+        a, b = l_rows[i][l_pos], r_rows[j][r_pos]
+        if a < b:
+            i += 1
+        elif a > b:
+            j += 1
+        else:
+            j_end = j
+            while j_end < n_right and r_rows[j_end][r_pos] == a:
+                j_end += 1
+            tails = [tuple(r[p] for p in extra) for r in r_rows[j:j_end]]
+            while i < n_left and l_rows[i][l_pos] == a:
+                lr = l_rows[i]
+                for tail in tails:
+                    out.add(lr + tail)
+                i += 1
+            j = j_end
+    return frozenset(out)
+
+
+# ----------------------------------------------------------------------
+# fused sort-merge join + projection
+# ----------------------------------------------------------------------
+
+def sort_merge_join_project(
+    left: EncodedRelation,
+    right: EncodedRelation,
+    l_pos: int,
+    r_pos: int,
+    extra: tuple[int, ...],
+    indices: tuple[int, ...],
+) -> frozenset[tuple[int, ...]]:
+    """:func:`sort_merge_join` with the projection fused into the kernel.
+
+    ``indices`` selects columns of the joined row ``l + r[extra]``
+    (positions ``>= left.arity`` address the ``extra`` tail).  Fusing
+    matters because many-to-many joins expand and projections collapse:
+    the vector path gathers **only the projected columns** and dedups
+    the expansion with ``np.unique`` at C speed, so the wide joined
+    intermediate is never materialised as Python tuples at all.
+    """
+    if not left.n_rows or not right.n_rows:
+        return _EMPTY
+    if _np is not None and left.n_rows + right.n_rows >= MIN_VECTOR_ROWS:
+        return _vector_sort_merge_project(left, right, l_pos, r_pos, extra, indices)
+    return _pure_sort_merge_project(left, right, l_pos, r_pos, extra, indices)
+
+
+def _vector_sort_merge_project(left, right, l_pos, r_pos, extra, indices):
+    l_order, l_sorted = left.np_order(l_pos)
+    r_order, r_sorted = right.np_order(r_pos)
+    lo = _np.searchsorted(r_sorted, l_sorted, side="left")
+    hi = _np.searchsorted(r_sorted, l_sorted, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY
+    if not indices:
+        return _UNIT  # nullary projection of a non-empty join
+    l_idx = _np.repeat(l_order, counts)
+    offsets = _np.arange(total) - _np.repeat(_np.cumsum(counts) - counts, counts)
+    r_idx = r_order[_np.repeat(lo, counts) + offsets]
+    mat = _np.empty((total, len(indices)), dtype=_np.int64)
+    for k, col in enumerate(indices):
+        if col < left.arity:
+            mat[:, k] = left.np_column(col)[l_idx]
+        else:
+            mat[:, k] = right.np_column(extra[col - left.arity])[r_idx]
+    mat = _np.unique(mat, axis=0)
+    return frozenset(map(tuple, mat.tolist()))
+
+
+def _pure_sort_merge_project(left, right, l_pos, r_pos, extra, indices):
+    l_rows = left.sorted_rows(l_pos)
+    r_rows = right.sorted_rows(r_pos)
+    n_left, n_right = len(l_rows), len(r_rows)
+    la = left.arity
+    out: set[tuple[int, ...]] = set()
+    i = j = 0
+    while i < n_left and j < n_right:
+        a, b = l_rows[i][l_pos], r_rows[j][r_pos]
+        if a < b:
+            i += 1
+        elif a > b:
+            j += 1
+        else:
+            j_end = j
+            while j_end < n_right and r_rows[j_end][r_pos] == a:
+                j_end += 1
+            tails = [tuple(r[p] for p in extra) for r in r_rows[j:j_end]]
+            while i < n_left and l_rows[i][l_pos] == a:
+                lr = l_rows[i]
+                for tail in tails:
+                    out.add(
+                        tuple(
+                            lr[c] if c < la else tail[c - la] for c in indices
+                        )
+                    )
+                i += 1
+            j = j_end
+    return frozenset(out)
+
+
+# ----------------------------------------------------------------------
+# semi-join
+# ----------------------------------------------------------------------
+
+def semi_join(
+    left: EncodedRelation,
+    right: EncodedRelation,
+    l_pos: int,
+    r_pos: int,
+) -> frozenset[tuple[int, ...]]:
+    """``{l ∈ left : ∃r ∈ right, l[l_pos] == r[r_pos]}``."""
+    if not left.n_rows or not right.n_rows:
+        return _EMPTY
+    if _np is not None and left.n_rows + right.n_rows >= MIN_VECTOR_ROWS:
+        mask = _np.isin(left.np_column(l_pos), right.np_column(r_pos))
+        if not mask.any():
+            return _EMPTY
+        idx = _np.nonzero(mask)[0]
+        mat = _np.empty((len(idx), left.arity), dtype=_np.int64)
+        for j in range(left.arity):
+            mat[:, j] = left.np_column(j)[idx]
+        return frozenset(map(tuple, mat.tolist()))
+    keys = right.key_set(r_pos)
+    return frozenset(row for row in left.row_tuples() if row[l_pos] in keys)

@@ -11,7 +11,7 @@ analyze-then-route insight into a *prepared-query* workflow:
 >>> sorted(q.evaluate().answers)
 [(1, 4)]
 >>> db.explain(q).backend
-'compiled'
+'columnar'
 
 Preparing a query pays for the Figure-1 analyzer, the parse, the query
 schema and the constant pool exactly once; subsequent evaluations reuse
@@ -20,7 +20,8 @@ the cached :class:`~repro.core.plan.Plan`.
 The session is **long-lived and mutable**: :meth:`Database.insert`,
 :meth:`Database.delete` and :meth:`Database.apply_delta` change the
 instance *incrementally* — the untouched relations keep their frozen
-row sets and hash indexes (:func:`repro.data.indexes.derive_context`),
+row sets, hash indexes (:func:`repro.data.indexes.derive_context`) and
+dictionary-encoded columns (:func:`repro.data.dictionary.derive_columnar`),
 and invalidation is tracked by **per-relation generation counters**
 instead of one global epoch.  A prepared query's cached plan survives
 writes to relations it never mentions, and a bounded **result cache**
@@ -57,6 +58,7 @@ from repro.core import engine as _engine
 from repro.core import plan as _plan
 from repro.core.engine import EvalResult
 from repro.core.plan import Plan
+from repro.data import dictionary as _dictionary
 from repro.data import indexes as _indexes
 from repro.data.instance import Instance
 from repro.data.schema import Schema
@@ -632,6 +634,7 @@ class Database:
                         f"session is degraded (read-only) until a checkpoint succeeds"
                     ) from err
             _indexes.derive_context(self._instance, new, changes)
+            _dictionary.derive_columnar(self._instance, new, changes)
             self._instance = new
             self._generation += 1
             self._rel_gens.update(new_rel_gens)
@@ -691,6 +694,11 @@ class Database:
         with self._lock:
             if instance == self._instance:
                 return
+            # carry the interning dictionary across the swap: codes stay
+            # stable along the whole instance chain (replace included)
+            old_cols = self._instance._cols
+            if old_cols is not None and instance._cols is None:
+                _dictionary.columnar_context(instance, old_cols.dictionary)
             self._instance = instance
             self._generation += 1
             self._epoch += 1
@@ -894,6 +902,11 @@ class Database:
         if not isinstance(instance, Instance):
             instance = Instance(instance)
         with self._lock:
+            # same dictionary carry-over as replace(): restored state is
+            # new content, but interned codes must stay stable
+            old_cols = self._instance._cols
+            if old_cols is not None and instance._cols is None:
+                _dictionary.columnar_context(instance, old_cols.dictionary)
             self._instance = instance
             self._generation = int(generation)
             self._rel_gens = {

@@ -4,15 +4,19 @@ import pytest
 
 from repro.core import analyze, certain_answers, naive_eval
 from repro.core.backends import (
+    NAIVE_AUTO_BACKEND,
     Backend,
+    ColumnarBackend,
     CTableBackend,
     EnumerationBackend,
     NaiveBackend,
     available_backends,
     get_backend,
+    naive_is_certain,
     register_backend,
     unregister_backend,
 )
+from repro.core.plan import make_plan
 from repro.data.instance import Instance
 from repro.data.values import Null
 from repro.logic.parser import parse
@@ -24,7 +28,7 @@ X, Y = Null("x"), Null("y")
 
 class TestRegistry:
     def test_builtins_registered(self):
-        assert {"naive", "enumeration", "ctable"} <= set(available_backends())
+        assert {"naive", "columnar", "enumeration", "ctable"} <= set(available_backends())
 
     def test_get_backend_by_name(self):
         assert isinstance(get_backend("naive"), NaiveBackend)
@@ -176,3 +180,86 @@ class TestCTableBackend:
             get_backend("ctable").execute(q, d, sem, limit=3)
         # a generous limit still evaluates
         assert get_backend("ctable").execute(q, d, sem, limit=10**6) == frozenset()
+
+
+class TestColumnarBackend:
+    def test_registered_and_typed(self):
+        backend = get_backend("columnar")
+        assert isinstance(backend, ColumnarBackend)
+        assert isinstance(backend, NaiveBackend)  # same exactness contract
+        assert backend.engine == "columnar"
+        assert NAIVE_AUTO_BACKEND == "columnar"
+
+    def test_matches_naive_eval(self, intro_db, join_query):
+        got = get_backend("columnar").execute(join_query, intro_db, get_semantics("owa"))
+        assert got == naive_eval(join_query, intro_db)
+        assert got == get_backend("naive").execute(join_query, intro_db, get_semantics("owa"))
+
+    def test_exactness_identical_to_naive(self):
+        columnar, naive = get_backend("columnar"), get_backend("naive")
+        for sem_key, text in [
+            ("cwa", "exists v . D(v, v)"),
+            ("owa", "forall x . exists y . D(x, y)"),
+            ("mincwa", "exists v . D(v, v)"),
+        ]:
+            verdict = analyze(Query.boolean(parse(text)), sem_key)
+            sem = get_semantics(sem_key)
+            for core_flag in (True, False, None):
+                assert columnar.exactness(sem, verdict, core_flag, None) == naive.exactness(
+                    sem, verdict, core_flag, None
+                ), (sem_key, text, core_flag)
+
+
+class TestAutoRoutingEligibility:
+    """The eligibility matrix: ``auto`` routes to columnar EXACTLY where
+    the compiled engine routed before — i.e. exactly where Figure 1 plus
+    the core check prove naive evaluation computes certain answers."""
+
+    # (semantics, query text) — covers sound rows, unsound rows, and the
+    # core-conditional minimal-semantics row of Figure 1
+    MATRIX = [
+        ("owa", "exists x, y . D(x, y) & D(y, x)"),          # UCQ/OWA: sound
+        ("owa", "forall x . exists y . D(x, y)"),            # ∀ under OWA: unsound
+        ("cwa", "forall x . exists y . D(x, y)"),            # Pos+∀G/CWA: sound
+        ("cwa", "!(exists v . D(v, v))"),                    # negation: unsound
+        ("wcwa", "exists x, y . D(x, y) & D(y, x)"),
+        ("pcwa", "forall x . exists y . D(x, y)"),
+        ("mincwa", "exists v . D(v, v)"),                    # sound on cores only
+        ("minpcwa", "exists v . D(v, v)"),
+    ]
+
+    @pytest.mark.parametrize("sem_key,text", MATRIX)
+    def test_auto_routes_columnar_iff_naive_certain(self, sem_key, text, d0):
+        q = Query.boolean(parse(text))
+        verdict = analyze(q, sem_key)
+        plan = make_plan(q, d0, sem_key, "auto")
+        core_flag = plan.instance_is_core if verdict.over_cores_only else True
+        expected = "columnar" if naive_is_certain(verdict, core_flag) else "enumeration"
+        assert plan.backend == expected, (sem_key, text)
+        if expected == "columnar":
+            assert plan.exact  # the fast path is only taken when provably exact
+
+    @pytest.mark.parametrize("sem_key,text", MATRIX)
+    def test_forced_compiled_and_interp_stay_available(self, sem_key, text, d0):
+        """compiled and naive-interp remain registered as forced
+        differential baselines on every matrix row."""
+        q = Query.boolean(parse(text))
+        columnar = make_plan(q, d0, sem_key, "columnar")
+        compiled = make_plan(q, d0, sem_key, "compiled")
+        interp = make_plan(q, d0, sem_key, "naive-interp")
+        assert (columnar.backend, compiled.backend, interp.backend) == (
+            "columnar", "compiled", "naive-interp"
+        )
+        sem = get_semantics(sem_key)
+        answers = {
+            get_backend(name).execute(q, d0, sem)
+            for name in ("columnar", "compiled", "naive-interp")
+        }
+        assert len(answers) == 1  # the three naive engines agree pointwise
+
+    def test_explain_notes_name_kernels_on_auto_route(self, d0):
+        q = Query.boolean(parse("forall x . exists y . D(x, y)"))
+        plan = make_plan(q, d0, "cwa", "auto")
+        assert plan.backend == "columnar"
+        note = "\n".join(plan.notes)
+        assert "columnar executor" in note and "explain --operators" in note

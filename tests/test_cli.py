@@ -118,10 +118,10 @@ class TestExplainCommand:
         out = capsys.readouterr().out
         assert "enumeration" in out and "not sound" in out
 
-    def test_explain_cwa_routes_compiled(self, capsys):
+    def test_explain_cwa_routes_columnar(self, capsys):
         assert main(["explain", "forall x . exists y . D(x,y)", "--semantics", "cwa"]) == 0
         out = capsys.readouterr().out
-        assert "backend     : compiled" in out and "SOUND" in out
+        assert "backend     : columnar" in out and "SOUND" in out
 
     def test_explain_with_instance_reports_cost(self, tmp_path, capsys):
         db = tmp_path / "db.json"
@@ -144,11 +144,11 @@ class TestExplainCommand:
         assert data["cost"]["fact_count"] == 1
         assert data["cost"]["null_count"] == 2
 
-    def test_explain_json_compiled_case(self, capsys):
+    def test_explain_json_columnar_case(self, capsys):
         code = main(["explain", "exists z (R(x,z) & S(z,y))", "--semantics", "owa", "--json"])
         assert code == 0
         data = json.loads(capsys.readouterr().out)
-        assert data["backend"] == "compiled"
+        assert data["backend"] == "columnar"
         assert data["verdict"]["sound"] is True and data["exact"] is True
 
     def test_explain_forced_mode(self, capsys):
@@ -202,7 +202,7 @@ class TestCommands:
         code = main(["evaluate", "exists z (R(x,z) & S(z,y))", str(db), "--semantics", "owa"])
         assert code == 0
         out = capsys.readouterr().out
-        assert "1, 4" in out and "compiled" in out
+        assert "1, 4" in out and "columnar" in out
 
     def test_evaluate_boolean(self, tmp_path, capsys):
         db = tmp_path / "db.json"

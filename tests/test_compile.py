@@ -10,11 +10,18 @@ specific operator behaviours (index probing, layering, orbit
 enumeration) the certain-answer oracle builds on.
 """
 
-import os
 import random
-import zlib
 
 import pytest
+from diffutil import (
+    SCHEMA,
+    assert_equivalent,
+    fuzz_rng,
+    fuzz_trials,
+    interp_answers,
+    interp_certain_reference,
+    random_formula,
+)
 
 from repro.core.backends import available_backends, get_backend
 from repro.core.certain import (
@@ -43,48 +50,18 @@ from repro.logic.ast import (
     Var,
 )
 from repro.logic.compile import CompiledQuery, compile_formula, compiled_query
-from repro.logic.eval import answers, evaluate
+from repro.logic.eval import answers
 from repro.logic.generate import random_kary_query, random_sentence
 from repro.logic.parser import parse
 from repro.logic.queries import Query
 from repro.logic.transform import free_vars
 from repro.semantics import get_semantics
 
-SCHEMA = Schema({"R": 2, "S": 1})
+# SCHEMA, the fuzz knobs (REPRO_FUZZ / REPRO_FUZZ_SEED) and the random
+# generators live in tests/diffutil.py, shared with test_columnar.py and
+# the nightly fuzz matrix — one generator drives every engine pairing.
 X, Y = Null("x"), Null("y")
 x, y, z = Var("x"), Var("y"), Var("z")
-
-# Nightly fuzz knobs (.github/workflows/nightly.yml): REPRO_FUZZ multiplies
-# every random-trial budget and REPRO_FUZZ_SEED shifts the RNG seeds, so the
-# scheduled sweep covers fresh formula/instance space on every run.  The
-# defaults (1, 0) keep ordinary CI fast and fully deterministic.
-FUZZ = max(1, int(os.environ.get("REPRO_FUZZ", "1")))
-FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
-
-
-def fuzz_trials(base: int) -> int:
-    return base * FUZZ
-
-
-def fuzz_rng(seed: "int | str") -> random.Random:
-    # strings are seeded via crc32, NOT hash(): str hashing is randomized
-    # per process (PYTHONHASHSEED), which would make a nightly failure
-    # unreplayable even with the same REPRO_FUZZ_SEED
-    if isinstance(seed, str):
-        seed = zlib.crc32(seed.encode())
-    return random.Random(seed + 0x9E3779B1 * FUZZ_SEED)
-
-
-def interp_answers(formula, instance, head):
-    if head:
-        return answers(formula, instance, head)
-    return frozenset([()]) if evaluate(formula, instance) else frozenset()
-
-
-def assert_equivalent(formula, instance, head=()):
-    got = CompiledQuery(formula, head).answers(instance)
-    want = interp_answers(formula, instance, tuple(head))
-    assert got == want, f"compiled ≠ interp on {formula!r} over {instance!r}"
 
 
 # ----------------------------------------------------------------------
@@ -116,39 +93,15 @@ class TestDifferentialRandom:
 
     def test_arbitrary_formulas_with_negation(self):
         """Unrestricted ASTs: negation, →, =, constants — the unsafe zone."""
-        consts = [1, 2, 3, "a"]
-        vars_ = [Var(n) for n in "xyzuv"]
-        rels = {"R": 2, "S": 1, "T": 3}
-
-        def rand(rng, depth, pool):
-            if depth <= 0 or rng.random() < 0.25:
-                k = rng.random()
-                if k < 0.55:
-                    name = rng.choice(list(rels))
-                    opts = pool + consts if rng.random() < 0.4 else pool
-                    return RelAtom(name, tuple(rng.choice(opts) for _ in range(rels[name])))
-                if k < 0.8:
-                    return EqAtom(rng.choice(pool + consts), rng.choice(pool + consts))
-                return TrueF() if rng.random() < 0.5 else FalseF()
-            op = rng.choice(["and", "or", "not", "implies", "exists", "forall"])
-            if op == "not":
-                return Not(rand(rng, depth - 1, pool))
-            if op in ("and", "or"):
-                subs = tuple(rand(rng, depth - 1, pool) for _ in range(rng.choice([2, 3])))
-                return And(subs) if op == "and" else Or(subs)
-            if op == "implies":
-                return Implies(rand(rng, depth - 1, pool), rand(rng, depth - 1, pool))
-            vs = tuple(rng.sample(vars_, rng.choice([1, 1, 2])))
-            body = rand(rng, depth - 1, list(set(pool + list(vs))))
-            return Exists(vs, body) if op == "exists" else Forall(vs, body)
+        from diffutil import ARBITRARY_RELS, ARBITRARY_VARS
 
         rng = fuzz_rng(20130623)
-        schema = Schema(rels)
+        schema = Schema(ARBITRARY_RELS)
         for _ in range(fuzz_trials(150)):
             inst = random_instance(
                 schema, rng, n_facts=rng.randint(0, 6), constants=(1, 2, "a"), n_nulls=2
             )
-            phi = rand(rng, rng.choice([1, 2, 3]), rng.sample(vars_, 2))
+            phi = random_formula(rng, rng.choice([1, 2, 3]), rng.sample(ARBITRARY_VARS, 2))
             head = tuple(sorted(free_vars(phi), key=lambda v: v.name))
             assert_equivalent(phi, inst, head)
 
@@ -249,23 +202,8 @@ class TestBackendsAgree:
             )
             q = Query.boolean(random_sentence(SCHEMA, rng, "PosForallG", max_depth=2))
             got = certain_answers(q, inst, sem, extra_facts=extra)
-            want = self._interp_reference(q, inst, sem, extra_facts=extra)
+            want = interp_certain_reference(q, inst, sem, extra_facts=extra)
             assert got == want, (key, q.formula, inst)
-
-    @staticmethod
-    def _interp_reference(query, instance, semantics, extra_facts=None):
-        pool = default_pool(instance, query)
-        schema = instance.schema().union(query_schema(query))
-        result = None
-        for world in semantics.expand(
-            instance, pool, schema=schema, extra_facts=extra_facts
-        ):
-            rows = interp_answers(query.formula, world, query.answer_vars)
-            result = rows if result is None else result & rows
-            if not result:
-                break
-        assert result is not None
-        return result
 
     def test_cwa_explicit_pool_matches_default_pool_route(self):
         d = Instance({"R": [(1, X), (X, Y)], "S": [(2,)]})

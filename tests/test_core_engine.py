@@ -12,9 +12,9 @@ X, Y = Null("x"), Null("y")
 
 
 class TestAutoRouting:
-    def test_ucq_goes_compiled(self, join_query, intro_db):
+    def test_ucq_goes_columnar(self, join_query, intro_db):
         result = evaluate(join_query, intro_db, semantics="owa")
-        assert result.method == "compiled"
+        assert result.method == "columnar"
         assert result.exact
         assert result.answers == frozenset({(1, 4)})
 
@@ -23,9 +23,9 @@ class TestAutoRouting:
         assert result.method == "enumeration"
         assert not result.holds  # OWA certain answer is false
 
-    def test_pos_query_compiled_under_cwa(self, d0, forall_exists_query):
+    def test_pos_query_columnar_under_cwa(self, d0, forall_exists_query):
         result = evaluate(forall_exists_query, d0, semantics="cwa")
-        assert result.method == "compiled"
+        assert result.method == "columnar"
         assert result.exact
         assert result.holds  # CWA certain answer is true
 
@@ -41,11 +41,11 @@ class TestAutoRouting:
         result = evaluate(q, d, semantics="mincwa")
         assert result.method == "enumeration"
 
-    def test_minimal_semantics_on_core_goes_compiled(self):
+    def test_minimal_semantics_on_core_goes_columnar(self):
         d = Instance({"D": [(X, X)]})  # a core
         q = Query.boolean(parse("exists v . D(v, v)"))
         result = evaluate(q, d, semantics="mincwa")
-        assert result.method == "compiled" and result.exact
+        assert result.method == "columnar" and result.exact
 
 
 class TestForcedModes:
@@ -77,7 +77,7 @@ class TestResultShape:
 
     def test_repr_shows_method(self, d0, exists_cycle_query):
         result = evaluate(exists_cycle_query, d0, semantics="cwa")
-        assert "compiled" in repr(result)
+        assert "columnar" in repr(result)
 
     def test_verdict_attached(self, d0, exists_cycle_query):
         result = evaluate(d0 and exists_cycle_query, d0, semantics="cwa")

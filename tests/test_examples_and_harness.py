@@ -66,3 +66,17 @@ class TestHarnessSections:
         out = capsys.readouterr().out
         # six rows, all fully agreeing
         assert out.count("1/1") == 6
+
+    def test_columnar_section_quick(self, capsys):
+        import harness
+
+        rows = harness.columnar(quick=True)
+        out = capsys.readouterr().out
+        assert "COLUMNAR" in out
+        assert {r["workload"] for r in rows} == {"columnar_join", "columnar_semi_join"}
+        assert all("compiled_ms" in r and "columnar_ms" in r for r in rows)
+
+    def test_columnar_section_is_gated(self):
+        import check_regression
+
+        assert "columnar" in check_regression.GATED_SECTIONS

@@ -206,7 +206,7 @@ class TestEngineOnPaperExamples:
         q = Query(parse("exists z (R(x, z) & S(z, y))"), ("x", "y"))
         for key in ("owa", "cwa", "wcwa", "pcwa"):
             result = evaluate(q, db, semantics=key)
-            assert result.method == "compiled"
+            assert result.method == "columnar"
             assert result.answers == frozenset({(1, 4)}), key
 
     def test_verdicts_match_figure_1_on_examples(self):

@@ -15,9 +15,9 @@ X, Y = Null("x"), Null("y")
 
 
 class TestAutoRouting:
-    def test_ucq_owa_routes_compiled(self, intro_db, join_query):
+    def test_ucq_owa_routes_columnar(self, intro_db, join_query):
         plan = make_plan(join_query, intro_db, "owa")
-        assert plan.backend == "compiled"
+        assert plan.backend == "columnar"
         assert plan.exact
         assert plan.instance_is_core is None  # never needed
 
@@ -26,9 +26,9 @@ class TestAutoRouting:
         assert plan.backend == "enumeration"
         assert not plan.exact and plan.direction == "superset"
 
-    def test_forall_cwa_routes_compiled(self, d0, forall_exists_query):
+    def test_forall_cwa_routes_columnar(self, d0, forall_exists_query):
         plan = make_plan(forall_exists_query, d0, "cwa")
-        assert plan.backend == "compiled"
+        assert plan.backend == "columnar"
         assert plan.exact
 
     def test_minimal_off_core_routes_enumeration(self):
@@ -39,11 +39,11 @@ class TestAutoRouting:
         assert plan.instance_is_core is False
         assert any("not" in note and "core" in note for note in plan.notes)
 
-    def test_minimal_on_core_routes_compiled(self):
+    def test_minimal_on_core_routes_columnar(self):
         d = Instance({"D": [(X, X)]})
         q = Query.boolean(parse("exists v . D(v, v)"))
         plan = make_plan(q, d, "mincwa")
-        assert plan.backend == "compiled"
+        assert plan.backend == "columnar"
         assert plan.instance_is_core is True
         assert plan.exact
 
@@ -116,7 +116,7 @@ class TestInjectedCaches:
         d = Instance({"D": [(X, X), (X, Y)]})  # NOT a core
         q = Query.boolean(parse("exists v . D(v, v)"))
         plan = make_plan(q, d, "mincwa", core_check=lambda: True)
-        assert plan.backend == "compiled"  # believed the lie
+        assert plan.backend == "columnar"  # believed the lie
         assert plan.instance_is_core is True
 
     def test_injected_verdict_is_used(self, intro_db, join_query):
@@ -154,7 +154,7 @@ class TestPlanRendering:
 
     def test_repr(self, intro_db, join_query):
         plan = make_plan(join_query, intro_db, "owa")
-        assert "compiled" in repr(plan) and "exact" in repr(plan)
+        assert "columnar" in repr(plan) and "exact" in repr(plan)
         assert isinstance(plan, Plan)
 
     def test_render_survives_unregistered_backend(self, intro_db, join_query):

@@ -35,7 +35,7 @@ class TestQueryServiceOps:
             {"op": "query", "query": JOIN, "vars": ["x", "y"]}
         )
         assert response["ok"] and response["answers"] == [[1, 4]]
-        assert response["exact"] and response["method"] == "compiled"
+        assert response["exact"] and response["method"] == "columnar"
 
     def test_null_cells_encoded_on_the_wire(self, service):
         service.handle(
@@ -73,7 +73,7 @@ class TestQueryServiceOps:
 
     def test_explain(self, service):
         response = service.handle({"op": "explain", "query": JOIN})
-        assert response["ok"] and response["plan"]["backend"] == "compiled"
+        assert response["ok"] and response["plan"]["backend"] == "columnar"
 
     def test_batch_op(self, service):
         response = service.handle(

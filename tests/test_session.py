@@ -85,7 +85,7 @@ class TestDatabaseBasics:
     def test_stats_report_timing_and_backend(self, intro_db, join_query):
         db = Database(intro_db, semantics="owa")
         result = db.evaluate(join_query)
-        assert result.stats["backend"] == "compiled"
+        assert result.stats["backend"] == "columnar"
         assert result.stats["execution_s"] >= 0
         assert result.stats["planning_s"] >= 0
         assert result.stats["pool_size"] == 0  # naive: no pool materialised
@@ -146,7 +146,7 @@ class TestCaching:
         naive_r, enum_r = db.evaluate_many(
             ["exists z . R(1, z)", "forall u . exists v . R(u, v)"]
         )
-        assert naive_r.method == "compiled" and naive_r.stats["pool_size"] == 0
+        assert naive_r.method == "columnar" and naive_r.stats["pool_size"] == 0
         assert enum_r.method == "enumeration" and enum_r.stats["pool_size"] >= 1
 
     def test_query_objects_are_interned_too(self, d0, monkeypatch):
@@ -288,7 +288,7 @@ class TestEvaluateMany:
         db = Database(d0, semantics="cwa")  # every query routes naive
         results = db.evaluate_many(self.QUERIES)
         assert counts["pool"] == 0
-        assert all(r.method == "compiled" for r in results)
+        assert all(r.method == "columnar" for r in results)
 
     def test_batch_stats(self, d0):
         db = Database(d0, semantics="cwa")
